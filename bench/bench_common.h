@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "baselines/baseline.h"
+#include "core/runner.h"
+#include "util/table.h"
+
+/// Shared defaults for the experiment harnesses. Every experiment runs the
+/// protocol under *adversarial* conditions by default — worst-case drift
+/// (extremal rates), worst-case delay assignment (split), and an active
+/// attack — because that is the regime the paper's bounds are about.
+namespace stclock::bench {
+
+inline SyncConfig default_auth_config() {
+  SyncConfig cfg;
+  cfg.n = 7;
+  cfg.f = 3;  // = ceil(7/2) - 1, the authenticated maximum
+  cfg.rho = 1e-4;
+  cfg.tdel = 0.01;
+  cfg.period = 1.0;
+  cfg.initial_sync = 0.005;
+  cfg.variant = Variant::kAuthenticated;
+  return cfg;
+}
+
+inline SyncConfig default_echo_config() {
+  SyncConfig cfg = default_auth_config();
+  cfg.variant = Variant::kEcho;
+  cfg.f = 2;  // = ceil(7/3) - 1, the signature-free maximum
+  return cfg;
+}
+
+inline RunSpec adversarial_spec(SyncConfig cfg, RealTime horizon = 30.0,
+                                std::uint64_t seed = 1) {
+  RunSpec spec;
+  spec.cfg = cfg;
+  spec.seed = seed;
+  spec.horizon = horizon;
+  spec.drift = DriftKind::kExtremal;
+  spec.delay = DelayKind::kSplit;
+  spec.attack = AttackKind::kSpamEarly;
+  return spec;
+}
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::cout << "==============================================================\n"
+            << experiment << "\n"
+            << "Paper claim: " << claim << "\n"
+            << "==============================================================\n";
+}
+
+/// Command-line options shared by every experiment binary:
+///   --seed N   rerun the experiment with a different random seed
+///   --csv      emit CSV instead of the aligned table (for plotting)
+struct Options {
+  std::uint64_t seed = 1;
+  bool csv = false;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      opts.csv = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0] << " [--seed N] [--csv]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option: " << arg << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+inline void emit(const Table& table, const Options& opts) {
+  if (opts.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+}  // namespace stclock::bench

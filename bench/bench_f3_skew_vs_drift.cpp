@@ -1,0 +1,34 @@
+// Experiment F3 — Skew as a function of the drift bound rho.
+//
+// Figure data: measured worst-case steady skew vs rho, for both variants,
+// against Dmax(rho). At small rho the delay term (D, alpha) dominates; past
+// rho ~ tdel/P the rho*P term takes over and the curve turns linear in rho.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const stclock::bench::Options opts = stclock::bench::parse_options(argc, argv);
+  using namespace stclock;
+  bench::print_header("F3 — Skew vs drift bound rho",
+                      "Dmax = Theta(tdel + rho*P): flat in rho until rho*P ~ tdel, "
+                      "then linear");
+
+  Table table({"variant", "rho", "skew(s)", "Dmax(s)", "ratio", "live"});
+  for (const Variant variant : {Variant::kAuthenticated, Variant::kEcho}) {
+    for (const double rho : {0.0, 1e-5, 1e-4, 1e-3, 3e-3, 1e-2}) {
+      SyncConfig cfg = variant == Variant::kAuthenticated
+                           ? bench::default_auth_config()
+                           : bench::default_echo_config();
+      cfg.rho = rho;
+      const RunSpec spec = bench::adversarial_spec(cfg, 30.0, opts.seed);
+      const RunResult r = run_sync(spec);
+      table.add_row({cfg.variant_name(), Table::sci(rho, 1), Table::sci(r.steady_skew),
+                     Table::sci(r.bounds.precision),
+                     Table::num(r.steady_skew / r.bounds.precision, 2),
+                     r.live ? "yes" : "NO"});
+    }
+  }
+  stclock::bench::emit(table, opts);
+  std::cout << "(n=7, tdel=10ms, P=1s, extremal drift, split delays, spam-early)\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// M1 — Substrate micro-benchmarks (google-benchmark).
+//
+// Costs of the building blocks: hashing/signing (the per-message crypto
+// cost of the authenticated variant), event-queue operations, clock reads
+// and inversions, and whole simulated rounds end-to-end.
+
+#include <benchmark/benchmark.h>
+
+#include "clocks/logical_clock.h"
+#include "core/runner.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+#include "sim/event_queue.h"
+
+namespace stclock {
+namespace {
+
+void BM_Sha256_64B(benchmark::State& state) {
+  const Bytes data(64, 0xAB);
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::sha256(data));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_Sha256_4KiB(benchmark::State& state) {
+  const Bytes data(4096, 0xAB);
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::sha256(data));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Sha256_4KiB);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(32, 0x11);
+  const Bytes msg(17, 0x22);  // a round payload is this order of size
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::hmac_sha256(key, msg));
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_SignRoundMessage(benchmark::State& state) {
+  const crypto::KeyRegistry registry(16, 1);
+  const crypto::Signer signer = registry.signer_for(3);
+  const Bytes payload = round_signing_payload(42);
+  for (auto _ : state) benchmark::DoNotOptimize(signer.sign(payload));
+}
+BENCHMARK(BM_SignRoundMessage);
+
+void BM_VerifyRoundMessage(benchmark::State& state) {
+  const crypto::KeyRegistry registry(16, 1);
+  const Bytes payload = round_signing_payload(42);
+  const crypto::Signature sig = registry.signer_for(3).sign(payload);
+  for (auto _ : state) benchmark::DoNotOptimize(registry.verify(sig, payload));
+}
+BENCHMARK(BM_VerifyRoundMessage);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue q;
+  Rng rng(1);
+  // Keep a standing population of 1024 events; each iteration pops the
+  // earliest and pushes one at a random future time.
+  for (int i = 0; i < 1024; ++i) q.push_timer(rng.next_double(), TimerEvent{0, 0});
+  for (auto _ : state) {
+    const Event e = q.pop();
+    q.push_timer(e.time + rng.next_double(), TimerEvent{0, 0});
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_HardwareClockRead(benchmark::State& state) {
+  // A clock with 100 rate-change segments (a busy random-walk trajectory).
+  HardwareClock clock(0.0, 1.0);
+  for (int i = 1; i <= 100; ++i) {
+    clock.set_rate_from(static_cast<double>(i), i % 2 == 0 ? 1.0001 : 0.9999);
+  }
+  double t = 0;
+  for (auto _ : state) {
+    t += 0.37;
+    if (t > 100.0) t = 0;
+    benchmark::DoNotOptimize(clock.read(t));
+  }
+}
+BENCHMARK(BM_HardwareClockRead);
+
+void BM_LogicalClockWhenReads(benchmark::State& state) {
+  HardwareClock hw(0.0, 1.0001);
+  LogicalClock clock(hw);
+  for (int i = 1; i <= 64; ++i) {
+    clock.adjust_instant(static_cast<double>(i), 0.01);  // 64 correction pieces
+  }
+  double target = 70.0;
+  for (auto _ : state) {
+    target += 0.001;
+    if (target > 1000.0) target = 70.0;
+    benchmark::DoNotOptimize(clock.when_reads(65.0, target));
+  }
+}
+BENCHMARK(BM_LogicalClockWhenReads);
+
+void BM_FullRound_Auth(benchmark::State& state) {
+  // End-to-end cost of one simulated resynchronization round (n = 7): all
+  // events, crypto, and bookkeeping included.
+  for (auto _ : state) {
+    SyncConfig cfg;
+    cfg.n = 7;
+    cfg.f = 3;
+    cfg.rho = 1e-4;
+    cfg.tdel = 0.01;
+    cfg.period = 1.0;
+    cfg.initial_sync = 0.005;
+    RunSpec spec;
+    spec.cfg = cfg;
+    spec.seed = 1;
+    spec.horizon = 5.0;  // ~5 rounds
+    spec.drift = DriftKind::kNone;
+    spec.delay = DelayKind::kHalf;
+    benchmark::DoNotOptimize(run_sync(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * 5);  // rounds
+}
+BENCHMARK(BM_FullRound_Auth)->Unit(benchmark::kMillisecond);
+
+void BM_FullRound_Echo(benchmark::State& state) {
+  for (auto _ : state) {
+    SyncConfig cfg;
+    cfg.n = 7;
+    cfg.f = 2;
+    cfg.variant = Variant::kEcho;
+    cfg.rho = 1e-4;
+    cfg.tdel = 0.01;
+    cfg.period = 1.0;
+    cfg.initial_sync = 0.005;
+    RunSpec spec;
+    spec.cfg = cfg;
+    spec.seed = 1;
+    spec.horizon = 5.0;
+    spec.drift = DriftKind::kNone;
+    spec.delay = DelayKind::kHalf;
+    benchmark::DoNotOptimize(run_sync(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * 5);
+}
+BENCHMARK(BM_FullRound_Echo)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace stclock
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Byzantine attack demo: what the adversary can (and cannot) do.
+//
+// Runs a 7-node system with 3 actively malicious nodes (the authenticated
+// maximum) through every implemented attack strategy, then deliberately
+// over-corrupts the system to show where the guarantees genuinely stop.
+
+#include <iostream>
+
+#include "core/runner.h"
+#include "util/table.h"
+
+int main() {
+  using namespace stclock;
+
+  SyncConfig cfg;
+  cfg.n = 7;
+  cfg.f = 3;  // ceil(7/2) - 1: every second node may be malicious
+  cfg.rho = 1e-4;
+  cfg.tdel = 0.01;
+  cfg.period = 1.0;
+  cfg.initial_sync = 0.005;
+
+  std::cout << "System: n=7, f=3 (authenticated). Every attack below controls 3 nodes\n"
+               "with full knowledge of the system state and of all message timing.\n\n";
+
+  Table table({"attack", "what it tries", "skew(s)", "Dmax(s)", "held?"});
+  const struct {
+    AttackKind kind;
+    const char* description;
+  } attacks[] = {
+      {AttackKind::kCrash, "silence (reduce redundancy)"},
+      {AttackKind::kSpamEarly, "pre-delivered signatures (race the clock)"},
+      {AttackKind::kEquivocate, "tell half the system a different story"},
+      {AttackKind::kReplay, "replay stale round messages"},
+      {AttackKind::kForge, "fabricate honest nodes' signatures"},
+  };
+
+  for (const auto& attack : attacks) {
+    RunSpec spec;
+    spec.cfg = cfg;
+    spec.seed = 7;
+    spec.horizon = 20.0;
+    spec.drift = DriftKind::kExtremal;
+    spec.delay = DelayKind::kSplit;
+    spec.attack = attack.kind;
+    const RunResult r = run_sync(spec);
+    const bool held = r.live && r.steady_skew <= r.bounds.precision;
+    table.add_row({attack_name(attack.kind), attack.description,
+                   Table::sci(r.steady_skew), Table::sci(r.bounds.precision),
+                   held ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  // And now the honest answer about where the guarantee ends.
+  std::cout << "\nOver-corrupting the same system (4 nodes = f+1, spam-early):\n";
+  RunSpec breakdown;
+  breakdown.cfg = cfg;
+  breakdown.seed = 7;
+  breakdown.horizon = 20.0;
+  breakdown.drift = DriftKind::kExtremal;
+  breakdown.delay = DelayKind::kZero;
+  breakdown.attack = AttackKind::kSpamEarly;
+  breakdown.corrupt_override = 4;
+  const RunResult r = run_sync(breakdown);
+  std::cout << "  min inter-pulse period: " << Table::num(r.min_period, 4)
+            << " s (floor was " << Table::num(r.bounds.min_period, 4) << " s)\n"
+            << "  -> with f+1 corrupted nodes the adversary assembles signature\n"
+            << "     quorums alone and drives pulses at will; resilience ceil(n/2)-1\n"
+            << "     is tight, exactly as the paper proves.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reintegration: a repaired replica rejoins a running cluster.
+//
+// One node of a 5-node system is down at launch and boots 12.4 s in, with a
+// hardware clock that knows nothing about the group. It listens passively,
+// adopts the first resynchronization round it observes being accepted, and
+// from then on participates fully — all while 1 node is actively Byzantine.
+
+#include <iostream>
+
+#include "core/runner.h"
+#include "util/table.h"
+
+int main() {
+  using namespace stclock;
+
+  SyncConfig cfg;
+  cfg.n = 5;
+  cfg.f = 1;
+  cfg.rho = 1e-4;
+  cfg.tdel = 0.01;
+  cfg.period = 1.0;
+  cfg.initial_sync = 0.005;
+
+  RunSpec spec;
+  spec.cfg = cfg;
+  spec.seed = 99;
+  spec.horizon = 30.0;
+  spec.drift = DriftKind::kExtremal;
+  spec.delay = DelayKind::kSplit;
+  spec.attack = AttackKind::kSpamEarly;  // hostile conditions during the join
+  spec.joiners = 1;
+  spec.join_time = 12.4;
+
+  std::cout << "n=5, f=1 under active attack; node 3 boots at t = " << spec.join_time
+            << " s with an unsynchronized clock.\n\n";
+
+  const RunResult r = run_sync(spec);
+
+  Table table({"metric", "value", "guarantee"});
+  table.add_row({"joiner integrated", r.joiners_integrated ? "yes" : "NO", "yes"});
+  table.add_row({"integration latency", Table::num(r.join_latency, 3) + " s",
+                 "<= " + Table::num(r.bounds.max_period, 3) + " s (one period)"});
+  table.add_row({"post-join skew", Table::sci(r.steady_skew) + " s",
+                 "<= " + Table::sci(r.bounds.precision) + " s"});
+  table.add_row({"running nodes disturbed", r.live ? "no" : "YES", "no"});
+  table.print(std::cout);
+
+  std::cout << "\nHow it works: the joiner participates in the broadcast primitive\n"
+               "(verifying and relaying) but broadcasts no readiness of its own.\n"
+               "The first accepted round k pins the group's clock to kP + alpha,\n"
+               "which the joiner adopts; from that instant it is within the same\n"
+               "Dmax bound as everyone else and starts pulsing normally.\n";
+  return r.joiners_integrated ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// WAN cluster scenario: geo-distributed replicas keeping time together.
+//
+// A 9-node cluster spread across data centers: one-way delays up to 50 ms,
+// oven-stabilized oscillators (20 ppm drift), resynchronization every 5 s.
+// Four replicas may be compromised (the authenticated maximum for n = 9).
+// Compares the Srikanth–Toueg protocol against Lundelius–Welch and the
+// unsynchronized control under identical conditions.
+
+#include <iostream>
+
+#include "baselines/lundelius_welch.h"
+#include "baselines/unsynchronized.h"
+#include "core/runner.h"
+#include "util/table.h"
+
+int main() {
+  using namespace stclock;
+
+  SyncConfig cfg;
+  cfg.n = 9;
+  cfg.f = 4;  // authenticated maximum
+  cfg.rho = 2e-5;    // 20 ppm oscillators
+  cfg.tdel = 0.05;   // 50 ms WAN delay bound
+  cfg.period = 5.0;  // resync every 5 s
+  cfg.initial_sync = 0.02;
+
+  RunSpec spec;
+  spec.cfg = cfg;
+  spec.seed = 2024;
+  spec.horizon = 300.0;  // five minutes
+  spec.drift = DriftKind::kRandomWalk;  // realistic wandering oscillators
+  spec.delay = DelayKind::kUniform;     // jittery network
+  spec.attack = AttackKind::kSpamEarly;
+
+  std::cout << "WAN cluster: n=9 replicas, 4 compromised, 50 ms delays, 20 ppm\n"
+               "oscillators, resync every 5 s, 5 minutes of operation.\n\n";
+
+  const RunResult st = run_sync(spec);
+
+  baselines::BaselineSpec lw_spec;
+  lw_spec.n = cfg.n;
+  lw_spec.f = 2;  // LW cannot tolerate 4 of 9 — n > 3f forces f <= 2
+  lw_spec.rho = cfg.rho;
+  lw_spec.tdel = cfg.tdel;
+  lw_spec.period = cfg.period;
+  lw_spec.delta = 0.2;
+  lw_spec.initial_sync = cfg.initial_sync;
+  lw_spec.seed = spec.seed;
+  lw_spec.horizon = spec.horizon;
+  lw_spec.drift = spec.drift;
+  lw_spec.delay = spec.delay;
+  lw_spec.attack = AttackKind::kLwPull;
+  const baselines::BaselineResult lw = baselines::run_lundelius_welch(lw_spec);
+
+  baselines::BaselineSpec unsync_spec = lw_spec;
+  unsync_spec.attack = AttackKind::kNone;
+  const baselines::BaselineResult unsync = baselines::run_unsynchronized(unsync_spec);
+
+  Table table({"algorithm", "tolerates", "worst skew", "skew bound", "msgs sent"});
+  table.add_row({"srikanth-toueg (auth)", "4 of 9 Byzantine",
+                 Table::num(st.steady_skew * 1e3, 2) + " ms",
+                 Table::num(st.bounds.precision * 1e3, 2) + " ms",
+                 std::to_string(st.messages_sent)});
+  table.add_row({"lundelius-welch", "2 of 9 Byzantine",
+                 Table::num(lw.steady_skew * 1e3, 2) + " ms", "-",
+                 std::to_string(lw.messages_sent)});
+  table.add_row({"unsynchronized", "-", Table::num(unsync.max_skew * 1e3, 2) + " ms",
+                 "(grows forever)", "0"});
+  table.print(std::cout);
+
+  // When would free-running clocks overtake the synchronized bound?
+  const double gamma = (1 + cfg.rho) - 1 / (1 + cfg.rho);
+  const double crossover_min = st.bounds.precision / gamma / 60.0;
+
+  std::cout << "\nTakeaways:\n"
+            << "  - under 4 compromised replicas only the signature-based protocol\n"
+            << "    still runs at all; LW's resilience tops out at f=2 for n=9;\n"
+            << "  - synchronized skew is bounded FOREVER at the scale of the delay\n"
+            << "    bound; free-running clocks drift ~"
+            << Table::num(gamma * 3600 * 1e3, 0) << " ms/hour and pass the\n"
+            << "    synchronized bound after ~" << Table::num(crossover_min, 0)
+            << " minutes, growing without limit;\n"
+            << "  - every replica pulsed " << st.min_pulses << "-" << st.max_pulses
+            << " times (period within ["
+            << Table::num(st.min_period, 2) << ", " << Table::num(st.max_period, 2)
+            << "] s).\n";
+  return 0;
+}

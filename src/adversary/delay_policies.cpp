@@ -1,0 +1,31 @@
+#include "adversary/delay_policies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace stclock {
+
+SplitDelay::SplitDelay(std::vector<NodeId> slow_targets) : slow_(std::move(slow_targets)) {
+  std::sort(slow_.begin(), slow_.end());
+}
+
+Duration SplitDelay::delay(NodeId /*from*/, NodeId to, RealTime /*now*/, Duration tdel,
+                           Rng& /*rng*/) {
+  return std::binary_search(slow_.begin(), slow_.end(), to) ? tdel : 0.0;
+}
+
+AlternatingDelay::AlternatingDelay(Duration interval) : interval_(interval) {
+  ST_REQUIRE(interval > 0, "AlternatingDelay: interval must be positive");
+}
+
+Duration AlternatingDelay::delay(NodeId /*from*/, NodeId to, RealTime now, Duration tdel,
+                                 Rng& /*rng*/) {
+  const auto phase = static_cast<std::uint64_t>(std::floor(now / interval_));
+  const bool odd_slow = (phase % 2) == 0;
+  const bool to_odd = (to % 2) == 1;
+  return (to_odd == odd_slow) ? tdel : 0.0;
+}
+
+}  // namespace stclock

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+
+/// Adversarial delay policies: skew-maximizing assignments of honest-to-
+/// honest message delays within the model's [0, tdel].
+namespace stclock {
+
+/// Messages to nodes in `slow_targets` take the full tdel; everything else
+/// is instantaneous. Maximizes the spread of acceptance times.
+class SplitDelay final : public DelayPolicy {
+ public:
+  explicit SplitDelay(std::vector<NodeId> slow_targets);
+  [[nodiscard]] Duration delay(NodeId from, NodeId to, RealTime now, Duration tdel,
+                               Rng& rng) override;
+
+ private:
+  std::vector<NodeId> slow_;
+};
+
+/// Alternates which half of the nodes is slow, switching every `interval`
+/// of real time — the lagging group changes between rounds, which stresses
+/// the precision analysis harder than a static split.
+class AlternatingDelay final : public DelayPolicy {
+ public:
+  explicit AlternatingDelay(Duration interval);
+  [[nodiscard]] Duration delay(NodeId from, NodeId to, RealTime now, Duration tdel,
+                               Rng& rng) override;
+
+ private:
+  Duration interval_;
+};
+
+}  // namespace stclock

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/runner.h"
+#include "sim/process.h"
+#include "trace/envelope.h"
+
+/// Shared harness for the baseline algorithms (prior work the paper compares
+/// against). Baselines run on exactly the same substrate — clocks, delays,
+/// adversary model — as the Srikanth–Toueg protocol, so comparison tables
+/// measure algorithms, not harness differences.
+namespace stclock::baselines {
+
+struct BaselineSpec {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  double rho = 1e-4;
+  Duration tdel = 0.01;
+  Duration period = 1.0;
+  /// CNV discard threshold (also reused to size collection windows).
+  Duration delta = 0.05;
+  Duration initial_sync = 0.005;
+
+  std::uint64_t seed = 1;
+  RealTime horizon = 30.0;
+  DriftKind drift = DriftKind::kRandomWalk;
+  DelayKind delay = DelayKind::kUniform;
+  AttackKind attack = AttackKind::kNone;
+};
+
+struct BaselineResult {
+  double max_skew = 0;
+  double steady_skew = 0;
+  EnvelopeTracker::Report envelope;  ///< vs the hardware slopes 1/(1+rho), 1+rho
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// Builds the common simulation, instantiates one honest process per honest
+/// node via `factory(id)`, installs the spec's attack against the baseline,
+/// runs, and reports. Corrupted nodes take the highest ids.
+[[nodiscard]] BaselineResult run_baseline(
+    const BaselineSpec& spec, const std::function<std::unique_ptr<Process>(NodeId)>& factory);
+
+}  // namespace stclock::baselines

@@ -1,0 +1,49 @@
+#include "baselines/leader_sync.h"
+
+#include "util/contracts.h"
+
+namespace stclock::baselines {
+
+LeaderProtocol::LeaderProtocol(NodeId leader, Duration period, Duration nominal_delay)
+    : leader_(leader), period_(period), nominal_delay_(nominal_delay) {
+  ST_REQUIRE(period > 0, "LeaderProtocol: period must be positive");
+}
+
+void LeaderProtocol::on_start(Context& ctx) {
+  if (ctx.self() == leader_) {
+    timer_ = ctx.set_timer_at_logical(period_ * static_cast<double>(round_));
+  }
+}
+
+void LeaderProtocol::on_message(Context& ctx, NodeId from, const Message& m) {
+  const auto* lt = std::get_if<LeaderTimeMsg>(&m);
+  if (lt == nullptr || from != leader_ || ctx.self() == leader_) return;
+  // Slave unconditionally to the leader's clock — the whole point of the
+  // strawman: there is no quorum between the leader and our clock.
+  const Duration delta = (lt->value + nominal_delay_) - ctx.logical_now();
+  ctx.logical().adjust_instant(ctx.hardware_now(), delta);
+}
+
+void LeaderProtocol::on_timer(Context& ctx, TimerId id) {
+  if (id != timer_) return;
+  ctx.broadcast(Message(LeaderTimeMsg{round_, ctx.logical_now()}));
+  ++round_;
+  timer_ = ctx.set_timer_at_logical(period_ * static_cast<double>(round_));
+}
+
+BaselineResult run_leader_sync(const BaselineSpec& spec, bool corrupt_leader) {
+  BaselineSpec adjusted = spec;
+  // run_baseline corrupts the highest ids, so the leader is the last node
+  // when it is to be corrupted, and node 0 otherwise.
+  const NodeId leader = corrupt_leader ? spec.n - 1 : 0;
+  adjusted.attack = corrupt_leader ? AttackKind::kLeaderLie : AttackKind::kNone;
+  adjusted.f = corrupt_leader ? std::max<std::uint32_t>(spec.f, 1) : spec.f;
+
+  const Duration nominal = spec.tdel / 2;
+  const Duration period = spec.period;
+  return run_baseline(adjusted, [leader, period, nominal](NodeId) {
+    return std::make_unique<LeaderProtocol>(leader, period, nominal);
+  });
+}
+
+}  // namespace stclock::baselines

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "baselines/baseline.h"
+
+/// Naive leader-based synchronization (an NTP-like strawman): node 0
+/// broadcasts its clock every period; followers slave to it. With an honest
+/// leader this gives tight skew at O(n) messages per round — but a single
+/// corrupted leader fully controls every clock in the system. The
+/// comparison table includes it to motivate why the paper insists on f+1
+/// supporting processes before anyone moves its clock.
+namespace stclock::baselines {
+
+class LeaderProtocol final : public Process {
+ public:
+  LeaderProtocol(NodeId leader, Duration period, Duration nominal_delay);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, NodeId from, const Message& m) override;
+  void on_timer(Context& ctx, TimerId id) override;
+
+ private:
+  NodeId leader_;
+  Duration period_;
+  Duration nominal_delay_;
+  Round round_ = 1;
+  TimerId timer_ = 0;
+};
+
+/// `corrupt_leader` puts the leader under adversary control (a strategy that
+/// feeds followers a clock running 10% fast) — the breakdown demo.
+[[nodiscard]] BaselineResult run_leader_sync(const BaselineSpec& spec, bool corrupt_leader);
+
+}  // namespace stclock::baselines

@@ -1,0 +1,9 @@
+#include "baselines/unsynchronized.h"
+
+namespace stclock::baselines {
+
+BaselineResult run_unsynchronized(const BaselineSpec& spec) {
+  return run_baseline(spec, [](NodeId) { return std::make_unique<UnsynchronizedProtocol>(); });
+}
+
+}  // namespace stclock::baselines

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "baselines/baseline.h"
+
+/// Free-running clocks: no synchronization at all. Skew grows linearly at
+/// the relative drift rate gamma = (1+rho) - 1/(1+rho). This is the control
+/// case for every comparison table.
+namespace stclock::baselines {
+
+/// A process that never touches its logical clock.
+class UnsynchronizedProtocol final : public Process {
+ public:
+  void on_start(Context&) override {}
+  void on_message(Context&, NodeId, const Message&) override {}
+  void on_timer(Context&, TimerId) override {}
+};
+
+[[nodiscard]] BaselineResult run_unsynchronized(const BaselineSpec& spec);
+
+}  // namespace stclock::baselines

@@ -1,0 +1,68 @@
+#include "broadcast/auth_broadcast.h"
+
+#include "util/contracts.h"
+
+namespace stclock {
+
+AuthBroadcast::AuthBroadcast(std::uint32_t n, std::uint32_t f) : n_(n), f_(f) {
+  ST_REQUIRE(n >= 2 * f + 1, "AuthBroadcast requires n >= 2f+1");
+}
+
+void AuthBroadcast::broadcast_ready(Context& ctx, Round k) {
+  if (k < floor_) return;
+  RoundState& state = rounds_[k];
+  if (state.sent_own) return;
+  state.sent_own = true;
+
+  const Bytes payload = round_signing_payload(k);
+  const crypto::Signature sig = ctx.signer().sign(payload);
+  // Broadcast reaches self too, but acceptance bookkeeping is synchronous
+  // here so a solo quorum (f == 0) fires immediately either way.
+  ctx.broadcast(Message(RoundMsg{k, {sig}}));
+}
+
+bool AuthBroadcast::handle_message(Context& ctx, NodeId /*from*/, const Message& m) {
+  const auto* rm = std::get_if<RoundMsg>(&m);
+  if (rm == nullptr) return false;
+  if (rm->round < floor_) return true;  // stale round: consumed, ignored
+  add_signatures(ctx, rm->round, rm->sigs);
+  return true;
+}
+
+void AuthBroadcast::add_signatures(Context& ctx, Round k,
+                                   const std::vector<crypto::Signature>& sigs) {
+  RoundState& state = rounds_[k];
+  if (state.accepted) return;
+
+  const Bytes payload = round_signing_payload(k);
+  for (const crypto::Signature& sig : sigs) {
+    if (state.signers.contains(sig.signer)) continue;
+    // Invalid signatures — wrong round, forged MAC, unknown signer — are
+    // silently dropped; this is where unforgeability bites.
+    if (!ctx.registry().verify(sig, payload)) continue;
+    state.signers.insert(sig.signer);
+    state.sigs.push_back(sig);
+  }
+  maybe_accept(ctx, k, state);
+}
+
+void AuthBroadcast::maybe_accept(Context& ctx, Round k, RoundState& state) {
+  if (state.accepted || state.signers.size() < quorum()) return;
+  state.accepted = true;
+
+  // Relay first (the paper's rule): forward an accepting bundle so every
+  // correct process accepts within one further message delay.
+  std::vector<crypto::Signature> bundle(state.sigs.begin(),
+                                        state.sigs.begin() + quorum());
+  ctx.broadcast(Message(RoundMsg{k, std::move(bundle)}));
+
+  deliver_accept(ctx, k);
+}
+
+void AuthBroadcast::forget_below(Round floor) {
+  if (floor <= floor_) return;
+  floor_ = floor;
+  rounds_.erase(rounds_.begin(), rounds_.lower_bound(floor));
+}
+
+}  // namespace stclock

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "broadcast/primitive.h"
+
+/// Authenticated broadcast primitive (the paper's signature-based variant).
+///
+/// Ready processes sign and broadcast (round k). A process *accepts* round k
+/// once it holds valid (round k) signatures from f+1 distinct signers — at
+/// least one of which is then guaranteed to be correct (unforgeability). On
+/// acceptance it relays an accepting bundle of f+1 signatures to everyone,
+/// which makes every correct process accept within one message delay
+/// (relay). Requires n >= 2f+1 so that correct processes alone can assemble
+/// a quorum (correctness/liveness).
+///
+/// Acceptance spread: D = tdel.
+namespace stclock {
+
+class AuthBroadcast final : public BroadcastPrimitive {
+ public:
+  AuthBroadcast(std::uint32_t n, std::uint32_t f);
+
+  void broadcast_ready(Context& ctx, Round k) override;
+  bool handle_message(Context& ctx, NodeId from, const Message& m) override;
+  void forget_below(Round floor) override;
+  [[nodiscard]] Duration accept_spread(Duration tdel) const override { return tdel; }
+
+  /// Quorum size (f + 1).
+  [[nodiscard]] std::uint32_t quorum() const { return f_ + 1; }
+
+ private:
+  struct RoundState {
+    std::set<NodeId> signers;
+    std::vector<crypto::Signature> sigs;
+    bool sent_own = false;
+    bool accepted = false;
+  };
+
+  void add_signatures(Context& ctx, Round k, const std::vector<crypto::Signature>& sigs);
+  void maybe_accept(Context& ctx, Round k, RoundState& state);
+
+  std::uint32_t n_;
+  std::uint32_t f_;
+  Round floor_ = 0;
+  std::map<Round, RoundState> rounds_;
+};
+
+}  // namespace stclock

@@ -1,0 +1,58 @@
+#include "broadcast/echo_broadcast.h"
+
+#include "util/contracts.h"
+
+namespace stclock {
+
+EchoBroadcast::EchoBroadcast(std::uint32_t n, std::uint32_t f) : n_(n), f_(f) {
+  ST_REQUIRE(n >= 3 * f + 1, "EchoBroadcast requires n >= 3f+1");
+}
+
+void EchoBroadcast::broadcast_ready(Context& ctx, Round k) {
+  if (k < floor_) return;
+  RoundState& state = rounds_[k];
+  if (state.sent_init) return;
+  state.sent_init = true;
+  ctx.broadcast(Message(InitMsg{k}));
+}
+
+bool EchoBroadcast::handle_message(Context& ctx, NodeId from, const Message& m) {
+  if (const auto* init = std::get_if<InitMsg>(&m)) {
+    if (init->round < floor_) return true;
+    RoundState& state = rounds_[init->round];
+    state.init_from.insert(from);
+    maybe_progress(ctx, init->round, state);
+    return true;
+  }
+  if (const auto* echo = std::get_if<EchoMsg>(&m)) {
+    if (echo->round < floor_) return true;
+    RoundState& state = rounds_[echo->round];
+    state.echo_from.insert(from);
+    maybe_progress(ctx, echo->round, state);
+    return true;
+  }
+  return false;
+}
+
+void EchoBroadcast::maybe_progress(Context& ctx, Round k, RoundState& state) {
+  if (!state.sent_echo &&
+      (state.init_from.size() >= echo_threshold() ||
+       state.echo_from.size() >= echo_threshold())) {
+    state.sent_echo = true;
+    ctx.broadcast(Message(EchoMsg{k}));
+    // The broadcast self-delivers asynchronously, but acceptance thresholds
+    // are evaluated on every delivery, so no state is missed.
+  }
+  if (!state.accepted && state.echo_from.size() >= accept_threshold()) {
+    state.accepted = true;
+    deliver_accept(ctx, k);
+  }
+}
+
+void EchoBroadcast::forget_below(Round floor) {
+  if (floor <= floor_) return;
+  floor_ = floor;
+  rounds_.erase(rounds_.begin(), rounds_.lower_bound(floor));
+}
+
+}  // namespace stclock

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "broadcast/primitive.h"
+
+/// Signature-free broadcast primitive (the paper's simulation of
+/// authenticated broadcast; the ancestor of Byzantine reliable broadcast).
+///
+/// Ready processes broadcast (init, k). A process broadcasts (echo, k) on
+/// receiving f+1 (init, k) *or* f+1 (echo, k) from distinct senders, and
+/// accepts on 2f+1 (echo, k). Requires n >= 3f+1:
+///
+///  - Unforgeability: 2f+1 echoes contain >= f+1 correct echoes; a correct
+///    echo traces back (inductively) to f+1 inits, of which one is correct.
+///  - Correctness: f+1 correct inits reach everyone within tdel; then all
+///    n-f >= 2f+1 correct processes echo, so everyone accepts within 2*tdel.
+///  - Relay: acceptance implies f+1 correct echoes already sent; they reach
+///    everyone within tdel, triggering the remaining correct echoes, so all
+///    accept within 2*tdel.
+///
+/// Acceptance spread: D = 2 * tdel.
+namespace stclock {
+
+class EchoBroadcast final : public BroadcastPrimitive {
+ public:
+  EchoBroadcast(std::uint32_t n, std::uint32_t f);
+
+  void broadcast_ready(Context& ctx, Round k) override;
+  bool handle_message(Context& ctx, NodeId from, const Message& m) override;
+  void forget_below(Round floor) override;
+  [[nodiscard]] Duration accept_spread(Duration tdel) const override { return 2 * tdel; }
+
+  [[nodiscard]] std::uint32_t echo_threshold() const { return f_ + 1; }
+  [[nodiscard]] std::uint32_t accept_threshold() const { return 2 * f_ + 1; }
+
+ private:
+  struct RoundState {
+    std::set<NodeId> init_from;
+    std::set<NodeId> echo_from;
+    bool sent_init = false;
+    bool sent_echo = false;
+    bool accepted = false;
+  };
+
+  void maybe_progress(Context& ctx, Round k, RoundState& state);
+
+  std::uint32_t n_;
+  std::uint32_t f_;
+  Round floor_ = 0;
+  std::map<Round, RoundState> rounds_;
+};
+
+}  // namespace stclock

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/process.h"
+#include "util/types.h"
+
+/// The paper's broadcast-primitive abstraction.
+///
+/// Srikanth & Toueg reduce fault-tolerant clock synchronization to a
+/// broadcast primitive with three properties. For a primitive whose
+/// acceptance spread is D (a function of the network delay bound tdel):
+///
+///  - Correctness: if f+1 correct processes broadcast (round k) by time t,
+///    every correct process accepts (round k) by t + D.
+///  - Unforgeability: if no correct process has broadcast (round k) by time
+///    t, no correct process accepts (round k) at or before t.
+///  - Relay: if a correct process accepts (round k) at time t, every correct
+///    process accepts (round k) by t + D.
+///
+/// Two implementations exist: AuthBroadcast (digital signatures, n >= 2f+1,
+/// D = tdel) and EchoBroadcast (no signatures, n >= 3f+1, D = 2*tdel). The
+/// synchronization protocol in core/ is written against this interface and
+/// is agnostic to which implementation it runs over.
+namespace stclock {
+
+class BroadcastPrimitive {
+ public:
+  virtual ~BroadcastPrimitive() = default;
+
+  using AcceptHandler = std::function<void(Context&, Round)>;
+
+  /// Installs the acceptance callback. Fired at most once per round.
+  void set_accept_handler(AcceptHandler handler) { on_accept_ = std::move(handler); }
+
+  /// Called by the protocol when this node's logical clock reaches k*P: the
+  /// node broadcasts its "ready for round k" message.
+  virtual void broadcast_ready(Context& ctx, Round k) = 0;
+
+  /// Feeds an incoming message. Returns true iff the message belonged to
+  /// this primitive (others are left to the caller).
+  virtual bool handle_message(Context& ctx, NodeId from, const Message& m) = 0;
+
+  /// Discards state for rounds below `floor` and ignores any later messages
+  /// for them. Acceptance for forgotten rounds can no longer fire; callers
+  /// invoke this only after they have processed (or superseded) a round.
+  virtual void forget_below(Round floor) = 0;
+
+  /// The acceptance-spread constant D of this implementation as a function
+  /// of the network's delay bound.
+  [[nodiscard]] virtual Duration accept_spread(Duration tdel) const = 0;
+
+ protected:
+  void deliver_accept(Context& ctx, Round k) {
+    if (on_accept_) on_accept_(ctx, k);
+  }
+
+ private:
+  AcceptHandler on_accept_;
+};
+
+}  // namespace stclock

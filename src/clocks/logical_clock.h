@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "clocks/hardware_clock.h"
+#include "util/types.h"
+
+/// Logical (synchronized) clocks: C(t) = correction(H(t)).
+///
+/// A logical clock is a piecewise-linear map from *hardware* local time h to
+/// logical time L(h). It starts as the identity, and the synchronization
+/// protocol modifies it going forward in hardware time:
+///
+///  - `adjust_instant` introduces a discontinuity (the paper's C := kP + α),
+///    which may move the clock forward or — by a small bounded amount —
+///    backward;
+///  - `adjust_amortized` spreads the correction over a window by running the
+///    logical clock slightly faster/slower, yielding a continuous, monotone
+///    clock (the standard smoothing technique the paper refers to).
+///
+/// All adjustments must be appended in increasing hardware time; the class
+/// records the full history so experiments can audit every correction.
+namespace stclock {
+
+class LogicalClock {
+ public:
+  /// A logical clock that initially mirrors the hardware clock (L(h) = h).
+  /// The clock keeps a pointer to `hw`, which must outlive it.
+  explicit LogicalClock(const HardwareClock& hw);
+
+  /// Logical reading at hardware time h (right-continuous at jumps).
+  [[nodiscard]] LocalTime read_at_hardware(LocalTime h) const;
+
+  /// Logical reading at real time t.
+  [[nodiscard]] LocalTime read(RealTime t) const;
+
+  /// Applies `delta` instantaneously at hardware time h_now.
+  void adjust_instant(LocalTime h_now, Duration delta);
+
+  /// Applies `delta` by modulating the logical rate over the next `window`
+  /// hardware time units starting at h_now. Requires window > 0 and, for
+  /// negative deltas, |delta| < window (so the logical clock keeps a
+  /// positive rate and stays monotone).
+  void adjust_amortized(LocalTime h_now, Duration delta, Duration window);
+
+  /// First real time >= `now` at which the logical clock reads `target`.
+  /// If the clock already reads >= target at `now`, returns `now`. Valid
+  /// only with respect to adjustments applied so far; callers that adjust
+  /// later must re-query (the sync protocol re-arms its round timer after
+  /// every adjustment).
+  [[nodiscard]] RealTime when_reads(RealTime now, LocalTime target) const;
+
+  /// Effective logical rate dL/dt at real time t.
+  [[nodiscard]] double rate_at(RealTime t) const;
+
+  [[nodiscard]] const HardwareClock& hardware() const { return *hw_; }
+
+  /// Total signed correction applied so far.
+  [[nodiscard]] Duration total_adjustment() const { return total_adjustment_; }
+  [[nodiscard]] std::size_t adjustment_count() const { return adjustment_count_; }
+  /// Largest single |delta|.
+  [[nodiscard]] Duration max_abs_adjustment() const { return max_abs_adjustment_; }
+
+ private:
+  struct Piece {
+    LocalTime h_start;   // hardware time where this piece begins
+    LocalTime value;     // logical value at h_start (right limit)
+    double slope;        // dL/dh within the piece
+  };
+
+  [[nodiscard]] std::size_t piece_at(LocalTime h) const;
+  void record(Duration delta);
+
+  const HardwareClock* hw_;
+  std::vector<Piece> pieces_;
+  Duration total_adjustment_ = 0;
+  Duration max_abs_adjustment_ = 0;
+  std::size_t adjustment_count_ = 0;
+};
+
+}  // namespace stclock

@@ -1,0 +1,45 @@
+#include "core/config.h"
+
+#include "core/theory.h"
+#include "util/contracts.h"
+
+namespace stclock {
+
+std::string SyncConfig::variant_name() const {
+  return variant == Variant::kAuthenticated ? "auth" : "echo";
+}
+
+bool SyncConfig::resilience_ok() const {
+  if (variant == Variant::kAuthenticated) return n >= 2 * f + 1;
+  return n >= 3 * f + 1;
+}
+
+void SyncConfig::validate() const {
+  ST_REQUIRE(n >= 1, "SyncConfig: need at least one node");
+  ST_REQUIRE(resilience_ok(), "SyncConfig: (n, f) violates the variant's resilience bound");
+  ST_REQUIRE(rho >= 0, "SyncConfig: rho must be non-negative");
+  ST_REQUIRE(tdel > 0, "SyncConfig: tdel must be positive");
+  ST_REQUIRE(period > 0, "SyncConfig: period must be positive");
+  ST_REQUIRE(initial_sync >= 0, "SyncConfig: initial_sync must be non-negative");
+
+  const Duration alpha = theory::resolve_alpha(*this);
+  ST_REQUIRE(alpha < period, "SyncConfig: alpha must be smaller than the period");
+
+  const auto bounds = theory::derive_bounds(*this);
+  ST_REQUIRE(bounds.min_period > 0,
+             "SyncConfig: period too small relative to delays (min period <= 0)");
+  // The inductive precision argument needs the initial spread to be covered
+  // by the steady-state bound (unless the caller opts into convergence-only
+  // semantics for the startup phase).
+  ST_REQUIRE(allow_unsynchronized_start || initial_sync <= bounds.precision,
+             "SyncConfig: initial clock spread exceeds the steady-state precision bound "
+             "(set allow_unsynchronized_start to opt into convergence semantics)");
+
+  if (adjust == AdjustMode::kAmortized && amortize_window > 0) {
+    ST_REQUIRE(amortize_window < bounds.min_period,
+               "SyncConfig: amortization window must fit within the minimum period "
+               "(corrections must not overlap)");
+  }
+}
+
+}  // namespace stclock

@@ -1,0 +1,23 @@
+#include "core/joiner.h"
+
+#include "broadcast/auth_broadcast.h"
+#include "broadcast/echo_broadcast.h"
+
+namespace stclock {
+
+std::unique_ptr<BroadcastPrimitive> make_primitive(const SyncConfig& cfg) {
+  if (cfg.variant == Variant::kAuthenticated) {
+    return std::make_unique<AuthBroadcast>(cfg.n, cfg.f);
+  }
+  return std::make_unique<EchoBroadcast>(cfg.n, cfg.f);
+}
+
+std::unique_ptr<SyncProtocol> make_sync_process(const SyncConfig& cfg) {
+  return std::make_unique<SyncProtocol>(cfg, make_primitive(cfg), /*passive_join=*/false);
+}
+
+std::unique_ptr<SyncProtocol> make_joining_process(const SyncConfig& cfg) {
+  return std::make_unique<SyncProtocol>(cfg, make_primitive(cfg), /*passive_join=*/true);
+}
+
+}  // namespace stclock

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <memory>
+
+#include "core/sync_protocol.h"
+
+/// Initialization and integration (the paper's treatment of joining and
+/// repaired processes).
+///
+/// A process that boots while the system is already running cannot assume
+/// anything about its clock relative to the group. It therefore starts
+/// *passively*: it takes part in the broadcast primitive (verifying
+/// signatures / echoing) but does not broadcast readiness and does not count
+/// pulses. The first time it observes a round being accepted it adopts that
+/// round's clock value C := kP + alpha — at that point it is synchronized to
+/// within the ordinary precision bound and switches to full participation.
+/// Integration therefore completes within one resynchronization period of
+/// boot (measured by experiment T4).
+namespace stclock {
+
+/// Builds the broadcast primitive selected by `cfg.variant`.
+[[nodiscard]] std::unique_ptr<BroadcastPrimitive> make_primitive(const SyncConfig& cfg);
+
+/// A full participant from time zero.
+[[nodiscard]] std::unique_ptr<SyncProtocol> make_sync_process(const SyncConfig& cfg);
+
+/// A passively integrating participant (late joiner / repaired process).
+[[nodiscard]] std::unique_ptr<SyncProtocol> make_joining_process(const SyncConfig& cfg);
+
+}  // namespace stclock

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "adversary/strategies.h"
+#include "core/config.h"
+#include "core/theory.h"
+#include "trace/envelope.h"
+
+/// One-call experiment runner: builds a simulation (clocks, delays, honest
+/// protocol instances, adversary), runs it, and reports every metric the
+/// paper's claims are checked against. This is the main entry point used by
+/// tests, benchmarks, and examples.
+namespace stclock {
+
+/// Hardware-clock trajectory family for the honest fleet.
+enum class DriftKind {
+  kNone,            ///< all clocks perfect rate 1 (isolates delay effects)
+  kRandomConstant,  ///< per-node constant rate within the drift bound
+  kRandomWalk,      ///< rates wander within the bound
+  kExtremal,        ///< alternating fastest/slowest rates (worst-case drift)
+};
+
+/// Honest-to-honest delay assignment (all within [0, tdel]).
+enum class DelayKind {
+  kZero,         ///< instantaneous
+  kHalf,         ///< every message takes tdel/2
+  kMax,          ///< every message takes tdel
+  kUniform,      ///< uniform in [0, tdel]
+  kSplit,        ///< odd-indexed nodes always lag by tdel (worst-case spread)
+  kAlternating,  ///< the lagging half flips every period
+};
+
+[[nodiscard]] const char* drift_name(DriftKind kind);
+[[nodiscard]] const char* delay_name(DelayKind kind);
+
+struct RunSpec {
+  SyncConfig cfg;
+  std::uint64_t seed = 1;
+  RealTime horizon = 30.0;
+  DriftKind drift = DriftKind::kRandomWalk;
+  DelayKind delay = DelayKind::kUniform;
+  AttackKind attack = AttackKind::kNone;
+
+  /// The last `joiners` honest nodes boot at `join_time` and integrate
+  /// passively instead of starting at time 0.
+  std::uint32_t joiners = 0;
+  RealTime join_time = 10.0;
+
+  /// If non-zero, the adversary controls this many nodes regardless of
+  /// cfg.f (which the protocol still uses for its thresholds). Setting it
+  /// above the variant's resilience bound demonstrates breakdown (T2).
+  std::uint32_t corrupt_override = 0;
+
+  /// Metric sampling granularity.
+  Duration skew_series_interval = 0.05;
+  Duration envelope_interval = 0.1;
+};
+
+struct RunResult {
+  theory::Bounds bounds;  ///< the config's derived theoretical bounds
+
+  // Precision.
+  double max_skew = 0;     ///< sup spread of honest logical clocks, whole run
+  double steady_skew = 0;  ///< same, after the convergence prefix
+  std::vector<std::pair<RealTime, double>> skew_series;
+
+  // Pulses (acceptance events).
+  double pulse_spread = 0;   ///< max over rounds of acceptance real-time spread
+  double min_period = 0;     ///< min observed per-node inter-pulse gap
+  double max_period = 0;     ///< max observed per-node inter-pulse gap
+  std::uint64_t min_pulses = 0;
+  std::uint64_t max_pulses = 0;
+  bool live = false;  ///< every honest node keeps pulsing (no stall / split)
+
+  // Accuracy.
+  EnvelopeTracker::Report envelope;
+  /// Least-squares slopes over a finite window carry O(precision / window)
+  /// noise from the sawtooth of corrections; compare fitted rates against
+  /// [rate_lo - tol, rate_hi + tol] with this tol.
+  double rate_fit_tolerance = 0;
+
+  // Integration (when spec.joiners > 0).
+  double join_latency = -1;  ///< worst joiner: first pulse time - boot time
+  bool joiners_integrated = false;
+
+  // Cost.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t rounds_completed = 0;  ///< min over honest nodes of last round
+};
+
+/// Runs the Srikanth–Toueg protocol per `spec` and collects all metrics.
+[[nodiscard]] RunResult run_sync(const RunSpec& spec);
+
+}  // namespace stclock

@@ -1,0 +1,88 @@
+#include "core/sync_protocol.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace stclock {
+
+SyncProtocol::SyncProtocol(SyncConfig cfg, std::unique_ptr<BroadcastPrimitive> primitive,
+                           bool passive_join)
+    : cfg_(cfg), primitive_(std::move(primitive)), integrated_(!passive_join) {
+  ST_REQUIRE(primitive_ != nullptr, "SyncProtocol: primitive required");
+  cfg_.validate();
+  const auto bounds = theory::derive_bounds(cfg_);
+  alpha_ = bounds.alpha;
+  amortize_window_ =
+      cfg_.amortize_window > 0 ? cfg_.amortize_window : bounds.min_period / 2;
+  primitive_->set_accept_handler(
+      [this](Context& ctx, Round k) { on_accept(ctx, k); });
+}
+
+void SyncProtocol::on_start(Context& ctx) {
+  if (integrated_) arm_ready_timer(ctx);
+  // A passively joining process arms nothing: it adopts the clock of the
+  // first round it observes being accepted.
+}
+
+void SyncProtocol::on_message(Context& ctx, NodeId from, const Message& m) {
+  primitive_->handle_message(ctx, from, m);
+}
+
+void SyncProtocol::arm_ready_timer(Context& ctx) {
+  if (ready_timer_ != 0) ctx.cancel_timer(ready_timer_);
+  ready_timer_ = ctx.set_timer_at_logical(cfg_.period * static_cast<double>(next_broadcast_));
+}
+
+void SyncProtocol::on_timer(Context& ctx, TimerId id) {
+  if (id != ready_timer_) return;  // superseded timer that escaped cancellation
+  ready_timer_ = 0;
+  const Round k = next_broadcast_;
+  ++next_broadcast_;
+  // May reentrantly trigger on_accept (e.g. f = 0, own signature completes
+  // the quorum), which re-arms the timer; only arm if that did not happen.
+  primitive_->broadcast_ready(ctx, k);
+  if (ready_timer_ == 0) arm_ready_timer(ctx);
+}
+
+void SyncProtocol::apply_correction(Context& ctx, Duration delta) {
+  const LocalTime h_now = ctx.hardware_now();
+  if (cfg_.adjust == AdjustMode::kInstant) {
+    ctx.logical().adjust_instant(h_now, delta);
+    return;
+  }
+  // Amortized: keep the logical rate positive even for backward corrections
+  // by widening the window when |delta| is unusually large.
+  Duration window = amortize_window_;
+  if (delta < 0 && -delta >= window / 2) window = std::max(window, 4 * -delta);
+  ctx.logical().adjust_amortized(h_now, delta, window);
+}
+
+void SyncProtocol::on_accept(Context& ctx, Round k) {
+  if (k < next_round_) return;  // already resynchronized past this round
+
+  const LocalTime target = cfg_.period * static_cast<double>(k) + alpha_;
+  const Duration delta = target - ctx.logical_now();
+
+  if (!integrated_) {
+    // Integration: adopt the running system's clock outright. The correction
+    // can be arbitrarily large, so it is always applied instantaneously.
+    ctx.logical().adjust_instant(ctx.hardware_now(), delta);
+    integrated_ = true;
+  } else {
+    apply_correction(ctx, delta);
+  }
+
+  next_round_ = k + 1;
+  next_broadcast_ = std::max(next_broadcast_, k + 1);
+  primitive_->forget_below(next_round_);
+
+  ++pulse_count_;
+  if (observer_) observer_(ctx.self(), k);
+
+  // The clock just moved: the pending readiness timer's real fire time is
+  // stale, so re-arm it against the corrected clock.
+  arm_ready_timer(ctx);
+}
+
+}  // namespace stclock

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "broadcast/primitive.h"
+#include "core/config.h"
+#include "core/theory.h"
+#include "sim/process.h"
+
+/// Algorithm CSA — the Srikanth–Toueg clock synchronization algorithm.
+///
+/// Per correct process:
+///
+///     when C reads kP           : broadcast (round k)     [via the primitive]
+///     when (round k) is accepted: C := kP + alpha
+///
+/// The protocol is agnostic to the broadcast primitive, which supplies the
+/// Correctness / Unforgeability / Relay properties; the same class therefore
+/// implements both the authenticated (n >= 2f+1) and the signature-free
+/// (n >= 3f+1) variants of the paper.
+///
+/// Acceptance for a round later than the one the process is waiting for is
+/// honoured (the process "skips" rounds it slept through); acceptance for
+/// already-processed rounds is ignored. Corrections are applied either
+/// instantaneously (as analyzed in the paper) or amortized over a window
+/// (continuous, monotone clocks — the smoothing the paper alludes to).
+namespace stclock {
+
+class SyncProtocol : public Process {
+ public:
+  /// Called at every pulse (acceptance acted upon): (node, round).
+  using PulseObserver = std::function<void(NodeId, Round)>;
+
+  /// `passive_join` starts the process in integration mode: it participates
+  /// in message handling but neither broadcasts readiness nor counts pulses
+  /// until it accepts its first round, at which point it adopts that round's
+  /// clock value and becomes a full participant (the paper's reintegration
+  /// of repaired processes).
+  SyncProtocol(SyncConfig cfg, std::unique_ptr<BroadcastPrimitive> primitive,
+               bool passive_join = false);
+
+  void set_pulse_observer(PulseObserver observer) { observer_ = std::move(observer); }
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, NodeId from, const Message& m) override;
+  void on_timer(Context& ctx, TimerId id) override;
+
+  [[nodiscard]] std::uint64_t pulse_count() const { return pulse_count_; }
+  /// Highest round acted upon so far (0 before the first pulse).
+  [[nodiscard]] Round last_round() const { return next_round_ - 1; }
+  [[nodiscard]] bool integrated() const { return integrated_; }
+  [[nodiscard]] const SyncConfig& config() const { return cfg_; }
+
+ private:
+  void arm_ready_timer(Context& ctx);
+  void on_accept(Context& ctx, Round k);
+  void apply_correction(Context& ctx, Duration delta);
+
+  SyncConfig cfg_;
+  Duration alpha_;
+  Duration amortize_window_;
+  std::unique_ptr<BroadcastPrimitive> primitive_;
+
+  Round next_round_ = 1;      ///< next round whose acceptance we act on
+  Round next_broadcast_ = 1;  ///< next round to broadcast readiness for
+  TimerId ready_timer_ = 0;   ///< 0 = no timer armed
+  bool integrated_ = true;
+  std::uint64_t pulse_count_ = 0;
+  PulseObserver observer_;
+};
+
+}  // namespace stclock

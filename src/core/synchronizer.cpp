@@ -1,0 +1,109 @@
+#include "core/synchronizer.h"
+
+#include "core/joiner.h"
+#include "util/contracts.h"
+
+namespace stclock {
+
+Duration min_lockstep_round_duration(const SyncConfig& cfg) {
+  const theory::Bounds bounds = theory::derive_bounds(cfg);
+  // Skew between sender and receiver logical clocks, plus the logical time
+  // the receiver's clock advances while the message is in flight, with 5%
+  // headroom over the exact bound.
+  return 1.05 * (bounds.precision + (1 + cfg.rho) * cfg.tdel);
+}
+
+SynchronizedApp::SynchronizedApp(SyncConfig cfg, Duration round_duration,
+                                 LocalTime first_round_at, std::unique_ptr<LockstepApp> app)
+    : sync_(make_sync_process(cfg)),
+      app_(std::move(app)),
+      round_duration_(round_duration),
+      first_round_at_(first_round_at) {
+  ST_REQUIRE(app_ != nullptr, "SynchronizedApp: app required");
+  ST_REQUIRE(round_duration_ >= min_lockstep_round_duration(cfg),
+             "SynchronizedApp: round duration below the synchrony bound");
+  ST_REQUIRE(first_round_at_ > 0, "SynchronizedApp: first round must be in the future");
+
+  // Every clock correction invalidates the real-time translation of the
+  // pending round timer; note it and re-arm once the enclosing handler
+  // finishes (we need the Context to do so).
+  sync_->set_pulse_observer([this](NodeId node, Round k) {
+    rearm_pending_ = true;
+    if (external_observer_) external_observer_(node, k);
+  });
+}
+
+void SynchronizedApp::set_pulse_observer(SyncProtocol::PulseObserver observer) {
+  external_observer_ = std::move(observer);
+}
+
+void SynchronizedApp::arm_round_timer(Context& ctx) {
+  if (round_timer_ != 0) ctx.cancel_timer(round_timer_);
+  const LocalTime next =
+      first_round_at_ + round_duration_ * static_cast<double>(current_round_);
+  round_timer_ = ctx.set_timer_at_logical(next);
+  rearm_pending_ = false;
+}
+
+void SynchronizedApp::on_start(Context& ctx) {
+  sync_->on_start(ctx);
+  arm_round_timer(ctx);
+}
+
+void SynchronizedApp::on_message(Context& ctx, NodeId from, const Message& m) {
+  if (const auto* lockstep = std::get_if<LockstepMsg>(&m)) {
+    handle_lockstep(ctx, from, *lockstep);
+    return;
+  }
+  sync_->on_message(ctx, from, m);
+  if (rearm_pending_) arm_round_timer(ctx);
+}
+
+void SynchronizedApp::on_timer(Context& ctx, TimerId id) {
+  if (id == round_timer_) {
+    round_timer_ = 0;
+    enter_round(ctx);
+    return;
+  }
+  sync_->on_timer(ctx, id);
+  if (rearm_pending_) arm_round_timer(ctx);
+}
+
+void SynchronizedApp::handle_lockstep(Context& ctx, NodeId from, const LockstepMsg& m) {
+  if (m.round == current_round_) {
+    app_->on_round_message(from, m.round, m.payload);
+    return;
+  }
+  if (m.round > current_round_) {
+    // The sender is (legitimately) up to one skew-bound ahead; hold the
+    // message until this node enters that round.
+    buffered_[m.round].emplace_back(from, m.payload);
+    return;
+  }
+  // Synchrony violation: the message arrived after this node left round
+  // m.round. Must never happen when round_duration respects the bound.
+  (void)ctx;
+  ++late_messages_;
+}
+
+void SynchronizedApp::enter_round(Context& ctx) {
+  ++current_round_;
+
+  const std::uint64_t payload = app_->on_round(ctx.self(), current_round_);
+  ctx.broadcast(Message(LockstepMsg{current_round_, payload}));
+
+  // Flush messages that arrived while we were still in the previous round.
+  if (const auto it = buffered_.find(current_round_); it != buffered_.end()) {
+    for (const auto& [from, buffered_payload] : it->second) {
+      app_->on_round_message(from, current_round_, buffered_payload);
+    }
+    buffered_.erase(it);
+  }
+  // Drop any stale buffers (rounds this node skipped cannot be replayed
+  // meaningfully; there are none when synchrony holds).
+  buffered_.erase(buffered_.begin(), buffered_.lower_bound(current_round_));
+
+  arm_round_timer(ctx);
+}
+
+}  // namespace stclock

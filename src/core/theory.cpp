@@ -1,0 +1,90 @@
+#include "core/theory.h"
+
+#include "util/contracts.h"
+
+namespace stclock::theory {
+
+Duration accept_spread(const SyncConfig& cfg) {
+  return cfg.variant == Variant::kAuthenticated ? cfg.tdel : 2 * cfg.tdel;
+}
+
+Duration resolve_alpha(const SyncConfig& cfg) {
+  if (cfg.alpha > 0) return cfg.alpha;
+  return (1.0 + cfg.rho) * accept_spread(cfg);
+}
+
+// Derivation sketch (all within the model of DESIGN.md; D below is the
+// primitive's acceptance spread, gamma the maximal relative drift rate).
+//
+// Let a_min(k) / a_max(k) be the first / last real times at which a correct
+// process accepts round k. The Relay property gives the pulse spread
+//
+//     a_max(k) - a_min(k) <= D.                                        (1)
+//
+// Every correct process sets C := kP + alpha at its acceptance, so after
+// round k all correct logical clocks were set to the same value within a
+// real-time window of width D.
+//
+// Readiness for round k+1 requires local progress P - alpha past the reset,
+// taking real time in [(P-alpha)/(1+rho), (1+rho)(P-alpha)]; with (1) and
+// Correctness (acceptance lands within D of enough correct processes being
+// ready) this yields
+//
+//     a_min(k+1) >= a_min(k) + (P-alpha)/(1+rho),                      (2)
+//     a_max(k+1) <= a_min(k) + D + (1+rho)(P-alpha) + D.               (3)
+//
+// Per-process periods follow from (1)-(3):
+//
+//     min period >= (P-alpha)/(1+rho) - D,
+//     max period <= (1+rho)(P-alpha) + 2D.
+//
+// Precision. Between two processes that have both completed the round-k
+// reset (acceptance times within D of each other), clocks diverge at
+// relative rate at most gamma for at most tau = (1+rho)(P-alpha) + 2D real
+// time (the span from a_min(k) to a_max(k+1), by (3)); the reset window
+// itself contributes at most (1+rho)*D ... 1/(1+rho)*D of divergence, giving
+// the "phase A" skew
+//
+//     skew_A = gamma * tau + D / (1+rho) ... conservatively
+//     skew_A = gamma * ((1+rho)(P-alpha) + 2D) + D.                    (4)
+//
+// Across the round-(k+1) boundary ("phase B": i has reset, j not yet), the
+// Unforgeability property anchors the first acceptance to some correct
+// process having been ready, so j's clock is at most skew_A behind the new
+// value (k+1)P, while i's clock is at most alpha + (1+rho)*D ahead of
+// (k+1)P during the at-most-D-long window in which j still lags. Hence
+//
+//     Dmax = skew_A + alpha + (1+rho) * D.                             (5)
+//
+// Accuracy. The fastest sustainable pace is acceptance at the instant the
+// fastest correct clock reads kP with zero delays (adversary signatures are
+// free): logical progress P per (P-alpha)/(1+rho) real time, i.e. rate
+// (1+rho) * P/(P-alpha). The slowest pace is rate-1/(1+rho) clocks with
+// maximal delays: P per (1+rho)(P-alpha) + 2D real time. Both approach the
+// hardware bounds as (alpha + D)/P -> 0 — the optimality claim: drift is
+// NOT amplified by a constant factor, unlike averaging-based algorithms.
+Bounds derive_bounds(const SyncConfig& cfg) {
+  Bounds b;
+  const double rho = cfg.rho;
+  const Duration D = accept_spread(cfg);
+  const Duration P = cfg.period;
+  const Duration alpha = resolve_alpha(cfg);
+
+  ST_REQUIRE(P > alpha, "theory: period must exceed alpha");
+
+  b.accept_spread = D;
+  b.alpha = alpha;
+  b.gamma = (1.0 + rho) - 1.0 / (1.0 + rho);
+  b.pulse_spread = D;
+  b.min_period = (P - alpha) / (1.0 + rho) - D;
+  b.max_period = (1.0 + rho) * (P - alpha) + 2 * D;
+
+  const Duration skew_a = b.gamma * ((1.0 + rho) * (P - alpha) + 2 * D) + D;
+  b.precision = skew_a + alpha + (1.0 + rho) * D;
+
+  b.rate_hi = (1.0 + rho) * P / (P - alpha);
+  b.rate_lo = P / ((1.0 + rho) * (P - alpha) + 2 * D);
+  return b;
+}
+
+}  // namespace stclock::theory

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "core/config.h"
+
+/// Closed-form bounds for Algorithm CSA (the clock synchronization
+/// algorithm), derived from the three broadcast-primitive properties.
+///
+/// These reproduce the *shape* of the paper's theorems — precision
+/// Theta(tdel + rho*P), hardware-optimal accuracy up to O((alpha+D)/P), and
+/// bounded resynchronization periods — with self-contained constants derived
+/// in the comments of theory.cpp. Tests and experiments check measured
+/// behaviour against these bounds; EXPERIMENTS.md records the tightness.
+namespace stclock::theory {
+
+struct Bounds {
+  /// Acceptance spread D of the configured primitive (tdel or 2*tdel).
+  Duration accept_spread = 0;
+  /// Resolved adjustment constant alpha (config value or default (1+rho)*D).
+  Duration alpha = 0;
+  /// Maximal relative drift between two correct clocks:
+  /// gamma = (1+rho) - 1/(1+rho).
+  double gamma = 0;
+  /// Dmax: bound on |C_i(t) - C_j(t)| over all times and honest i, j
+  /// (precision / agreement).
+  Duration precision = 0;
+  /// Bound on the spread of acceptance (pulse) real times within one round.
+  Duration pulse_spread = 0;
+  /// Real-time bounds between consecutive pulses of one correct process.
+  Duration min_period = 0;
+  Duration max_period = 0;
+  /// Long-run logical clock rate bounds (accuracy). Optimality: these tend
+  /// to the hardware bounds 1/(1+rho) and (1+rho) as (alpha + D)/P -> 0.
+  double rate_lo = 0;
+  double rate_hi = 0;
+};
+
+[[nodiscard]] Bounds derive_bounds(const SyncConfig& cfg);
+
+/// Resolved alpha for a config (default (1+rho) * D when cfg.alpha <= 0).
+[[nodiscard]] Duration resolve_alpha(const SyncConfig& cfg);
+
+/// Acceptance spread D for a config's variant.
+[[nodiscard]] Duration accept_spread(const SyncConfig& cfg);
+
+}  // namespace stclock::theory

@@ -1,0 +1,13 @@
+#pragma once
+
+#include <span>
+
+#include "crypto/sha256.h"
+
+/// HMAC-SHA256 (RFC 2104 / FIPS 198-1), built on the local SHA-256.
+namespace stclock::crypto {
+
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> message);
+
+}  // namespace stclock::crypto

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/types.h"
+
+/// Simulated digital signatures.
+///
+/// The Srikanth–Toueg authenticated algorithm assumes unforgeable signatures.
+/// We model them with per-node HMAC-SHA256 keys held by a KeyRegistry:
+///
+///  - *Signing* requires a `Signer` capability handle. The simulation runner
+///    hands each honest protocol instance only its own handle and hands the
+///    adversary the handles of corrupted nodes — so adversary code is
+///    structurally unable to sign on behalf of honest nodes, which is exactly
+///    the unforgeability assumption. (A "forger" adversary that fabricates
+///    MAC bytes exists in src/adversary/ and is rejected with overwhelming
+///    probability by verification; a test pins this down.)
+///  - *Verification* is public: anyone may call KeyRegistry::verify. In a real
+///    deployment this would be public-key verification against a PKI; using a
+///    registry-mediated MAC keeps the trust model identical inside one
+///    simulation while exercising a real crypto code path.
+namespace stclock::crypto {
+
+struct Signature {
+  NodeId signer = 0;
+  Digest mac{};
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+class KeyRegistry;
+
+/// Capability to sign as one node. Copyable but only obtainable from the
+/// registry; ownership discipline in core/runner.cpp provides unforgeability.
+class Signer {
+ public:
+  [[nodiscard]] Signature sign(std::span<const std::uint8_t> payload) const;
+  [[nodiscard]] NodeId id() const { return id_; }
+
+ private:
+  friend class KeyRegistry;
+  Signer(NodeId id, const KeyRegistry* registry) : id_(id), registry_(registry) {}
+
+  NodeId id_;
+  const KeyRegistry* registry_;
+};
+
+class KeyRegistry {
+ public:
+  /// Derives n per-node secrets deterministically from the master seed.
+  KeyRegistry(std::uint32_t n, std::uint64_t master_seed);
+
+  [[nodiscard]] std::uint32_t size() const { return static_cast<std::uint32_t>(secrets_.size()); }
+
+  /// Obtains the signing capability for one node. The caller is responsible
+  /// for handing it only to that node's protocol instance (or to the
+  /// adversary, if the node is corrupted).
+  [[nodiscard]] Signer signer_for(NodeId id) const;
+
+  /// Public verification: checks that `sig` is a valid signature by
+  /// `sig.signer` over `payload`.
+  [[nodiscard]] bool verify(const Signature& sig, std::span<const std::uint8_t> payload) const;
+
+ private:
+  friend class Signer;
+  [[nodiscard]] Signature sign_as(NodeId signer, std::span<const std::uint8_t> payload) const;
+
+  std::vector<Digest> secrets_;
+};
+
+}  // namespace stclock::crypto

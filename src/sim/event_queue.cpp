@@ -1,0 +1,40 @@
+#include "sim/event_queue.h"
+
+#include "util/contracts.h"
+
+namespace stclock {
+
+void EventQueue::push_timer(RealTime time, TimerEvent ev) {
+  ST_REQUIRE(time >= 0, "EventQueue: negative event time");
+  Event e;
+  e.time = time;
+  e.seq = next_seq_++;
+  e.is_timer = true;
+  e.timer = ev;
+  heap_.push(std::move(e));
+}
+
+void EventQueue::push_delivery(RealTime time, DeliveryEvent ev) {
+  ST_REQUIRE(time >= 0, "EventQueue: negative event time");
+  ST_REQUIRE(ev.msg != nullptr, "EventQueue: null message");
+  Event e;
+  e.time = time;
+  e.seq = next_seq_++;
+  e.is_timer = false;
+  e.delivery = std::move(ev);
+  heap_.push(std::move(e));
+}
+
+RealTime EventQueue::next_time() const {
+  ST_REQUIRE(!heap_.empty(), "EventQueue: next_time on empty queue");
+  return heap_.top().time;
+}
+
+Event EventQueue::pop() {
+  ST_REQUIRE(!heap_.empty(), "EventQueue: pop on empty queue");
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace stclock

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/message.h"
+#include "util/types.h"
+
+/// Time-ordered event queue for the discrete-event simulator.
+///
+/// Events at equal real times are dispatched in insertion order (a strictly
+/// increasing sequence number breaks ties), which makes every run fully
+/// deterministic for a given seed.
+namespace stclock {
+
+using TimerId = std::uint64_t;
+
+struct TimerEvent {
+  NodeId node = 0;
+  TimerId id = 0;
+};
+
+struct DeliveryEvent {
+  NodeId to = 0;
+  NodeId from = 0;
+  std::shared_ptr<const Message> msg;
+  RealTime sent_at = 0;
+};
+
+struct Event {
+  RealTime time = 0;
+  std::uint64_t seq = 0;
+  bool is_timer = false;
+  TimerEvent timer;
+  DeliveryEvent delivery;
+};
+
+class EventQueue {
+ public:
+  void push_timer(RealTime time, TimerEvent ev);
+  void push_delivery(RealTime time, DeliveryEvent ev);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] RealTime next_time() const;
+
+  /// Removes and returns the earliest event. Requires !empty().
+  [[nodiscard]] Event pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace stclock

@@ -1,0 +1,55 @@
+#include "sim/message.h"
+
+namespace stclock {
+
+Bytes round_signing_payload(Round round) {
+  ByteWriter w;
+  w.str("st-round");
+  w.u64(round);
+  return std::move(w).take();
+}
+
+namespace {
+struct KindVisitor {
+  std::string operator()(const RoundMsg&) const { return "round"; }
+  std::string operator()(const InitMsg&) const { return "init"; }
+  std::string operator()(const EchoMsg&) const { return "echo"; }
+  std::string operator()(const CnvValueMsg&) const { return "cnv"; }
+  std::string operator()(const LwValueMsg&) const { return "lw"; }
+  std::string operator()(const LeaderTimeMsg&) const { return "leader"; }
+  std::string operator()(const LockstepMsg&) const { return "lockstep"; }
+};
+
+struct SizeVisitor {
+  // Header: 1 byte tag + 8 byte round.
+  static constexpr std::size_t kHeader = 9;
+  std::size_t operator()(const RoundMsg& m) const {
+    // Each signature: 4-byte signer id + 32-byte MAC.
+    return kHeader + m.sigs.size() * (4 + crypto::kDigestSize);
+  }
+  std::size_t operator()(const InitMsg&) const { return kHeader; }
+  std::size_t operator()(const EchoMsg&) const { return kHeader; }
+  std::size_t operator()(const CnvValueMsg&) const { return kHeader + 8; }
+  std::size_t operator()(const LwValueMsg&) const { return kHeader; }
+  std::size_t operator()(const LeaderTimeMsg&) const { return kHeader + 8; }
+  std::size_t operator()(const LockstepMsg&) const { return kHeader + 8; }
+};
+
+struct RoundVisitor {
+  Round operator()(const RoundMsg& m) const { return m.round; }
+  Round operator()(const InitMsg& m) const { return m.round; }
+  Round operator()(const EchoMsg& m) const { return m.round; }
+  Round operator()(const CnvValueMsg& m) const { return m.round; }
+  Round operator()(const LwValueMsg& m) const { return m.round; }
+  Round operator()(const LeaderTimeMsg& m) const { return m.round; }
+  Round operator()(const LockstepMsg& m) const { return m.round; }
+};
+}  // namespace
+
+std::string message_kind(const Message& m) { return std::visit(KindVisitor{}, m); }
+
+std::size_t message_size_bytes(const Message& m) { return std::visit(SizeVisitor{}, m); }
+
+Round message_round(const Message& m) { return std::visit(RoundVisitor{}, m); }
+
+}  // namespace stclock

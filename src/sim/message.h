@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "crypto/signature.h"
+#include "util/bytes.h"
+#include "util/types.h"
+
+/// Wire messages for every protocol in the repository.
+///
+/// Channels are authenticated (the receiver knows the immediate sender), so
+/// init/echo and the baseline messages carry no signatures; only the
+/// authenticated round message carries a signature bundle, because those
+/// signatures are *relayed* and must remain verifiable end-to-end.
+namespace stclock {
+
+/// Authenticated algorithm: "(round k)" with 1..n distinct signatures over
+/// the canonical round payload. A fresh broadcast carries just the sender's
+/// signature; an acceptance relay carries the full accepting bundle.
+struct RoundMsg {
+  Round round = 0;
+  std::vector<crypto::Signature> sigs;
+};
+
+/// Signature-free primitive: "(init, round k)".
+struct InitMsg {
+  Round round = 0;
+};
+
+/// Signature-free primitive: "(echo, round k)".
+struct EchoMsg {
+  Round round = 0;
+};
+
+/// Interactive convergence (CNV) baseline: sender's logical clock reading at
+/// transmission time.
+struct CnvValueMsg {
+  Round round = 0;
+  LocalTime value = 0;
+};
+
+/// Lundelius–Welch baseline: "my logical clock just read round*P"; the
+/// receiver timestamps arrival to estimate the clock offset.
+struct LwValueMsg {
+  Round round = 0;
+};
+
+/// Naive leader-based baseline: leader's logical clock reading.
+struct LeaderTimeMsg {
+  Round round = 0;
+  LocalTime value = 0;
+};
+
+/// Application payload for the lockstep synchronizer (core/synchronizer.h):
+/// "this is my message for simulated synchronous round `round`".
+struct LockstepMsg {
+  std::uint64_t round = 0;
+  std::uint64_t payload = 0;
+};
+
+using Message = std::variant<RoundMsg, InitMsg, EchoMsg, CnvValueMsg, LwValueMsg,
+                             LeaderTimeMsg, LockstepMsg>;
+
+/// Canonical byte string that round-k signatures are computed over. Includes
+/// the round number so stale signatures cannot be replayed into a later
+/// round (a replay adversary tests exactly this).
+[[nodiscard]] Bytes round_signing_payload(Round round);
+
+/// Short human-readable tag for logs/counters ("round", "init", ...).
+[[nodiscard]] std::string message_kind(const Message& m);
+
+/// Approximate serialized size in bytes (for the message/byte counters).
+[[nodiscard]] std::size_t message_size_bytes(const Message& m);
+
+/// Round number carried by any message kind.
+[[nodiscard]] Round message_round(const Message& m);
+
+}  // namespace stclock

@@ -1,0 +1,25 @@
+#include "sim/network.h"
+
+#include "util/contracts.h"
+
+namespace stclock {
+
+FixedDelay::FixedDelay(double fraction) : fraction_(fraction) {
+  ST_REQUIRE(fraction >= 0 && fraction <= 1, "FixedDelay: fraction outside [0, 1]");
+}
+
+Duration FixedDelay::delay(NodeId, NodeId, RealTime, Duration tdel, Rng&) {
+  return fraction_ * tdel;
+}
+
+UniformDelay::UniformDelay(double lo_fraction, double hi_fraction)
+    : lo_(lo_fraction), hi_(hi_fraction) {
+  ST_REQUIRE(lo_fraction >= 0 && hi_fraction <= 1 && lo_fraction <= hi_fraction,
+             "UniformDelay: fractions must satisfy 0 <= lo <= hi <= 1");
+}
+
+Duration UniformDelay::delay(NodeId, NodeId, RealTime, Duration tdel, Rng& rng) {
+  return rng.uniform(lo_ * tdel, hi_ * tdel);
+}
+
+}  // namespace stclock

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+/// Delay policies: the adversary's control over honest-to-honest message
+/// delays. The model guarantees only that any message between correct
+/// processes is delivered within tdel; *which* delay in [0, tdel] each
+/// message gets is adversarial. A DelayPolicy encodes one such strategy.
+/// Policies returning values outside [0, tdel] are clamped (and this is a
+/// contract violation caught in debug checks).
+namespace stclock {
+
+class DelayPolicy {
+ public:
+  virtual ~DelayPolicy() = default;
+
+  /// Delay for a message from honest `from` to honest `to` sent at `now`.
+  /// Must lie in [0, tdel].
+  [[nodiscard]] virtual Duration delay(NodeId from, NodeId to, RealTime now, Duration tdel,
+                                       Rng& rng) = 0;
+};
+
+/// Every message takes exactly `fraction * tdel`.
+class FixedDelay final : public DelayPolicy {
+ public:
+  explicit FixedDelay(double fraction);
+  [[nodiscard]] Duration delay(NodeId, NodeId, RealTime, Duration tdel, Rng&) override;
+
+ private:
+  double fraction_;
+};
+
+/// Delay uniform in [lo_fraction, hi_fraction] * tdel.
+class UniformDelay final : public DelayPolicy {
+ public:
+  UniformDelay(double lo_fraction, double hi_fraction);
+  [[nodiscard]] Duration delay(NodeId, NodeId, RealTime, Duration tdel, Rng& rng) override;
+
+ private:
+  double lo_, hi_;
+};
+
+}  // namespace stclock

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <memory>
+
+#include "clocks/logical_clock.h"
+#include "crypto/signature.h"
+#include "sim/event_queue.h"
+#include "sim/message.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+/// Protocol-facing interfaces.
+///
+/// Honest protocol code runs against `Context`, which deliberately exposes
+/// *only* what the model allows a process to see: its own clocks, its own
+/// signing key, authenticated channels, and timers. In particular there is no
+/// way to read real time — protocols that need "the" time have to earn it by
+/// synchronizing.
+///
+/// Byzantine behaviour is written against `AdversaryContext`, which is
+/// omniscient (full-information adversary): it can read real time, inspect
+/// any node, sign for corrupted nodes, and deliver messages from corrupted
+/// senders at any chosen future time. It structurally cannot sign for honest
+/// nodes (unforgeability) and cannot tamper with honest-to-honest delivery
+/// beyond the delay policy's [0, tdel] freedom.
+namespace stclock {
+
+class Simulator;
+
+/// Handle giving one honest process its model-visible powers.
+class Context {
+ public:
+  [[nodiscard]] NodeId self() const { return id_; }
+  [[nodiscard]] std::uint32_t n() const;
+
+  /// This node's hardware clock reading "now".
+  [[nodiscard]] LocalTime hardware_now() const;
+  /// This node's logical clock reading "now".
+  [[nodiscard]] LocalTime logical_now() const;
+  /// Mutable logical clock (protocols apply corrections through this).
+  [[nodiscard]] LogicalClock& logical();
+
+  /// Sends to every node (including self; self-delivery is immediate).
+  /// Delays to other correct nodes are chosen by the network's delay policy
+  /// within [0, tdel].
+  void broadcast(const Message& m);
+  void send(NodeId to, const Message& m);
+
+  /// Arms a timer that fires when this node's *logical* clock reads
+  /// `target`. If the logical clock is adjusted after arming, the real fire
+  /// time is NOT recomputed — cancel and re-arm (the sync protocol does this
+  /// after every correction).
+  [[nodiscard]] TimerId set_timer_at_logical(LocalTime target);
+  /// Arms a timer on the hardware clock (immune to logical adjustments).
+  [[nodiscard]] TimerId set_timer_at_hardware(LocalTime target);
+  void cancel_timer(TimerId id);
+
+  [[nodiscard]] const crypto::KeyRegistry& registry() const;
+  /// This node's own signing capability.
+  [[nodiscard]] const crypto::Signer& signer() const;
+
+  [[nodiscard]] Rng& rng();
+
+ private:
+  friend class Simulator;
+  Context(Simulator* sim, NodeId id) : sim_(sim), id_(id) {}
+
+  Simulator* sim_;
+  NodeId id_;
+};
+
+/// An honest protocol instance (one per honest node).
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  virtual void on_start(Context& ctx) = 0;
+  virtual void on_message(Context& ctx, NodeId from, const Message& m) = 0;
+  virtual void on_timer(Context& ctx, TimerId id) = 0;
+};
+
+/// Omniscient handle for Byzantine behaviour, controlling all corrupted
+/// nodes at once.
+class AdversaryContext {
+ public:
+  [[nodiscard]] RealTime real_now() const;
+  [[nodiscard]] std::uint32_t n() const;
+  [[nodiscard]] Duration tdel() const;
+  [[nodiscard]] bool is_corrupt(NodeId id) const;
+
+  /// Full-information access to the simulation (read-only).
+  [[nodiscard]] const Simulator& observe() const;
+
+  /// Sends `m` appearing to come from corrupted node `from`, delivered to
+  /// `to` at real time `deliver_at` (>= now). Channels are authenticated, so
+  /// `from` must be corrupted.
+  void send_from(NodeId from, NodeId to, const Message& m, RealTime deliver_at);
+  /// Convenience: same message to every honest node at the same time.
+  void send_from_to_all(NodeId from, const Message& m, RealTime deliver_at);
+
+  /// Signing capability of a corrupted node; throws for honest ids
+  /// (unforgeability).
+  [[nodiscard]] const crypto::Signer& signer_for(NodeId corrupt_id) const;
+  [[nodiscard]] const crypto::KeyRegistry& registry() const;
+
+  /// Arms a real-time timer routed to Adversary::on_timer.
+  [[nodiscard]] TimerId set_timer_at_real(RealTime t);
+
+  [[nodiscard]] Rng& rng();
+
+ private:
+  friend class Simulator;
+  explicit AdversaryContext(Simulator* sim) : sim_(sim) {}
+
+  Simulator* sim_;
+};
+
+/// A Byzantine strategy. Receives every message addressed to any corrupted
+/// node and may schedule arbitrary (model-conforming) sends.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  virtual void on_start(AdversaryContext& ctx) = 0;
+  /// A message delivered to corrupted node `at`.
+  virtual void on_message(AdversaryContext& ctx, NodeId at, NodeId from, const Message& m) = 0;
+  virtual void on_timer(AdversaryContext& ctx, TimerId id) = 0;
+};
+
+}  // namespace stclock

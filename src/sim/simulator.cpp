@@ -1,0 +1,283 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace stclock {
+
+Simulator::Simulator(SimParams params, std::vector<HardwareClock> clocks,
+                     std::unique_ptr<DelayPolicy> delays, const crypto::KeyRegistry* registry)
+    : params_(params), delays_(std::move(delays)), registry_(registry) {
+  ST_REQUIRE(params_.n > 0, "Simulator: need at least one node");
+  ST_REQUIRE(clocks.size() == params_.n, "Simulator: clock count must equal n");
+  ST_REQUIRE(params_.tdel > 0, "Simulator: tdel must be positive");
+  ST_REQUIRE(delays_ != nullptr, "Simulator: delay policy required");
+
+  Rng root(params_.seed);
+  net_rng_.emplace(root.fork());
+  adv_rng_.emplace(root.fork());
+
+  // nodes_ is sized exactly once; LogicalClock instances hold pointers into
+  // their own Node's HardwareClock, so the vector must never reallocate.
+  nodes_.resize(params_.n);
+  for (NodeId id = 0; id < params_.n; ++id) {
+    Node& node = nodes_[id];
+    node.hw.emplace(std::move(clocks[id]));
+    node.logical.emplace(*node.hw);
+    node.rng.emplace(root.fork());
+    node.ctx.emplace(Context(this, id));
+    honest_ids_.push_back(id);
+  }
+
+  if (registry_ != nullptr) {
+    ST_REQUIRE(registry_->size() >= params_.n, "Simulator: registry smaller than n");
+    signers_.reserve(params_.n);
+    for (NodeId id = 0; id < params_.n; ++id) signers_.push_back(registry_->signer_for(id));
+  }
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::set_process(NodeId id, std::unique_ptr<Process> process) {
+  ST_REQUIRE(id < params_.n, "set_process: node id out of range");
+  ST_REQUIRE(!started_, "set_process: simulation already started");
+  ST_REQUIRE(!nodes_[id].corrupt, "set_process: node is corrupted");
+  nodes_[id].process = std::move(process);
+}
+
+void Simulator::set_adversary(std::vector<NodeId> ids, std::unique_ptr<Adversary> adversary) {
+  ST_REQUIRE(!started_, "set_adversary: simulation already started");
+  ST_REQUIRE(adversary_ == nullptr, "set_adversary: adversary already installed");
+  for (NodeId id : ids) {
+    ST_REQUIRE(id < params_.n, "set_adversary: node id out of range");
+    ST_REQUIRE(nodes_[id].process == nullptr, "set_adversary: node already has a process");
+    nodes_[id].corrupt = true;
+    nodes_[id].started = true;  // the adversary is always "up"
+  }
+  adversary_ = std::move(adversary);
+  adv_ctx_.emplace(AdversaryContext(this));
+  honest_ids_.clear();
+  for (NodeId id = 0; id < params_.n; ++id) {
+    if (!nodes_[id].corrupt) honest_ids_.push_back(id);
+  }
+}
+
+void Simulator::set_start_time(NodeId id, RealTime t) {
+  ST_REQUIRE(id < params_.n, "set_start_time: node id out of range");
+  ST_REQUIRE(!started_, "set_start_time: simulation already started");
+  ST_REQUIRE(t >= 0, "set_start_time: negative start time");
+  nodes_[id].start_time = t;
+}
+
+bool Simulator::is_corrupt(NodeId id) const {
+  ST_REQUIRE(id < params_.n, "is_corrupt: node id out of range");
+  return nodes_[id].corrupt;
+}
+
+bool Simulator::is_started(NodeId id) const {
+  ST_REQUIRE(id < params_.n, "is_started: node id out of range");
+  return nodes_[id].started;
+}
+
+const HardwareClock& Simulator::hardware(NodeId id) const {
+  ST_REQUIRE(id < params_.n, "hardware: node id out of range");
+  return *nodes_[id].hw;
+}
+
+const LogicalClock& Simulator::logical(NodeId id) const {
+  ST_REQUIRE(id < params_.n, "logical: node id out of range");
+  return *nodes_[id].logical;
+}
+
+LogicalClock& Simulator::logical(NodeId id) {
+  ST_REQUIRE(id < params_.n, "logical: node id out of range");
+  return *nodes_[id].logical;
+}
+
+void Simulator::set_post_event_hook(std::function<void(const Simulator&)> hook) {
+  post_event_hook_ = std::move(hook);
+}
+
+void Simulator::run_until(RealTime horizon) {
+  if (!started_) {
+    started_ = true;
+    // Node starts are ordinary timer events so they interleave correctly
+    // with message deliveries (late joiners may start mid-protocol). They
+    // are enqueued BEFORE the adversary runs, so time-0 attack messages
+    // reach nodes that boot at time 0 (ties break by insertion order).
+    for (NodeId id = 0; id < params_.n; ++id) {
+      Node& node = nodes_[id];
+      if (node.corrupt || node.process == nullptr) continue;
+      const TimerId tid = next_timer_id_++;
+      start_timers_.emplace(tid, id);
+      queue_.push_timer(node.start_time, TimerEvent{id, tid});
+    }
+    if (adversary_ != nullptr) adversary_->on_start(*adv_ctx_);
+  }
+
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    ST_REQUIRE(++events_dispatched_ <= params_.max_events,
+               "Simulator: event budget exhausted (runaway protocol?)");
+    const Event ev = queue_.pop();
+    ST_ASSERT(ev.time >= now_, "Simulator: time went backwards");
+    now_ = ev.time;
+    dispatch(ev);
+    if (post_event_hook_) post_event_hook_(*this);
+  }
+  now_ = std::max(now_, horizon);
+}
+
+void Simulator::dispatch(const Event& ev) {
+  if (ev.is_timer) {
+    const TimerId id = ev.timer.id;
+    if (cancelled_timers_.erase(id) > 0) return;
+
+    if (auto it = start_timers_.find(id); it != start_timers_.end()) {
+      Node& node = nodes_[it->second];
+      start_timers_.erase(it);
+      node.started = true;
+      node.process->on_start(*node.ctx);
+      return;
+    }
+    if (adversary_timers_.erase(id) > 0) {
+      if (adversary_ != nullptr) adversary_->on_timer(*adv_ctx_, id);
+      return;
+    }
+    Node& node = nodes_[ev.timer.node];
+    if (node.process != nullptr && node.started) node.process->on_timer(*node.ctx, id);
+    return;
+  }
+
+  const DeliveryEvent& d = ev.delivery;
+  counters_.on_deliver(message_kind(*d.msg));
+  Node& node = nodes_[d.to];
+  if (node.corrupt) {
+    if (adversary_ != nullptr) adversary_->on_message(*adv_ctx_, d.to, d.from, *d.msg);
+    return;
+  }
+  // Messages addressed to a node that has not booted yet are lost (the node
+  // was down); the integration protocol exists precisely for this.
+  if (node.process != nullptr && node.started) node.process->on_message(*node.ctx, d.from, *d.msg);
+}
+
+void Simulator::honest_send(NodeId from, NodeId to, const Message& m) {
+  auto msg = std::make_shared<const Message>(m);
+  counters_.on_send(message_kind(m), message_size_bytes(m));
+
+  Duration delay = 0;
+  if (to != from && !nodes_[to].corrupt) {
+    delay = delays_->delay(from, to, now_, params_.tdel, *net_rng_);
+    ST_ASSERT(delay >= 0 && delay <= params_.tdel,
+              "DelayPolicy returned a delay outside [0, tdel]");
+    delay = std::clamp(delay, 0.0, params_.tdel);
+  }
+  // Self-delivery and delivery to corrupted nodes (rushing adversary) are
+  // immediate; both are within the model's [0, tdel].
+  queue_.push_delivery(now_ + delay, DeliveryEvent{to, from, std::move(msg), now_});
+}
+
+void Simulator::adversary_send(NodeId from, NodeId to, const Message& m, RealTime deliver_at) {
+  ST_REQUIRE(nodes_[from].corrupt, "adversary_send: sender must be corrupted (channels are "
+                                   "authenticated)");
+  ST_REQUIRE(deliver_at >= now_, "adversary_send: cannot deliver in the past");
+  ST_REQUIRE(to < params_.n, "adversary_send: recipient out of range");
+  counters_.on_send(message_kind(m), message_size_bytes(m));
+  queue_.push_delivery(deliver_at,
+                       DeliveryEvent{to, from, std::make_shared<const Message>(m), now_});
+}
+
+TimerId Simulator::arm_timer(NodeId node, RealTime fire_at) {
+  const TimerId id = next_timer_id_++;
+  queue_.push_timer(std::max(fire_at, now_), TimerEvent{node, id});
+  return id;
+}
+
+void Simulator::cancel_timer(TimerId id) { cancelled_timers_.insert(id); }
+
+// --- Context ---
+
+std::uint32_t Context::n() const { return sim_->params_.n; }
+
+LocalTime Context::hardware_now() const { return sim_->nodes_[id_].hw->read(sim_->now_); }
+
+LocalTime Context::logical_now() const { return sim_->nodes_[id_].logical->read(sim_->now_); }
+
+LogicalClock& Context::logical() { return *sim_->nodes_[id_].logical; }
+
+void Context::broadcast(const Message& m) {
+  for (NodeId to = 0; to < sim_->params_.n; ++to) sim_->honest_send(id_, to, m);
+}
+
+void Context::send(NodeId to, const Message& m) { sim_->honest_send(id_, to, m); }
+
+TimerId Context::set_timer_at_logical(LocalTime target) {
+  const RealTime fire_at = sim_->nodes_[id_].logical->when_reads(sim_->now_, target);
+  return sim_->arm_timer(id_, fire_at);
+}
+
+TimerId Context::set_timer_at_hardware(LocalTime target) {
+  const HardwareClock& hw = *sim_->nodes_[id_].hw;
+  const RealTime fire_at =
+      target <= hw.read(sim_->now_) ? sim_->now_ : hw.when_reads(target);
+  return sim_->arm_timer(id_, fire_at);
+}
+
+void Context::cancel_timer(TimerId id) { sim_->cancel_timer(id); }
+
+const crypto::KeyRegistry& Context::registry() const {
+  ST_REQUIRE(sim_->registry_ != nullptr, "Context::registry: no key registry installed");
+  return *sim_->registry_;
+}
+
+const crypto::Signer& Context::signer() const {
+  ST_REQUIRE(!sim_->signers_.empty(), "Context::signer: no key registry installed");
+  return sim_->signers_[id_];
+}
+
+Rng& Context::rng() { return *sim_->nodes_[id_].rng; }
+
+// --- AdversaryContext ---
+
+RealTime AdversaryContext::real_now() const { return sim_->now_; }
+
+std::uint32_t AdversaryContext::n() const { return sim_->params_.n; }
+
+Duration AdversaryContext::tdel() const { return sim_->params_.tdel; }
+
+bool AdversaryContext::is_corrupt(NodeId id) const { return sim_->is_corrupt(id); }
+
+const Simulator& AdversaryContext::observe() const { return *sim_; }
+
+void AdversaryContext::send_from(NodeId from, NodeId to, const Message& m,
+                                 RealTime deliver_at) {
+  sim_->adversary_send(from, to, m, deliver_at);
+}
+
+void AdversaryContext::send_from_to_all(NodeId from, const Message& m, RealTime deliver_at) {
+  for (NodeId to = 0; to < sim_->params_.n; ++to) {
+    if (!sim_->is_corrupt(to)) sim_->adversary_send(from, to, m, deliver_at);
+  }
+}
+
+const crypto::Signer& AdversaryContext::signer_for(NodeId corrupt_id) const {
+  ST_REQUIRE(sim_->is_corrupt(corrupt_id),
+             "AdversaryContext::signer_for: honest keys are unforgeable");
+  ST_REQUIRE(!sim_->signers_.empty(), "AdversaryContext::signer_for: no key registry");
+  return sim_->signers_[corrupt_id];
+}
+
+const crypto::KeyRegistry& AdversaryContext::registry() const {
+  ST_REQUIRE(sim_->registry_ != nullptr, "AdversaryContext::registry: no key registry");
+  return *sim_->registry_;
+}
+
+TimerId AdversaryContext::set_timer_at_real(RealTime t) {
+  const TimerId id = sim_->arm_timer(0, std::max(t, sim_->now_));
+  sim_->adversary_timers_.insert(id);
+  return id;
+}
+
+Rng& AdversaryContext::rng() { return *sim_->adv_rng_; }
+
+}  // namespace stclock

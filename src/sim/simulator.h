@@ -1,0 +1,137 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "clocks/hardware_clock.h"
+#include "clocks/logical_clock.h"
+#include "crypto/signature.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "trace/counters.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+/// The discrete-event simulator: the "testbed" substrate on which every
+/// protocol and experiment in this repository runs.
+///
+/// A Simulator owns n nodes, each with a fixed hardware-clock trajectory and
+/// a logical clock. Honest nodes run a `Process`; corrupted nodes are driven
+/// collectively by one `Adversary`. All scheduling is deterministic given the
+/// seed: ties in event time break by insertion order, and every node gets an
+/// independent forked RNG stream.
+namespace stclock {
+
+struct SimParams {
+  std::uint32_t n = 0;
+  /// Maximum end-to-end delay between correct processes (the model's tdel).
+  Duration tdel = 0.01;
+  std::uint64_t seed = 1;
+  /// Safety valve against runaway protocols.
+  std::uint64_t max_events = 50'000'000;
+};
+
+class Simulator {
+ public:
+  /// `clocks` must have exactly params.n entries. The registry (for the
+  /// authenticated variants) may be null when no protocol signs anything.
+  Simulator(SimParams params, std::vector<HardwareClock> clocks,
+            std::unique_ptr<DelayPolicy> delays, const crypto::KeyRegistry* registry);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Installs the honest protocol instance for node `id`. Must not be called
+  /// for corrupted nodes.
+  void set_process(NodeId id, std::unique_ptr<Process> process);
+
+  /// Marks `ids` as corrupted and installs the Byzantine strategy driving
+  /// them. Call at most once, before start().
+  void set_adversary(std::vector<NodeId> ids, std::unique_ptr<Adversary> adversary);
+
+  /// Delays the on_start of node `id` until real time `t` (models a node
+  /// that boots late and must integrate — see core/joiner.h).
+  void set_start_time(NodeId id, RealTime t);
+
+  /// Dispatches on_start for every installed process and the adversary, then
+  /// runs events until `horizon` (inclusive). May be called repeatedly with
+  /// increasing horizons.
+  void run_until(RealTime horizon);
+
+  // --- Introspection (used by metrics, adversaries, and tests) ---
+  [[nodiscard]] RealTime now() const { return now_; }
+  [[nodiscard]] const SimParams& params() const { return params_; }
+  [[nodiscard]] std::uint32_t n() const { return params_.n; }
+  [[nodiscard]] bool is_corrupt(NodeId id) const;
+  /// Honest node ids, ascending.
+  [[nodiscard]] const std::vector<NodeId>& honest_ids() const { return honest_ids_; }
+  /// True once node `id` has been started (relevant for late joiners).
+  [[nodiscard]] bool is_started(NodeId id) const;
+
+  [[nodiscard]] const HardwareClock& hardware(NodeId id) const;
+  [[nodiscard]] const LogicalClock& logical(NodeId id) const;
+  [[nodiscard]] LogicalClock& logical(NodeId id);
+
+  [[nodiscard]] const MessageCounters& counters() const { return counters_; }
+  [[nodiscard]] MessageCounters& counters() { return counters_; }
+
+  /// Called after every dispatched event; used by the skew tracker to sample
+  /// at exactly the moments state can change.
+  void set_post_event_hook(std::function<void(const Simulator&)> hook);
+
+ private:
+  friend class Context;
+  friend class AdversaryContext;
+
+  struct Node {
+    std::optional<HardwareClock> hw;
+    std::optional<LogicalClock> logical;
+    std::unique_ptr<Process> process;
+    std::optional<Context> ctx;
+    std::optional<Rng> rng;
+    bool corrupt = false;
+    RealTime start_time = 0;
+    bool started = false;
+  };
+
+  void start_pending(RealTime up_to);
+  void dispatch(const Event& ev);
+
+  // Context plumbing.
+  void honest_send(NodeId from, NodeId to, const Message& m);
+  void adversary_send(NodeId from, NodeId to, const Message& m, RealTime deliver_at);
+  TimerId arm_timer(NodeId node, RealTime fire_at);
+  void cancel_timer(TimerId id);
+
+  SimParams params_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> honest_ids_;
+  std::unique_ptr<DelayPolicy> delays_;
+  const crypto::KeyRegistry* registry_;
+  std::vector<crypto::Signer> signers_;  // index = node id
+
+  std::unique_ptr<Adversary> adversary_;
+  std::optional<AdversaryContext> adv_ctx_;
+  std::optional<Rng> adv_rng_;
+  std::unordered_set<TimerId> adversary_timers_;
+
+  EventQueue queue_;
+  RealTime now_ = 0;
+  bool started_ = false;
+  std::uint64_t events_dispatched_ = 0;
+  TimerId next_timer_id_ = 1;
+  std::unordered_set<TimerId> cancelled_timers_;
+  std::unordered_map<TimerId, NodeId> start_timers_;
+  std::optional<Rng> net_rng_;
+
+  MessageCounters counters_;
+  std::function<void(const Simulator&)> post_event_hook_;
+};
+
+}  // namespace stclock

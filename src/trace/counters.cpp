@@ -1,0 +1,22 @@
+#include "trace/counters.h"
+
+namespace stclock {
+
+void MessageCounters::on_send(const std::string& kind, std::size_t bytes) {
+  ++total_sent_;
+  total_bytes_ += bytes;
+  auto& k = by_kind_[kind];
+  ++k.messages;
+  k.bytes += bytes;
+}
+
+void MessageCounters::on_deliver(const std::string&) { ++total_delivered_; }
+
+void MessageCounters::reset() {
+  total_sent_ = 0;
+  total_delivered_ = 0;
+  total_bytes_ = 0;
+  by_kind_.clear();
+}
+
+}  // namespace stclock

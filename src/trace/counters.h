@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+/// Message/byte accounting, maintained by the simulator and reported by the
+/// message-complexity experiment (F4).
+namespace stclock {
+
+struct KindCount {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class MessageCounters {
+ public:
+  void on_send(const std::string& kind, std::size_t bytes);
+  void on_deliver(const std::string& kind);
+
+  [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
+  [[nodiscard]] std::uint64_t total_delivered() const { return total_delivered_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] const std::map<std::string, KindCount>& by_kind() const { return by_kind_; }
+
+  void reset();
+
+ private:
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t total_delivered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::map<std::string, KindCount> by_kind_;
+};
+
+}  // namespace stclock

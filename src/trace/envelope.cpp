@@ -1,0 +1,62 @@
+#include "trace/envelope.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace stclock {
+
+EnvelopeTracker::EnvelopeTracker(Duration sample_interval)
+    : sample_interval_(sample_interval) {
+  ST_REQUIRE(sample_interval > 0, "EnvelopeTracker: sample interval must be positive");
+}
+
+void EnvelopeTracker::sample(const Simulator& sim) {
+  const RealTime t = sim.now();
+  if (last_sample_ >= 0 && t - last_sample_ < sample_interval_) return;
+  last_sample_ = t;
+
+  if (series_.empty()) series_.resize(sim.n());
+  for (NodeId id : sim.honest_ids()) {
+    if (!sim.is_started(id)) continue;
+    series_[id].t.push_back(t);
+    series_[id].c.push_back(sim.logical(id).read(t));
+  }
+}
+
+EnvelopeTracker::Report EnvelopeTracker::report(double slope_lo, double slope_hi,
+                                                RealTime steady_start) const {
+  Report rep;
+  bool first = true;
+  for (const NodeSeries& s : series_) {
+    if (s.t.size() < 2) continue;
+
+    // Restrict the fit to the steady-state window.
+    std::vector<double> ts, cs;
+    for (std::size_t i = 0; i < s.t.size(); ++i) {
+      if (s.t[i] >= steady_start) {
+        ts.push_back(s.t[i]);
+        cs.push_back(s.c[i]);
+      }
+    }
+    if (ts.size() < 2) continue;
+
+    const LinearFit fit = fit_line(ts, cs);
+    if (first) {
+      rep.min_rate = rep.max_rate = fit.slope;
+      first = false;
+    } else {
+      rep.min_rate = std::min(rep.min_rate, fit.slope);
+      rep.max_rate = std::max(rep.max_rate, fit.slope);
+    }
+
+    for (std::size_t i = 0; i < s.t.size(); ++i) {
+      rep.upper_offset = std::max(rep.upper_offset, s.c[i] - slope_hi * s.t[i]);
+      rep.lower_offset = std::max(rep.lower_offset, slope_lo * s.t[i] - s.c[i]);
+    }
+  }
+  ST_REQUIRE(!first, "EnvelopeTracker::report: no node has enough samples");
+  return rep;
+}
+
+}  // namespace stclock

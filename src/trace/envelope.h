@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+/// Measures accuracy: how logical clocks progress relative to real time.
+///
+/// The paper's optimality theorem says logical clocks stay within a linear
+/// envelope of real time with the *hardware* drift slopes 1/(1+rho) and
+/// (1+rho) (up to additive constants and an O((alpha+D)/P) rate term) —
+/// i.e. synchronization does not amplify drift. This tracker samples
+/// (t, C_i(t)) for every honest node and reports:
+///
+///  - per-node least-squares rate (long-run slope), and the fleet min/max;
+///  - envelope offsets: max_t [C_i(t) - rate_hi * t] and
+///    max_t [rate_lo * t - C_i(t)] for given candidate slopes — constants iff
+///    the envelope holds.
+namespace stclock {
+
+class EnvelopeTracker {
+ public:
+  explicit EnvelopeTracker(Duration sample_interval = 0.1);
+
+  /// Samples all honest started nodes; called from the post-event hook.
+  void sample(const Simulator& sim);
+
+  struct Report {
+    double min_rate = 0;  ///< smallest fitted per-node slope
+    double max_rate = 0;  ///< largest fitted per-node slope
+    /// Worst additive offsets against the candidate envelope slopes.
+    double upper_offset = 0;  ///< max over samples of C(t) - slope_hi * t
+    double lower_offset = 0;  ///< max over samples of slope_lo * t - C(t)
+  };
+
+  /// Requires at least two samples per node. Slopes are fitted over samples
+  /// with t >= steady_start (skip convergence).
+  [[nodiscard]] Report report(double slope_lo, double slope_hi,
+                              RealTime steady_start = 0) const;
+
+ private:
+  struct NodeSeries {
+    std::vector<double> t;
+    std::vector<double> c;
+  };
+
+  Duration sample_interval_;
+  RealTime last_sample_ = -1;
+  std::vector<NodeSeries> series_;  // index = node id (empty for corrupt)
+};
+
+}  // namespace stclock

@@ -1,0 +1,41 @@
+#include "trace/skew_tracker.h"
+
+#include <algorithm>
+
+namespace stclock {
+
+SkewTracker::SkewTracker(Duration series_interval, std::function<bool(NodeId)> include)
+    : series_interval_(series_interval), include_(std::move(include)) {}
+
+void SkewTracker::sample(const Simulator& sim) {
+  const RealTime t = sim.now();
+  double lo = 0, hi = 0;
+  bool first = true;
+  for (NodeId id : sim.honest_ids()) {
+    if (!sim.is_started(id)) continue;
+    if (include_ && !include_(id)) continue;
+    const double c = sim.logical(id).read(t);
+    if (first) {
+      lo = hi = c;
+      first = false;
+    } else {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+  }
+  if (first) return;  // nothing to measure yet
+
+  const double spread = hi - lo;
+  if (spread > max_skew_) {
+    max_skew_ = spread;
+    max_skew_time_ = t;
+  }
+  if (t >= steady_start_) steady_max_skew_ = std::max(steady_max_skew_, spread);
+
+  if (last_series_sample_ < 0 || t - last_series_sample_ >= series_interval_) {
+    series_.emplace_back(t, spread);
+    last_series_sample_ = t;
+  }
+}
+
+}  // namespace stclock

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/types.h"
+
+/// Measures precision: the spread of honest logical clocks over a run.
+///
+/// Install via Simulator::set_post_event_hook (the runner does this), so the
+/// spread is sampled at exactly the instants state can change. Between
+/// events clocks advance linearly, so event-time sampling bounds the true
+/// supremum to within gamma * (inter-event gap) — negligible at the event
+/// densities of these protocols.
+namespace stclock {
+
+class SkewTracker {
+ public:
+  /// `include` filters which nodes count (e.g. to exclude a joiner until it
+  /// has integrated); null means "all honest started nodes".
+  explicit SkewTracker(Duration series_interval = 0.05,
+                       std::function<bool(NodeId)> include = nullptr);
+
+  /// Samples the current spread; called from the post-event hook.
+  void sample(const Simulator& sim);
+
+  /// Ignore samples before `t` in steady_max_skew() (skip the initial
+  /// convergence phase).
+  void set_steady_start(RealTime t) { steady_start_ = t; }
+
+  [[nodiscard]] double max_skew() const { return max_skew_; }
+  [[nodiscard]] double steady_max_skew() const { return steady_max_skew_; }
+  [[nodiscard]] RealTime max_skew_time() const { return max_skew_time_; }
+
+  /// Decimated (time, spread) series for the skew-trace figure.
+  [[nodiscard]] const std::vector<std::pair<RealTime, double>>& series() const {
+    return series_;
+  }
+
+ private:
+  Duration series_interval_;
+  std::function<bool(NodeId)> include_;
+  RealTime steady_start_ = 0;
+
+  double max_skew_ = 0;
+  double steady_max_skew_ = 0;
+  RealTime max_skew_time_ = 0;
+  RealTime last_series_sample_ = -1;
+  std::vector<std::pair<RealTime, double>> series_;
+};
+
+}  // namespace stclock

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Canonical byte serialization.
+///
+/// Signatures (crypto/signature.h) are computed over a canonical byte
+/// encoding of protocol messages, so the encoding must be deterministic and
+/// unambiguous: all integers are little-endian fixed width, and variable
+/// length fields are length-prefixed.
+namespace stclock {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Doubles are encoded via their IEEE-754 bit pattern.
+  void f64(double v);
+  /// Length-prefixed (u32) raw bytes.
+  void bytes(std::span<const std::uint8_t> data);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads back values written by ByteWriter; throws std::out_of_range on
+/// truncated input and std::logic_error on malformed length prefixes.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] Bytes bytes();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t count) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Lower-case hex encoding, e.g. for digests in logs and test expectations.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Inverse of to_hex; throws std::invalid_argument on malformed input.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+}  // namespace stclock

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// Lightweight contract checking in the spirit of the C++ Core Guidelines
+/// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()"). Violations throw, which
+/// makes them testable with gtest and keeps simulations debuggable; none of
+/// these checks sit on hot paths.
+namespace stclock::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace stclock::detail
+
+#define ST_REQUIRE(cond, msg)                                                  \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::stclock::detail::contract_failure("precondition", #cond, __FILE__,     \
+                                          __LINE__, (msg));                    \
+  } while (false)
+
+#define ST_ENSURE(cond, msg)                                                   \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::stclock::detail::contract_failure("postcondition", #cond, __FILE__,    \
+                                          __LINE__, (msg));                    \
+  } while (false)
+
+#define ST_ASSERT(cond, msg)                                                   \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::stclock::detail::contract_failure("invariant", #cond, __FILE__,        \
+                                          __LINE__, (msg));                    \
+  } while (false)

@@ -1,0 +1,72 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace stclock {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  ST_REQUIRE(lo <= hi, "uniform: empty range");
+  return lo + (hi - lo) * next_double();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  ST_REQUIRE(lo <= hi, "uniform_int: empty range");
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next_u64();  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + v % span;
+}
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+double Rng::exponential(double mean) {
+  ST_REQUIRE(mean > 0, "exponential: mean must be positive");
+  double u = next_double();
+  while (u <= 0) u = next_double();
+  return -mean * std::log(u);
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace stclock

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.h"
+
+/// Deterministic pseudo-randomness for simulations.
+///
+/// Every stochastic choice in the repository (drift trajectories, message
+/// delays, adversary coin flips, workload generation) flows through this
+/// generator so that any run is reproducible from a single 64-bit seed.
+/// The generator is xoshiro256** (Blackman & Vigna), seeded via SplitMix64.
+namespace stclock {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// True with probability p.
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean);
+
+  /// Forks an independent stream; child streams are themselves deterministic
+  /// functions of (parent seed, fork order). Use one child per node so that
+  /// adding instrumentation to one node cannot perturb another's randomness.
+  [[nodiscard]] Rng fork();
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(0, i - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace stclock

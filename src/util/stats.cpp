@@ -1,0 +1,114 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace stclock {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::min() const {
+  ST_REQUIRE(n_ > 0, "Accumulator::min on empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  ST_REQUIRE(n_ > 0, "Accumulator::max on empty accumulator");
+  return max_;
+}
+
+double Accumulator::mean() const {
+  ST_REQUIRE(n_ > 0, "Accumulator::mean on empty accumulator");
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Samples::ensure_sorted() const {
+  if (!sorted_valid_ || sorted_.size() != xs_.size()) {
+    sorted_ = xs_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Samples::min() const {
+  ST_REQUIRE(!xs_.empty(), "Samples::min on empty set");
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Samples::max() const {
+  ST_REQUIRE(!xs_.empty(), "Samples::max on empty set");
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Samples::mean() const {
+  ST_REQUIRE(!xs_.empty(), "Samples::mean on empty set");
+  double sum = 0;
+  for (double x : xs_) sum += x;
+  return sum / static_cast<double>(xs_.size());
+}
+
+double Samples::stddev() const {
+  if (xs_.size() < 2) return 0;
+  const double m = mean();
+  double s = 0;
+  for (double x : xs_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs_.size() - 1));
+}
+
+double Samples::percentile(double p) const {
+  ST_REQUIRE(!xs_.empty(), "Samples::percentile on empty set");
+  ST_REQUIRE(p >= 0 && p <= 100, "percentile out of range");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1 - frac) + sorted_[hi] * frac;
+}
+
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+  ST_REQUIRE(x.size() == y.size(), "fit_line: size mismatch");
+  ST_REQUIRE(x.size() >= 2, "fit_line: need at least two points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+  }
+  ST_REQUIRE(sxx > 0, "fit_line: degenerate x values");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  return fit;
+}
+
+}  // namespace stclock

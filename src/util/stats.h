@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// Small statistics helpers used by the metrics and benchmark code.
+namespace stclock {
+
+/// Online accumulator for min/max/mean/variance (Welford). O(1) memory; does
+/// not support percentiles — use Samples for that.
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0, max_ = 0, mean_ = 0, m2_ = 0;
+};
+
+/// Stores all samples; supports percentiles. Use for modest sample counts.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50); }
+
+  [[nodiscard]] const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  void ensure_sorted() const;
+};
+
+/// Least-squares fit of y = a + b*x; used by the accuracy-envelope estimator
+/// to measure the long-run rate of logical clocks against real time.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+};
+
+[[nodiscard]] LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace stclock

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "broadcast/primitive.h"
+#include "sim/simulator.h"
+
+/// Test harness for exercising a broadcast primitive in isolation: each
+/// honest node runs a PrimitiveHost that broadcasts readiness for round 1 at
+/// a configured real time (or never) and records when each round is
+/// accepted.
+namespace stclock::testing {
+
+class PrimitiveHost final : public Process {
+ public:
+  /// `ready_at` is the hardware time at which this node broadcasts readiness
+  /// for `ready_round`; nullopt means the node never becomes ready.
+  PrimitiveHost(std::unique_ptr<BroadcastPrimitive> primitive, const Simulator& sim,
+                std::optional<LocalTime> ready_at, Round ready_round = 1)
+      : primitive_(std::move(primitive)),
+        sim_(&sim),
+        ready_at_(ready_at),
+        ready_round_(ready_round) {
+    primitive_->set_accept_handler([this](Context&, Round k) {
+      accepted_[k] = sim_->now();
+    });
+  }
+
+  void on_start(Context& ctx) override {
+    if (ready_at_) ready_timer_ = ctx.set_timer_at_hardware(*ready_at_);
+  }
+
+  void on_message(Context& ctx, NodeId from, const Message& m) override {
+    primitive_->handle_message(ctx, from, m);
+  }
+
+  void on_timer(Context& ctx, TimerId id) override {
+    if (id == ready_timer_) primitive_->broadcast_ready(ctx, ready_round_);
+  }
+
+  [[nodiscard]] bool accepted(Round k) const { return accepted_.contains(k); }
+  [[nodiscard]] RealTime accept_time(Round k) const { return accepted_.at(k); }
+  [[nodiscard]] BroadcastPrimitive& primitive() { return *primitive_; }
+
+ private:
+  std::unique_ptr<BroadcastPrimitive> primitive_;
+  const Simulator* sim_;
+  std::optional<LocalTime> ready_at_;
+  Round ready_round_;
+  TimerId ready_timer_ = 0;
+  std::map<Round, RealTime> accepted_;
+};
+
+inline std::vector<HardwareClock> identity_clocks(std::uint32_t n) {
+  std::vector<HardwareClock> clocks;
+  for (std::uint32_t i = 0; i < n; ++i) clocks.emplace_back(0.0, 1.0);
+  return clocks;
+}
+
+}  // namespace stclock::testing

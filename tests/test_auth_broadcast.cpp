@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "broadcast/auth_broadcast.h"
+#include "primitive_harness.h"
+
+namespace stclock {
+namespace {
+
+using testing::PrimitiveHost;
+using testing::identity_clocks;
+
+constexpr Duration kTdel = 0.01;
+
+struct AuthFixture {
+  AuthFixture(std::uint32_t n, std::uint32_t f, double delay_fraction,
+              std::uint64_t seed = 1)
+      : registry(n, seed) {
+    SimParams params;
+    params.n = n;
+    params.tdel = kTdel;
+    params.seed = seed;
+    sim = std::make_unique<Simulator>(params, identity_clocks(n),
+                                      std::make_unique<FixedDelay>(delay_fraction),
+                                      &registry);
+    this->n = n;
+    this->f = f;
+  }
+
+  PrimitiveHost* add_host(NodeId id, std::optional<LocalTime> ready_at, Round round = 1) {
+    auto host = std::make_unique<PrimitiveHost>(std::make_unique<AuthBroadcast>(n, f), *sim,
+                                                ready_at, round);
+    PrimitiveHost* raw = host.get();
+    sim->set_process(id, std::move(host));
+    hosts.push_back(raw);
+    return raw;
+  }
+
+  crypto::KeyRegistry registry;
+  std::unique_ptr<Simulator> sim;
+  std::vector<PrimitiveHost*> hosts;
+  std::uint32_t n = 0, f = 0;
+};
+
+TEST(AuthBroadcast, RejectsInsufficientN) {
+  EXPECT_THROW(AuthBroadcast(4, 2), std::logic_error);  // needs n >= 2f+1
+  EXPECT_NO_THROW(AuthBroadcast(5, 2));
+  EXPECT_NO_THROW(AuthBroadcast(3, 1));
+}
+
+TEST(AuthBroadcast, CorrectnessAllHonestAccept) {
+  // n = 5, f = 2 with the two "faulty" nodes simply absent (crashed).
+  AuthFixture fx(5, 2, /*delay=*/1.0);
+  fx.add_host(0, 0.00);
+  fx.add_host(1, 0.01);
+  fx.add_host(2, 0.02);  // third (f+1 = 3rd) correct broadcast at t = 0.02
+  fx.sim->set_adversary({3, 4}, nullptr);
+
+  fx.sim->run_until(1.0);
+
+  for (auto* host : fx.hosts) ASSERT_TRUE(host->accepted(1));
+  // Correctness: accepted within tdel of the (f+1)-th correct broadcast.
+  for (auto* host : fx.hosts) {
+    EXPECT_GE(host->accept_time(1), 0.02);
+    EXPECT_LE(host->accept_time(1), 0.02 + kTdel + 1e-12);
+  }
+}
+
+TEST(AuthBroadcast, NoQuorumNoAcceptance) {
+  // Only f correct nodes ever broadcast: nobody may accept.
+  AuthFixture fx(5, 2, 1.0);
+  fx.add_host(0, 0.0);
+  fx.add_host(1, 0.0);
+  fx.add_host(2, std::nullopt);  // never ready
+  fx.sim->set_adversary({3, 4}, nullptr);
+
+  fx.sim->run_until(1.0);
+  for (auto* host : fx.hosts) EXPECT_FALSE(host->accepted(1));
+}
+
+TEST(AuthBroadcast, UnforgeabilityCorruptSignaturesAloneInsufficient) {
+  // f = 2 corrupted nodes flood their signatures at time 0; no honest node
+  // is ever ready. Unforgeability: nobody accepts.
+  AuthFixture fx(5, 2, 0.0);
+
+  class Spammer final : public Adversary {
+   public:
+    void on_start(AdversaryContext& ctx) override {
+      const Bytes payload = round_signing_payload(1);
+      for (NodeId c : {NodeId{3}, NodeId{4}}) {
+        const crypto::Signature sig = ctx.signer_for(c).sign(payload);
+        ctx.send_from_to_all(c, Message(RoundMsg{1, {sig}}), 0.0);
+      }
+    }
+    void on_message(AdversaryContext&, NodeId, NodeId, const Message&) override {}
+    void on_timer(AdversaryContext&, TimerId) override {}
+  };
+
+  fx.add_host(0, std::nullopt);
+  fx.add_host(1, std::nullopt);
+  fx.add_host(2, std::nullopt);
+  fx.sim->set_adversary({3, 4}, std::make_unique<Spammer>());
+
+  fx.sim->run_until(1.0);
+  for (auto* host : fx.hosts) EXPECT_FALSE(host->accepted(1));
+}
+
+TEST(AuthBroadcast, UnforgeabilityAnchorsAcceptanceToFirstHonestBroadcast) {
+  // Corrupt signatures arrive at time 0, but the single honest broadcast
+  // happens at t = 0.5: no acceptance may precede 0.5.
+  AuthFixture fx(5, 2, 0.0);
+
+  class Spammer final : public Adversary {
+   public:
+    void on_start(AdversaryContext& ctx) override {
+      const Bytes payload = round_signing_payload(1);
+      for (NodeId c : {NodeId{3}, NodeId{4}}) {
+        const crypto::Signature sig = ctx.signer_for(c).sign(payload);
+        ctx.send_from_to_all(c, Message(RoundMsg{1, {sig}}), 0.0);
+      }
+    }
+    void on_message(AdversaryContext&, NodeId, NodeId, const Message&) override {}
+    void on_timer(AdversaryContext&, TimerId) override {}
+  };
+
+  fx.add_host(0, 0.5);
+  fx.add_host(1, std::nullopt);
+  fx.add_host(2, std::nullopt);
+  fx.sim->set_adversary({3, 4}, std::make_unique<Spammer>());
+
+  fx.sim->run_until(1.0);
+  for (auto* host : fx.hosts) {
+    ASSERT_TRUE(host->accepted(1));
+    EXPECT_GE(host->accept_time(1), 0.5);
+    EXPECT_LE(host->accept_time(1), 0.5 + kTdel + 1e-12);
+  }
+}
+
+TEST(AuthBroadcast, RelayDragsEveryoneAlong) {
+  // The adversary completes a quorum at node 0 only. Node 0 must relay, so
+  // every honest node accepts within one further tdel.
+  AuthFixture fx(5, 2, 1.0);
+
+  class TargetedSpammer final : public Adversary {
+   public:
+    void on_start(AdversaryContext& ctx) override {
+      const Bytes payload = round_signing_payload(1);
+      for (NodeId c : {NodeId{3}, NodeId{4}}) {
+        const crypto::Signature sig = ctx.signer_for(c).sign(payload);
+        ctx.send_from(c, 0, Message(RoundMsg{1, {sig}}), 0.0);  // node 0 only
+      }
+    }
+    void on_message(AdversaryContext&, NodeId, NodeId, const Message&) override {}
+    void on_timer(AdversaryContext&, TimerId) override {}
+  };
+
+  // Only node 0 broadcasts; with two corrupt signatures it completes its own
+  // quorum immediately. Nodes 1 and 2 hold only node 0's signature — one
+  // short of a quorum — until the relay arrives.
+  fx.add_host(0, 0.0);
+  fx.add_host(1, std::nullopt);
+  fx.add_host(2, std::nullopt);
+  fx.sim->set_adversary({3, 4}, std::make_unique<TargetedSpammer>());
+
+  fx.sim->run_until(1.0);
+  ASSERT_TRUE(fx.hosts[0]->accepted(1));
+  const RealTime t0 = fx.hosts[0]->accept_time(1);
+  for (auto* host : fx.hosts) {
+    ASSERT_TRUE(host->accepted(1));
+    EXPECT_LE(host->accept_time(1), t0 + kTdel + 1e-12);  // Relay property
+  }
+}
+
+TEST(AuthBroadcast, DuplicateSignaturesCountOnce) {
+  // One corrupt node sends its signature many times; with f = 1 a quorum
+  // needs 2 *distinct* signers, so nothing is accepted until an honest node
+  // broadcasts.
+  AuthFixture fx(3, 1, 0.0);
+
+  class Duplicator final : public Adversary {
+   public:
+    void on_start(AdversaryContext& ctx) override {
+      const Bytes payload = round_signing_payload(1);
+      const crypto::Signature sig = ctx.signer_for(2).sign(payload);
+      for (int i = 0; i < 10; ++i) {
+        ctx.send_from_to_all(2, Message(RoundMsg{1, {sig, sig}}), 0.0);
+      }
+    }
+    void on_message(AdversaryContext&, NodeId, NodeId, const Message&) override {}
+    void on_timer(AdversaryContext&, TimerId) override {}
+  };
+
+  fx.add_host(0, 0.25);
+  fx.add_host(1, std::nullopt);
+  fx.sim->set_adversary({2}, std::make_unique<Duplicator>());
+
+  fx.sim->run_until(1.0);
+  ASSERT_TRUE(fx.hosts[0]->accepted(1));
+  EXPECT_GE(fx.hosts[0]->accept_time(1), 0.25);
+}
+
+TEST(AuthBroadcast, SignaturesAreRoundSpecific) {
+  // Signatures for round 1 must not help a round-2 quorum.
+  AuthFixture fx(3, 1, 0.0);
+
+  class CrossRoundReplayer final : public Adversary {
+   public:
+    void on_start(AdversaryContext& ctx) override {
+      // Corrupt signature correctly made for round 1 but packaged as round 2.
+      const crypto::Signature round1_sig = ctx.signer_for(2).sign(round_signing_payload(1));
+      ctx.send_from_to_all(2, Message(RoundMsg{2, {round1_sig}}), 0.0);
+    }
+    void on_message(AdversaryContext&, NodeId, NodeId, const Message&) override {}
+    void on_timer(AdversaryContext&, TimerId) override {}
+  };
+
+  // Hosts listen for round 2; node 0 broadcasts readiness for round 2.
+  fx.add_host(0, 0.1, /*round=*/2);
+  fx.add_host(1, std::nullopt, /*round=*/2);
+  fx.sim->set_adversary({2}, std::make_unique<CrossRoundReplayer>());
+
+  fx.sim->run_until(1.0);
+  // The mispackaged signature fails verification, so only node 0's own
+  // signature exists for round 2 — one short of the 2-signer quorum.
+  EXPECT_FALSE(fx.hosts[0]->accepted(2));
+  EXPECT_FALSE(fx.hosts[1]->accepted(2));
+}
+
+TEST(AuthBroadcast, ForgedMacsRejected) {
+  AuthFixture fx(3, 1, 0.0);
+
+  class Forger final : public Adversary {
+   public:
+    void on_start(AdversaryContext& ctx) override {
+      crypto::Signature fake;
+      fake.signer = 0;  // honest node
+      fake.mac.fill(0x42);
+      ctx.send_from_to_all(2, Message(RoundMsg{1, {fake}}), 0.0);
+    }
+    void on_message(AdversaryContext&, NodeId, NodeId, const Message&) override {}
+    void on_timer(AdversaryContext&, TimerId) override {}
+  };
+
+  fx.add_host(0, std::nullopt);
+  fx.add_host(1, 0.1);  // one honest broadcast: 1 valid signer < quorum of 2
+  fx.sim->set_adversary({2}, std::make_unique<Forger>());
+
+  fx.sim->run_until(1.0);
+  EXPECT_FALSE(fx.hosts[0]->accepted(1));
+  EXPECT_FALSE(fx.hosts[1]->accepted(1));
+}
+
+TEST(AuthBroadcast, ForgetBelowSilencesOldRounds) {
+  AuthFixture fx(3, 1, 0.0);
+  auto* h0 = fx.add_host(0, std::nullopt);
+  fx.add_host(1, std::nullopt);
+  fx.add_host(2, std::nullopt);
+  h0->primitive().forget_below(5);
+
+  fx.sim->run_until(0.1);
+  // Readiness for a forgotten round is a no-op (no message storm, no state).
+  EXPECT_NO_THROW(fx.sim->run_until(0.2));
+}
+
+TEST(AuthBroadcast, SoloQuorumWhenFZero) {
+  // f = 0: a node's own signature is a complete quorum; acceptance is
+  // immediate and everyone follows within tdel.
+  AuthFixture fx(3, 0, 1.0);
+  fx.add_host(0, 0.1);
+  fx.add_host(1, std::nullopt);
+  fx.add_host(2, std::nullopt);
+
+  fx.sim->run_until(1.0);
+  ASSERT_TRUE(fx.hosts[0]->accepted(1));
+  EXPECT_DOUBLE_EQ(fx.hosts[0]->accept_time(1), 0.1);
+  for (auto* host : fx.hosts) {
+    ASSERT_TRUE(host->accepted(1));
+    EXPECT_LE(host->accept_time(1), 0.1 + kTdel + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace stclock

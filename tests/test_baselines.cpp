@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "baselines/interactive_convergence.h"
+#include "baselines/leader_sync.h"
+#include "baselines/lundelius_welch.h"
+#include "baselines/unsynchronized.h"
+
+namespace stclock::baselines {
+namespace {
+
+BaselineSpec base_spec() {
+  BaselineSpec spec;
+  spec.n = 7;
+  spec.f = 2;
+  spec.rho = 1e-3;
+  spec.tdel = 0.01;
+  spec.period = 1.0;
+  spec.delta = 0.05;
+  spec.initial_sync = 0.005;
+  spec.seed = 5;
+  spec.horizon = 30.0;
+  spec.drift = DriftKind::kExtremal;
+  spec.delay = DelayKind::kHalf;
+  return spec;
+}
+
+TEST(Unsynchronized, SkewGrowsLinearlyWithDrift) {
+  const BaselineSpec spec = base_spec();
+  const BaselineResult r = run_unsynchronized(spec);
+  const double gamma = (1 + spec.rho) - 1 / (1 + spec.rho);
+  // Extremal drift: fastest and slowest clocks diverge at rate gamma.
+  EXPECT_GE(r.max_skew, 0.8 * gamma * spec.horizon);
+  EXPECT_LE(r.max_skew, gamma * spec.horizon + spec.initial_sync + 1e-9);
+}
+
+TEST(Unsynchronized, NoMessagesSent) {
+  const BaselineResult r = run_unsynchronized(base_spec());
+  EXPECT_EQ(r.messages_sent, 0u);
+}
+
+TEST(Cnv, ConvergesUnderBenignConditions) {
+  const BaselineResult r = run_interactive_convergence(base_spec());
+  // Steady-state skew bounded by roughly the reading error (tdel) plus
+  // drift per round — far below the unsynchronized linear growth.
+  EXPECT_LE(r.steady_skew, 3 * base_spec().tdel + 0.01);
+}
+
+TEST(Cnv, ToleratesCrashFaults) {
+  BaselineSpec spec = base_spec();
+  spec.attack = AttackKind::kCrash;
+  const BaselineResult r = run_interactive_convergence(spec);
+  EXPECT_LE(r.steady_skew, 3 * spec.tdel + 0.01);
+}
+
+TEST(Cnv, PullAttackAmplifiesDrift) {
+  // The paper's motivation: averaging lets f colluding nodes drag the
+  // *rate* of every correct clock. Expected bias ~ f * 0.9*delta / n per
+  // period.
+  BaselineSpec spec = base_spec();
+  spec.attack = AttackKind::kCnvPull;
+  const BaselineResult r = run_interactive_convergence(spec);
+
+  const double bias_per_period =
+      static_cast<double>(spec.f) * 0.9 * spec.delta / spec.n;
+  const double expected_rate = 1.0 + bias_per_period / spec.period;
+  // The fleet runs measurably faster than any hardware clock is allowed to.
+  EXPECT_GT(r.envelope.max_rate, 1 + spec.rho + 0.5 * bias_per_period / spec.period);
+  EXPECT_LT(r.envelope.max_rate, expected_rate + 0.01);
+}
+
+TEST(Cnv, AgreementSurvivesPullAttackEvenThoughAccuracyDoesNot) {
+  BaselineSpec spec = base_spec();
+  spec.attack = AttackKind::kCnvPull;
+  const BaselineResult r = run_interactive_convergence(spec);
+  // The attack drags everyone together: mutual skew stays bounded...
+  EXPECT_LE(r.steady_skew, 3 * spec.delta);
+  // ...while real-time accuracy is destroyed (checked above).
+}
+
+TEST(Lw, ConvergesUnderBenignConditions) {
+  const BaselineResult r = run_lundelius_welch(base_spec());
+  EXPECT_LE(r.steady_skew, 3 * base_spec().tdel + 0.01);
+}
+
+TEST(Lw, FaultTolerantMidpointResistsPullAttack) {
+  // The f-trim discards the adversary's extreme estimates: rate stays within
+  // (a hair of) the hardware envelope — the contrast case to CNV.
+  BaselineSpec spec = base_spec();
+  spec.attack = AttackKind::kLwPull;
+  const BaselineResult r = run_lundelius_welch(spec);
+  EXPECT_LT(r.envelope.max_rate, 1 + spec.rho + 5 * spec.tdel / spec.period);
+  EXPECT_LE(r.steady_skew, 5 * spec.tdel + 0.01);
+}
+
+TEST(Lw, RequiresNGreaterThan3f) {
+  LwParams params;
+  params.n = 6;
+  params.f = 2;
+  EXPECT_THROW(LwProtocol{params}, std::logic_error);
+}
+
+TEST(Leader, HonestLeaderGivesTightSkew) {
+  BaselineSpec spec = base_spec();
+  const BaselineResult r = run_leader_sync(spec, /*corrupt_leader=*/false);
+  EXPECT_LE(r.steady_skew, 3 * spec.tdel + 0.01);
+}
+
+TEST(Leader, CorruptLeaderDestroysAccuracy) {
+  BaselineSpec spec = base_spec();
+  const BaselineResult r = run_leader_sync(spec, /*corrupt_leader=*/true);
+  // Followers slave to a clock running 10% fast: rate blows far past any
+  // drift bound — a single fault defeats the scheme entirely.
+  EXPECT_GT(r.envelope.max_rate, 1.05);
+}
+
+TEST(Leader, HonestLeaderMessageCostIsLinear) {
+  BaselineSpec spec = base_spec();
+  const BaselineResult r = run_leader_sync(spec, false);
+  // ~n messages per period, ~horizon/period periods.
+  const double periods = spec.horizon / spec.period;
+  EXPECT_LT(static_cast<double>(r.messages_sent), 2.0 * spec.n * periods);
+}
+
+TEST(Baselines, DeterministicGivenSeed) {
+  const BaselineSpec spec = base_spec();
+  EXPECT_DOUBLE_EQ(run_interactive_convergence(spec).max_skew,
+                   run_interactive_convergence(spec).max_skew);
+  EXPECT_DOUBLE_EQ(run_lundelius_welch(spec).max_skew,
+                   run_lundelius_welch(spec).max_skew);
+}
+
+}  // namespace
+}  // namespace stclock::baselines

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/bytes.h"
+
+namespace stclock {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f64(3.14159);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, RoundTripSpecialDoubles) {
+  ByteWriter w;
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(Bytes, RoundTripStringsAndBytes) {
+  ByteWriter w;
+  w.str("hello, world");
+  w.str("");
+  const Bytes blob{1, 2, 3, 255};
+  w.bytes(blob);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "hello, world");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.bytes(), blob);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.data().size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u32(42);
+  ByteReader r(w.data());
+  (void)r.u32();
+  EXPECT_THROW((void)r.u8(), std::out_of_range);
+}
+
+TEST(Bytes, TruncatedLengthPrefixedThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow, but none do
+  ByteReader r(w.data());
+  EXPECT_THROW((void)r.bytes(), std::out_of_range);
+}
+
+TEST(Bytes, DistinctEncodingsForDistinctValues) {
+  // The signing payload must be injective in the round number.
+  ByteWriter a, b;
+  a.u64(1);
+  b.u64(2);
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(Hex, RoundTrip) {
+  const Bytes data{0x00, 0x7F, 0x80, 0xFF};
+  EXPECT_EQ(to_hex(data), "007f80ff");
+  EXPECT_EQ(from_hex("007f80ff"), data);
+  EXPECT_EQ(from_hex("007F80FF"), data);  // upper-case accepted
+}
+
+TEST(Hex, Malformed) {
+  EXPECT_THROW((void)from_hex("abc"), std::invalid_argument);  // odd length
+  EXPECT_THROW((void)from_hex("zz"), std::invalid_argument);   // bad digit
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+}  // namespace
+}  // namespace stclock

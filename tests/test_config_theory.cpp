@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/theory.h"
+
+namespace stclock {
+namespace {
+
+SyncConfig base_config() {
+  SyncConfig cfg;
+  cfg.n = 5;
+  cfg.f = 2;
+  cfg.rho = 1e-4;
+  cfg.tdel = 0.01;
+  cfg.period = 1.0;
+  cfg.initial_sync = 0.005;
+  cfg.variant = Variant::kAuthenticated;
+  return cfg;
+}
+
+TEST(SyncConfigTest, ValidDefaultsPass) {
+  EXPECT_NO_THROW(base_config().validate());
+}
+
+TEST(SyncConfigTest, AuthenticatedResilienceBound) {
+  SyncConfig cfg = base_config();
+  // n = 2f+1 is the authenticated limit: f = ceil(n/2) - 1.
+  cfg.n = 5;
+  cfg.f = 2;
+  EXPECT_TRUE(cfg.resilience_ok());
+  cfg.f = 3;
+  EXPECT_FALSE(cfg.resilience_ok());
+  EXPECT_THROW(cfg.validate(), std::logic_error);
+}
+
+TEST(SyncConfigTest, EchoResilienceBound) {
+  SyncConfig cfg = base_config();
+  cfg.variant = Variant::kEcho;
+  cfg.n = 7;
+  cfg.f = 2;
+  EXPECT_TRUE(cfg.resilience_ok());
+  cfg.f = 3;  // needs n >= 10
+  EXPECT_FALSE(cfg.resilience_ok());
+}
+
+TEST(SyncConfigTest, MaxFaultHelpers) {
+  EXPECT_EQ(max_faults_authenticated(3), 1u);
+  EXPECT_EQ(max_faults_authenticated(4), 1u);
+  EXPECT_EQ(max_faults_authenticated(5), 2u);
+  EXPECT_EQ(max_faults_authenticated(10), 4u);
+  EXPECT_EQ(max_faults_echo(4), 1u);
+  EXPECT_EQ(max_faults_echo(6), 1u);
+  EXPECT_EQ(max_faults_echo(7), 2u);
+  EXPECT_EQ(max_faults_echo(10), 3u);
+}
+
+TEST(SyncConfigTest, RejectsDegenerateParameters) {
+  {
+    SyncConfig cfg = base_config();
+    cfg.tdel = 0;
+    EXPECT_THROW(cfg.validate(), std::logic_error);
+  }
+  {
+    SyncConfig cfg = base_config();
+    cfg.period = 0;
+    EXPECT_THROW(cfg.validate(), std::logic_error);
+  }
+  {
+    SyncConfig cfg = base_config();
+    cfg.rho = -0.1;
+    EXPECT_THROW(cfg.validate(), std::logic_error);
+  }
+  {
+    SyncConfig cfg = base_config();
+    cfg.alpha = 2.0;  // >= period
+    EXPECT_THROW(cfg.validate(), std::logic_error);
+  }
+  {
+    // Period too small relative to delays: min period would be <= 0.
+    SyncConfig cfg = base_config();
+    cfg.period = 0.02;
+    cfg.initial_sync = 0.0;
+    EXPECT_THROW(cfg.validate(), std::logic_error);
+  }
+}
+
+TEST(TheoryTest, AcceptSpreadDependsOnVariant) {
+  SyncConfig cfg = base_config();
+  EXPECT_DOUBLE_EQ(theory::accept_spread(cfg), cfg.tdel);
+  cfg.variant = Variant::kEcho;
+  cfg.n = 7;
+  EXPECT_DOUBLE_EQ(theory::accept_spread(cfg), 2 * cfg.tdel);
+}
+
+TEST(TheoryTest, DefaultAlpha) {
+  SyncConfig cfg = base_config();
+  EXPECT_DOUBLE_EQ(theory::resolve_alpha(cfg), (1 + cfg.rho) * cfg.tdel);
+  cfg.alpha = 0.123;
+  EXPECT_DOUBLE_EQ(theory::resolve_alpha(cfg), 0.123);
+}
+
+TEST(TheoryTest, BoundsBasicShape) {
+  const auto b = theory::derive_bounds(base_config());
+  EXPECT_GT(b.precision, 0);
+  EXPECT_GT(b.min_period, 0);
+  EXPECT_GT(b.max_period, b.min_period);
+  EXPECT_GT(b.rate_hi, 1.0);
+  EXPECT_LT(b.rate_lo, 1.0);
+  EXPECT_DOUBLE_EQ(b.pulse_spread, b.accept_spread);
+}
+
+TEST(TheoryTest, PrecisionMonotoneInTdel) {
+  SyncConfig cfg = base_config();
+  const double p1 = theory::derive_bounds(cfg).precision;
+  cfg.tdel = 0.02;
+  const double p2 = theory::derive_bounds(cfg).precision;
+  EXPECT_GT(p2, p1);
+}
+
+TEST(TheoryTest, PrecisionMonotoneInRho) {
+  SyncConfig cfg = base_config();
+  const double p1 = theory::derive_bounds(cfg).precision;
+  cfg.rho = 1e-3;
+  const double p2 = theory::derive_bounds(cfg).precision;
+  EXPECT_GT(p2, p1);
+}
+
+TEST(TheoryTest, PrecisionShapeThetaOfTdelPlusRhoP) {
+  // Dmax should scale ~linearly in tdel and ~linearly in rho * P.
+  SyncConfig cfg = base_config();
+  cfg.rho = 0;
+  const double base = theory::derive_bounds(cfg).precision;
+  cfg.tdel = 2 * 0.01;
+  const double doubled_tdel = theory::derive_bounds(cfg).precision;
+  EXPECT_NEAR(doubled_tdel / base, 2.0, 0.1);
+
+  cfg.tdel = 0.01;
+  cfg.rho = 1e-3;
+  cfg.period = 10.0;
+  const double with_drift_p10 = theory::derive_bounds(cfg).precision;
+  cfg.period = 20.0;
+  const double with_drift_p20 = theory::derive_bounds(cfg).precision;
+  // The drift-dependent part doubles with P.
+  EXPECT_GT(with_drift_p20 - with_drift_p10, 0.9 * 1e-3 * 10.0);
+}
+
+TEST(TheoryTest, EchoVariantPaysFactorTwo) {
+  SyncConfig auth = base_config();
+  SyncConfig echo = base_config();
+  echo.variant = Variant::kEcho;
+  echo.n = 7;
+  const auto ba = theory::derive_bounds(auth);
+  const auto be = theory::derive_bounds(echo);
+  EXPECT_GT(be.precision, ba.precision);
+  EXPECT_DOUBLE_EQ(be.accept_spread, 2 * ba.accept_spread);
+}
+
+TEST(TheoryTest, AccuracyOptimalityAsPeriodGrows) {
+  // The rate envelope converges to the hardware bounds as P / tdel -> inf:
+  // the "optimal accuracy" claim.
+  SyncConfig cfg = base_config();
+  cfg.rho = 1e-3;
+  cfg.period = 1.0;
+  const auto b1 = theory::derive_bounds(cfg);
+  cfg.period = 100.0;
+  const auto b2 = theory::derive_bounds(cfg);
+
+  const double hw_hi = 1 + cfg.rho;
+  const double hw_lo = 1 / (1 + cfg.rho);
+  EXPECT_LT(b2.rate_hi - hw_hi, b1.rate_hi - hw_hi);
+  EXPECT_LT(hw_lo - b2.rate_lo, hw_lo - b1.rate_lo);
+  EXPECT_NEAR(b2.rate_hi, hw_hi, 5e-4);
+  EXPECT_NEAR(b2.rate_lo, hw_lo, 5e-4);
+}
+
+TEST(TheoryTest, GammaIsRelativeDriftRate) {
+  SyncConfig cfg = base_config();
+  cfg.rho = 0.01;
+  const auto b = theory::derive_bounds(cfg);
+  EXPECT_NEAR(b.gamma, (1.01) - 1 / 1.01, 1e-12);
+}
+
+TEST(TheoryTest, ZeroDriftPrecisionIsDelayOnly) {
+  SyncConfig cfg = base_config();
+  cfg.rho = 0;
+  const auto b = theory::derive_bounds(cfg);
+  // With rho = 0: Dmax = D + alpha + D = alpha + 2D, alpha defaults to D.
+  EXPECT_NEAR(b.precision, 3 * cfg.tdel, 1e-12);
+}
+
+}  // namespace
+}  // namespace stclock

@@ -1,0 +1,36 @@
+#include <gtest/gtest.h>
+
+#include "trace/counters.h"
+
+namespace stclock {
+namespace {
+
+TEST(Counters, TracksTotalsAndKinds) {
+  MessageCounters c;
+  c.on_send("round", 45);
+  c.on_send("round", 45);
+  c.on_send("echo", 9);
+  c.on_deliver("round");
+
+  EXPECT_EQ(c.total_sent(), 3u);
+  EXPECT_EQ(c.total_delivered(), 1u);
+  EXPECT_EQ(c.total_bytes(), 99u);
+  ASSERT_TRUE(c.by_kind().contains("round"));
+  EXPECT_EQ(c.by_kind().at("round").messages, 2u);
+  EXPECT_EQ(c.by_kind().at("round").bytes, 90u);
+  EXPECT_EQ(c.by_kind().at("echo").messages, 1u);
+}
+
+TEST(Counters, ResetClearsEverything) {
+  MessageCounters c;
+  c.on_send("x", 1);
+  c.on_deliver("x");
+  c.reset();
+  EXPECT_EQ(c.total_sent(), 0u);
+  EXPECT_EQ(c.total_delivered(), 0u);
+  EXPECT_EQ(c.total_bytes(), 0u);
+  EXPECT_TRUE(c.by_kind().empty());
+}
+
+}  // namespace
+}  // namespace stclock

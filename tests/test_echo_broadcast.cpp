@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "broadcast/echo_broadcast.h"
+#include "primitive_harness.h"
+
+namespace stclock {
+namespace {
+
+using testing::PrimitiveHost;
+using testing::identity_clocks;
+
+constexpr Duration kTdel = 0.01;
+
+struct EchoFixture {
+  EchoFixture(std::uint32_t n, std::uint32_t f, double delay_fraction,
+              std::uint64_t seed = 1)
+      : registry(n, seed) {
+    SimParams params;
+    params.n = n;
+    params.tdel = kTdel;
+    params.seed = seed;
+    sim = std::make_unique<Simulator>(params, identity_clocks(n),
+                                      std::make_unique<FixedDelay>(delay_fraction),
+                                      &registry);
+    this->n = n;
+    this->f = f;
+  }
+
+  PrimitiveHost* add_host(NodeId id, std::optional<LocalTime> ready_at, Round round = 1) {
+    auto host = std::make_unique<PrimitiveHost>(std::make_unique<EchoBroadcast>(n, f), *sim,
+                                                ready_at, round);
+    PrimitiveHost* raw = host.get();
+    sim->set_process(id, std::move(host));
+    hosts.push_back(raw);
+    return raw;
+  }
+
+  crypto::KeyRegistry registry;
+  std::unique_ptr<Simulator> sim;
+  std::vector<PrimitiveHost*> hosts;
+  std::uint32_t n = 0, f = 0;
+};
+
+TEST(EchoBroadcast, RejectsInsufficientN) {
+  EXPECT_THROW(EchoBroadcast(3, 1), std::logic_error);  // needs n >= 3f+1
+  EXPECT_NO_THROW(EchoBroadcast(4, 1));
+  EXPECT_NO_THROW(EchoBroadcast(7, 2));
+}
+
+TEST(EchoBroadcast, CorrectnessAllHonestAcceptWithinTwoHops) {
+  // n = 4, f = 1 with the faulty node crashed; all three honest are ready.
+  EchoFixture fx(4, 1, 1.0);
+  fx.add_host(0, 0.00);
+  fx.add_host(1, 0.01);
+  fx.add_host(2, 0.02);  // (f+1)-th correct init is at t = 0.01
+  fx.sim->set_adversary({3}, nullptr);
+
+  fx.sim->run_until(1.0);
+  for (auto* host : fx.hosts) {
+    ASSERT_TRUE(host->accepted(1));
+    // Correctness: within D = 2*tdel of f+1 correct processes being ready.
+    EXPECT_LE(host->accept_time(1), 0.01 + 2 * kTdel + 1e-12);
+  }
+}
+
+TEST(EchoBroadcast, NoAcceptWithoutEnoughCorrectInits) {
+  // Only one honest node is ever ready (f = 1 needs 2 inits to echo).
+  EchoFixture fx(4, 1, 1.0);
+  fx.add_host(0, 0.0);
+  fx.add_host(1, std::nullopt);
+  fx.add_host(2, std::nullopt);
+  fx.sim->set_adversary({3}, nullptr);
+
+  fx.sim->run_until(1.0);
+  for (auto* host : fx.hosts) EXPECT_FALSE(host->accepted(1));
+}
+
+TEST(EchoBroadcast, UnforgeabilityCorruptInitAndEchoInsufficient) {
+  // The corrupt node sends init AND echo to everyone; with no correct init
+  // the echo threshold (f+1 = 2) is never met by correct nodes, and a single
+  // corrupt echo is far below the 2f+1 = 3 acceptance threshold.
+  EchoFixture fx(4, 1, 0.0);
+
+  class Spammer final : public Adversary {
+   public:
+    void on_start(AdversaryContext& ctx) override {
+      ctx.send_from_to_all(3, Message(InitMsg{1}), 0.0);
+      ctx.send_from_to_all(3, Message(EchoMsg{1}), 0.0);
+    }
+    void on_message(AdversaryContext&, NodeId, NodeId, const Message&) override {}
+    void on_timer(AdversaryContext&, TimerId) override {}
+  };
+
+  fx.add_host(0, std::nullopt);
+  fx.add_host(1, std::nullopt);
+  fx.add_host(2, std::nullopt);
+  fx.sim->set_adversary({3}, std::make_unique<Spammer>());
+
+  fx.sim->run_until(1.0);
+  for (auto* host : fx.hosts) EXPECT_FALSE(host->accepted(1));
+}
+
+TEST(EchoBroadcast, CorruptAssistAcceleratesButRespectsAnchor) {
+  // Corrupt init+echo at time 0, single honest ready at 0.5: acceptance
+  // happens (corrupt init + honest init = 2 = f+1 -> everyone echoes; 3
+  // honest echoes + 1 corrupt >= 3) but never before the honest broadcast.
+  EchoFixture fx(4, 1, 0.0);
+
+  class Spammer final : public Adversary {
+   public:
+    void on_start(AdversaryContext& ctx) override {
+      ctx.send_from_to_all(3, Message(InitMsg{1}), 0.0);
+      ctx.send_from_to_all(3, Message(EchoMsg{1}), 0.0);
+    }
+    void on_message(AdversaryContext&, NodeId, NodeId, const Message&) override {}
+    void on_timer(AdversaryContext&, TimerId) override {}
+  };
+
+  fx.add_host(0, 0.5);
+  fx.add_host(1, std::nullopt);
+  fx.add_host(2, std::nullopt);
+  fx.sim->set_adversary({3}, std::make_unique<Spammer>());
+
+  fx.sim->run_until(1.0);
+  for (auto* host : fx.hosts) {
+    ASSERT_TRUE(host->accepted(1));
+    EXPECT_GE(host->accept_time(1), 0.5);  // Unforgeability anchor
+    EXPECT_LE(host->accept_time(1), 0.5 + 2 * kTdel + 1e-12);
+  }
+}
+
+TEST(EchoBroadcast, EchoOnEchoQuorumPath) {
+  // Send f+1 = 2 echoes (1 corrupt + 1 implied): verify that a node that
+  // saw too few inits still echoes when it sees f+1 echoes from others.
+  // Construction: n = 7, f = 2. Corrupt nodes 5, 6 send echoes to node 0
+  // only. Honest nodes 1..4 are ready (init); node 0 is not ready and —
+  // because inits to it are withheld via targeted corrupt behaviour — it
+  // must still accept through the echo-quorum path.
+  EchoFixture fx(7, 2, 1.0);
+
+  class EchoFeeder final : public Adversary {
+   public:
+    void on_start(AdversaryContext& ctx) override {
+      ctx.send_from(5, 0, Message(EchoMsg{1}), 0.0);
+      ctx.send_from(6, 0, Message(EchoMsg{1}), 0.0);
+    }
+    void on_message(AdversaryContext&, NodeId, NodeId, const Message&) override {}
+    void on_timer(AdversaryContext&, TimerId) override {}
+  };
+
+  fx.add_host(0, std::nullopt);
+  fx.add_host(1, 0.0);
+  fx.add_host(2, 0.0);
+  fx.add_host(3, 0.0);
+  fx.add_host(4, 0.0);
+  fx.sim->set_adversary({5, 6}, std::make_unique<EchoFeeder>());
+
+  fx.sim->run_until(1.0);
+  for (auto* host : fx.hosts) EXPECT_TRUE(host->accepted(1));
+}
+
+TEST(EchoBroadcast, RelayBoundHolds) {
+  // Whatever the corrupt nodes do, acceptance times of honest nodes must lie
+  // within D = 2*tdel of each other.
+  EchoFixture fx(4, 1, 1.0);
+
+  class SplitAssist final : public Adversary {
+   public:
+    void on_start(AdversaryContext& ctx) override {
+      // Help only node 0 toward echo/acceptance.
+      ctx.send_from(3, 0, Message(InitMsg{1}), 0.0);
+      ctx.send_from(3, 0, Message(EchoMsg{1}), 0.0);
+    }
+    void on_message(AdversaryContext&, NodeId, NodeId, const Message&) override {}
+    void on_timer(AdversaryContext&, TimerId) override {}
+  };
+
+  fx.add_host(0, 0.0);
+  fx.add_host(1, 0.05);
+  fx.add_host(2, 0.10);
+  fx.sim->set_adversary({3}, std::make_unique<SplitAssist>());
+
+  fx.sim->run_until(1.0);
+  RealTime lo = kTimeInfinity, hi = 0;
+  for (auto* host : fx.hosts) {
+    ASSERT_TRUE(host->accepted(1));
+    lo = std::min(lo, host->accept_time(1));
+    hi = std::max(hi, host->accept_time(1));
+  }
+  EXPECT_LE(hi - lo, 2 * kTdel + 1e-12);
+}
+
+TEST(EchoBroadcast, DuplicateInitsFromSameSenderCountOnce) {
+  EchoFixture fx(4, 1, 0.0);
+
+  class Duplicator final : public Adversary {
+   public:
+    void on_start(AdversaryContext& ctx) override {
+      for (int i = 0; i < 10; ++i) ctx.send_from_to_all(3, Message(InitMsg{1}), 0.0);
+    }
+    void on_message(AdversaryContext&, NodeId, NodeId, const Message&) override {}
+    void on_timer(AdversaryContext&, TimerId) override {}
+  };
+
+  fx.add_host(0, std::nullopt);
+  fx.add_host(1, std::nullopt);
+  fx.add_host(2, std::nullopt);
+  fx.sim->set_adversary({3}, std::make_unique<Duplicator>());
+
+  fx.sim->run_until(1.0);
+  // 10 copies of one corrupt init are still just one distinct sender: below
+  // the f+1 = 2 echo threshold.
+  for (auto* host : fx.hosts) EXPECT_FALSE(host->accepted(1));
+}
+
+TEST(EchoBroadcast, RoundsAreIndependent) {
+  // Init/echo for round 1 must not contribute to round 2.
+  EchoFixture fx(4, 1, 0.0);
+
+  class Round1Spammer final : public Adversary {
+   public:
+    void on_start(AdversaryContext& ctx) override {
+      ctx.send_from_to_all(3, Message(InitMsg{1}), 0.0);
+      ctx.send_from_to_all(3, Message(EchoMsg{1}), 0.0);
+    }
+    void on_message(AdversaryContext&, NodeId, NodeId, const Message&) override {}
+    void on_timer(AdversaryContext&, TimerId) override {}
+  };
+
+  fx.add_host(0, 0.1, /*round=*/2);
+  fx.add_host(1, std::nullopt, /*round=*/2);
+  fx.add_host(2, std::nullopt, /*round=*/2);
+  fx.sim->set_adversary({3}, std::make_unique<Round1Spammer>());
+
+  fx.sim->run_until(1.0);
+  // Round 2 has a single init (node 0): below every threshold.
+  for (auto* host : fx.hosts) EXPECT_FALSE(host->accepted(2));
+}
+
+TEST(EchoBroadcast, FaultFreeFZero) {
+  EchoFixture fx(4, 0, 1.0);
+  fx.add_host(0, 0.1);
+  fx.add_host(1, std::nullopt);
+  fx.add_host(2, std::nullopt);
+  fx.add_host(3, std::nullopt);
+
+  fx.sim->run_until(1.0);
+  // f = 0: one init suffices for echoes, one echo suffices for acceptance.
+  for (auto* host : fx.hosts) {
+    ASSERT_TRUE(host->accepted(1));
+    EXPECT_LE(host->accept_time(1), 0.1 + 2 * kTdel + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace stclock

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+
+namespace stclock {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  q.push_timer(3.0, TimerEvent{0, 1});
+  q.push_timer(1.0, TimerEvent{0, 2});
+  q.push_timer(2.0, TimerEvent{0, 3});
+
+  EXPECT_EQ(q.pop().timer.id, 2u);
+  EXPECT_EQ(q.pop().timer.id, 3u);
+  EXPECT_EQ(q.pop().timer.id, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  for (TimerId id = 1; id <= 5; ++id) q.push_timer(1.0, TimerEvent{0, id});
+  for (TimerId id = 1; id <= 5; ++id) EXPECT_EQ(q.pop().timer.id, id);
+}
+
+TEST(EventQueue, MixedTimersAndDeliveries) {
+  EventQueue q;
+  auto msg = std::make_shared<const Message>(InitMsg{1});
+  q.push_delivery(2.0, DeliveryEvent{1, 0, msg, 1.5});
+  q.push_timer(1.0, TimerEvent{0, 7});
+
+  const Event first = q.pop();
+  EXPECT_TRUE(first.is_timer);
+  const Event second = q.pop();
+  EXPECT_FALSE(second.is_timer);
+  EXPECT_EQ(second.delivery.to, 1u);
+  EXPECT_EQ(second.delivery.from, 0u);
+  EXPECT_DOUBLE_EQ(second.delivery.sent_at, 1.5);
+}
+
+TEST(EventQueue, NextTimePeeksWithoutPopping) {
+  EventQueue q;
+  q.push_timer(4.5, TimerEvent{0, 1});
+  EXPECT_DOUBLE_EQ(q.next_time(), 4.5);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EmptyQueueOperationsThrow) {
+  EventQueue q;
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, RejectsNegativeTimeAndNullMessage) {
+  EventQueue q;
+  EXPECT_THROW(q.push_timer(-1.0, TimerEvent{0, 1}), std::logic_error);
+  EXPECT_THROW(q.push_delivery(1.0, DeliveryEvent{0, 0, nullptr, 0.0}), std::logic_error);
+}
+
+TEST(EventQueue, LargeInterleavedLoad) {
+  EventQueue q;
+  // Push times 999, 998, ..., 0 then verify ascending pop order.
+  for (int i = 999; i >= 0; --i) {
+    q.push_timer(static_cast<RealTime>(i), TimerEvent{0, static_cast<TimerId>(i)});
+  }
+  RealTime prev = -1;
+  while (!q.empty()) {
+    const Event e = q.pop();
+    EXPECT_GT(e.time, prev);
+    prev = e.time;
+  }
+}
+
+}  // namespace
+}  // namespace stclock

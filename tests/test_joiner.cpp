@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+
+namespace stclock {
+namespace {
+
+RunSpec join_spec(Variant variant) {
+  SyncConfig cfg;
+  cfg.f = 1;
+  cfg.n = variant == Variant::kAuthenticated ? 5 : 7;
+  cfg.rho = 1e-3;
+  cfg.tdel = 0.01;
+  cfg.period = 1.0;
+  cfg.initial_sync = 0.005;
+  cfg.variant = variant;
+
+  RunSpec spec;
+  spec.cfg = cfg;
+  spec.seed = 3;
+  spec.horizon = 25.0;
+  spec.drift = DriftKind::kExtremal;
+  spec.delay = DelayKind::kSplit;
+  spec.joiners = 1;
+  spec.join_time = 10.3;  // mid-round, no alignment with pulses
+  return spec;
+}
+
+TEST(Joiner, IntegratesWithinOnePeriodAuth) {
+  const RunResult r = run_sync(join_spec(Variant::kAuthenticated));
+  EXPECT_TRUE(r.live);
+  EXPECT_TRUE(r.joiners_integrated);
+  // The joiner adopts the first round accepted after boot; rounds recur at
+  // most max_period apart, so integration completes within one max period.
+  EXPECT_GE(r.join_latency, 0.0);
+  EXPECT_LE(r.join_latency, r.bounds.max_period + 1e-9);
+}
+
+TEST(Joiner, IntegratesWithinOnePeriodEcho) {
+  const RunResult r = run_sync(join_spec(Variant::kEcho));
+  EXPECT_TRUE(r.live);
+  EXPECT_TRUE(r.joiners_integrated);
+  EXPECT_LE(r.join_latency, r.bounds.max_period + 1e-9);
+}
+
+TEST(Joiner, PostIntegrationSkewWithinBound) {
+  // Once integrated, the joiner counts toward the skew metric; the run-wide
+  // steady skew (which includes the joiner from its first pulse) must still
+  // meet the precision bound.
+  const RunResult r = run_sync(join_spec(Variant::kAuthenticated));
+  EXPECT_LE(r.steady_skew, r.bounds.precision);
+}
+
+TEST(Joiner, IntegrationWorksUnderByzantineInterference) {
+  RunSpec spec = join_spec(Variant::kAuthenticated);
+  spec.attack = AttackKind::kSpamEarly;
+  const RunResult r = run_sync(spec);
+  EXPECT_TRUE(r.joiners_integrated);
+  EXPECT_LE(r.steady_skew, r.bounds.precision);
+}
+
+TEST(Joiner, MultipleJoinersIntegrate) {
+  RunSpec spec = join_spec(Variant::kAuthenticated);
+  spec.joiners = 2;  // leaves 2 regular honest nodes + f crashed... still > f+1 ready
+  spec.attack = AttackKind::kNone;
+  const RunResult r = run_sync(spec);
+  EXPECT_TRUE(r.joiners_integrated);
+  EXPECT_TRUE(r.live);
+}
+
+TEST(Joiner, LateJoinDeepIntoRun) {
+  RunSpec spec = join_spec(Variant::kAuthenticated);
+  spec.horizon = 40.0;
+  spec.join_time = 31.7;
+  const RunResult r = run_sync(spec);
+  EXPECT_TRUE(r.joiners_integrated);
+  EXPECT_LE(r.join_latency, r.bounds.max_period + 1e-9);
+}
+
+TEST(Joiner, JoinerDoesNotDisruptRunningSystem) {
+  // Compare pulse behaviour with and without a joiner: the running nodes'
+  // bounds must hold in both cases.
+  RunSpec with = join_spec(Variant::kAuthenticated);
+  RunSpec without = with;
+  without.joiners = 0;
+  const RunResult a = run_sync(with);
+  const RunResult b = run_sync(without);
+  EXPECT_TRUE(a.live);
+  EXPECT_TRUE(b.live);
+  EXPECT_LE(a.steady_skew, a.bounds.precision);
+  EXPECT_LE(b.steady_skew, b.bounds.precision);
+}
+
+}  // namespace
+}  // namespace stclock

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "sim/message.h"
+
+namespace stclock {
+namespace {
+
+TEST(MessageTest, KindNames) {
+  EXPECT_EQ(message_kind(Message(RoundMsg{1, {}})), "round");
+  EXPECT_EQ(message_kind(Message(InitMsg{1})), "init");
+  EXPECT_EQ(message_kind(Message(EchoMsg{1})), "echo");
+  EXPECT_EQ(message_kind(Message(CnvValueMsg{1, 0.5})), "cnv");
+  EXPECT_EQ(message_kind(Message(LwValueMsg{1})), "lw");
+  EXPECT_EQ(message_kind(Message(LeaderTimeMsg{1, 0.5})), "leader");
+}
+
+TEST(MessageTest, RoundExtraction) {
+  EXPECT_EQ(message_round(Message(RoundMsg{42, {}})), 42u);
+  EXPECT_EQ(message_round(Message(InitMsg{7})), 7u);
+  EXPECT_EQ(message_round(Message(EchoMsg{9})), 9u);
+  EXPECT_EQ(message_round(Message(CnvValueMsg{3, 0.0})), 3u);
+}
+
+TEST(MessageTest, SizeGrowsWithSignatures) {
+  RoundMsg small{1, {}};
+  RoundMsg big{1, std::vector<crypto::Signature>(5)};
+  EXPECT_LT(message_size_bytes(Message(small)), message_size_bytes(Message(big)));
+  // Each signature adds signer id + MAC.
+  EXPECT_EQ(message_size_bytes(Message(big)) - message_size_bytes(Message(small)),
+            5 * (4 + crypto::kDigestSize));
+}
+
+TEST(MessageTest, FixedSizesForUnsignedKinds) {
+  EXPECT_EQ(message_size_bytes(Message(InitMsg{1})), message_size_bytes(Message(InitMsg{999})));
+  EXPECT_EQ(message_size_bytes(Message(EchoMsg{1})), message_size_bytes(Message(InitMsg{1})));
+  // Value-carrying kinds are 8 bytes larger.
+  EXPECT_EQ(message_size_bytes(Message(CnvValueMsg{1, 0.0})) -
+                message_size_bytes(Message(LwValueMsg{1})),
+            8u);
+}
+
+TEST(MessageTest, SigningPayloadDependsOnlyOnRound) {
+  EXPECT_EQ(round_signing_payload(5), round_signing_payload(5));
+  EXPECT_NE(round_signing_payload(5), round_signing_payload(6));
+}
+
+}  // namespace
+}  // namespace stclock

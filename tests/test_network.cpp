@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "adversary/delay_policies.h"
+#include "sim/network.h"
+
+namespace stclock {
+namespace {
+
+TEST(FixedDelayTest, ScalesWithTdel) {
+  FixedDelay policy(0.5);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.delay(0, 1, 0.0, 0.02, rng), 0.01);
+  EXPECT_DOUBLE_EQ(policy.delay(0, 1, 0.0, 1.0, rng), 0.5);
+}
+
+TEST(FixedDelayTest, RejectsOutOfRangeFraction) {
+  EXPECT_THROW(FixedDelay(-0.1), std::logic_error);
+  EXPECT_THROW(FixedDelay(1.1), std::logic_error);
+}
+
+TEST(UniformDelayTest, StaysWithinFractions) {
+  UniformDelay policy(0.25, 0.75);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = policy.delay(0, 1, 0.0, 0.04, rng);
+    EXPECT_GE(d, 0.01);
+    EXPECT_LT(d, 0.03);
+  }
+}
+
+TEST(UniformDelayTest, RejectsBadRange) {
+  EXPECT_THROW(UniformDelay(0.5, 0.4), std::logic_error);
+  EXPECT_THROW(UniformDelay(-0.1, 0.5), std::logic_error);
+  EXPECT_THROW(UniformDelay(0.5, 1.5), std::logic_error);
+}
+
+TEST(SplitDelayTest, SlowTargetsGetFullDelay) {
+  SplitDelay policy({1, 3});
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(policy.delay(0, 1, 0.0, 0.01, rng), 0.01);
+  EXPECT_DOUBLE_EQ(policy.delay(0, 3, 5.0, 0.01, rng), 0.01);
+  EXPECT_DOUBLE_EQ(policy.delay(0, 0, 0.0, 0.01, rng), 0.0);
+  EXPECT_DOUBLE_EQ(policy.delay(2, 2, 0.0, 0.01, rng), 0.0);
+}
+
+TEST(AlternatingDelayTest, GroupsFlipEachInterval) {
+  AlternatingDelay policy(1.0);
+  Rng rng(4);
+  // Phase 0: odd nodes slow.
+  EXPECT_DOUBLE_EQ(policy.delay(0, 1, 0.5, 0.01, rng), 0.01);
+  EXPECT_DOUBLE_EQ(policy.delay(0, 2, 0.5, 0.01, rng), 0.0);
+  // Phase 1: even nodes slow.
+  EXPECT_DOUBLE_EQ(policy.delay(0, 1, 1.5, 0.01, rng), 0.0);
+  EXPECT_DOUBLE_EQ(policy.delay(0, 2, 1.5, 0.01, rng), 0.01);
+}
+
+TEST(AlternatingDelayTest, RejectsNonPositiveInterval) {
+  EXPECT_THROW(AlternatingDelay(0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace stclock

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace stclock {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanRoughlyCentered) {
+  Rng rng(11);
+  double sum = 0;
+  const int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform(0.0, 1.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(17);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5u);
+}
+
+TEST(Rng, EmptyRangeThrows) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform(1.0, 0.0), std::logic_error);
+  EXPECT_THROW((void)rng.uniform_int(2, 1), std::logic_error);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0;
+  const int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialPositive) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.exponential(0.001), 0.0);
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  Rng a(42), b(42);
+  Rng fa = a.fork(), fb = b.fork();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  // Parent stream continues deterministically after the fork too.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // identity permutation is astronomically unlikely
+}
+
+}  // namespace
+}  // namespace stclock

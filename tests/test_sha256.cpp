@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace stclock::crypto {
+namespace {
+
+std::string hex_of(const Digest& d) { return to_hex(d); }
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_of(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes = exactly one block; padding then occupies a full extra block.
+  const std::string block(64, 'x');
+  const Digest one_shot = sha256(block);
+
+  Sha256 incremental;
+  incremental.update(std::string_view(block).substr(0, 13));
+  incremental.update(std::string_view(block).substr(13));
+  EXPECT_EQ(one_shot, incremental.finish());
+}
+
+TEST(Sha256, IncrementalMatchesOneShotAcrossSplits) {
+  const std::string msg =
+      "the quick brown fox jumps over the lazy dog, repeatedly and at length, "
+      "to exercise multi-block hashing paths";
+  const Digest expected = sha256(msg);
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.finish(), expected) << "split at " << split;
+  }
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes: padding fits in the same block; 56: spills into the next.
+  EXPECT_EQ(hex_of(sha256(std::string(55, 'a'))),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(hex_of(sha256(std::string(56, 'a'))),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(sha256("round-1"), sha256("round-2"));
+  EXPECT_NE(sha256("a"), sha256("b"));
+}
+
+TEST(Sha256, ReuseAfterFinishThrows) {
+  Sha256 h;
+  h.update("data");
+  (void)h.finish();
+  EXPECT_THROW(h.update("more"), std::logic_error);
+  EXPECT_THROW((void)h.finish(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace stclock::crypto

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "crypto/signature.h"
+#include "sim/message.h"
+
+namespace stclock {
+namespace {
+
+TEST(Signature, SignVerifyRoundTrip) {
+  const crypto::KeyRegistry registry(4, 1);
+  const Bytes payload = round_signing_payload(7);
+  const crypto::Signature sig = registry.signer_for(2).sign(payload);
+  EXPECT_EQ(sig.signer, 2u);
+  EXPECT_TRUE(registry.verify(sig, payload));
+}
+
+TEST(Signature, WrongPayloadRejected) {
+  const crypto::KeyRegistry registry(4, 1);
+  const crypto::Signature sig = registry.signer_for(0).sign(round_signing_payload(7));
+  EXPECT_FALSE(registry.verify(sig, round_signing_payload(8)));
+}
+
+TEST(Signature, CrossSignerRejected) {
+  const crypto::KeyRegistry registry(4, 1);
+  const Bytes payload = round_signing_payload(1);
+  crypto::Signature sig = registry.signer_for(0).sign(payload);
+  sig.signer = 1;  // claim somebody else signed it
+  EXPECT_FALSE(registry.verify(sig, payload));
+}
+
+TEST(Signature, TamperedMacRejected) {
+  const crypto::KeyRegistry registry(4, 1);
+  const Bytes payload = round_signing_payload(1);
+  crypto::Signature sig = registry.signer_for(0).sign(payload);
+  sig.mac[0] ^= 0x01;
+  EXPECT_FALSE(registry.verify(sig, payload));
+}
+
+TEST(Signature, UnknownSignerRejected) {
+  const crypto::KeyRegistry registry(4, 1);
+  crypto::Signature sig;
+  sig.signer = 99;  // not a registered node
+  EXPECT_FALSE(registry.verify(sig, round_signing_payload(1)));
+}
+
+TEST(Signature, DistinctRegistriesIncompatible) {
+  // Two systems with different master seeds must not accept each other's
+  // signatures (models separate PKIs).
+  const crypto::KeyRegistry a(4, 1), b(4, 2);
+  const Bytes payload = round_signing_payload(3);
+  const crypto::Signature sig = a.signer_for(0).sign(payload);
+  EXPECT_FALSE(b.verify(sig, payload));
+}
+
+TEST(Signature, DeterministicAcrossReconstruction) {
+  const Bytes payload = round_signing_payload(5);
+  const crypto::KeyRegistry a(4, 99), b(4, 99);
+  EXPECT_EQ(a.signer_for(3).sign(payload), b.signer_for(3).sign(payload));
+}
+
+TEST(Signature, SignerOutOfRangeThrows) {
+  const crypto::KeyRegistry registry(4, 1);
+  EXPECT_THROW((void)registry.signer_for(4), std::logic_error);
+}
+
+TEST(Signature, RoundPayloadsAreInjective) {
+  EXPECT_NE(round_signing_payload(1), round_signing_payload(2));
+  EXPECT_NE(round_signing_payload(0), round_signing_payload(1));
+  // Large rounds too (bit patterns beyond 32 bits).
+  EXPECT_NE(round_signing_payload(1ULL << 40), round_signing_payload((1ULL << 40) + 1));
+}
+
+}  // namespace
+}  // namespace stclock

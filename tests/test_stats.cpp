@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace stclock {
+namespace {
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Accumulator, EmptyThrows) {
+  Accumulator acc;
+  EXPECT_THROW((void)acc.mean(), std::logic_error);
+  EXPECT_THROW((void)acc.min(), std::logic_error);
+}
+
+TEST(Accumulator, NumericallyStableMean) {
+  Accumulator acc;
+  for (int i = 0; i < 1'000'000; ++i) acc.add(1e9 + (i % 2));
+  EXPECT_NEAR(acc.mean(), 1e9 + 0.5, 1e-3);
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+}
+
+TEST(Samples, PercentileSingleton) {
+  Samples s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+}
+
+TEST(Samples, SortingIsLazyButCorrectAfterMoreAdds) {
+  Samples s;
+  s.add(3);
+  s.add(1);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(0.5);  // add after a sorted query
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Samples, OutOfRangePercentileThrows) {
+  Samples s;
+  s.add(1.0);
+  EXPECT_THROW((void)s.percentile(-1), std::logic_error);
+  EXPECT_THROW((void)s.percentile(101), std::logic_error);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y{1, 3, 5, 7, 9};  // y = 1 + 2x
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisySlopeRecovered) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 1000; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + ((i % 3) - 1) * 0.01);  // slope 0.5 + bounded noise
+  }
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-4);
+}
+
+TEST(LinearFitTest, DegenerateInputsThrow) {
+  EXPECT_THROW((void)fit_line({1.0}, {1.0}), std::logic_error);           // too few
+  EXPECT_THROW((void)fit_line({1, 2}, {1.0}), std::logic_error);          // mismatch
+  EXPECT_THROW((void)fit_line({2, 2, 2}, {1, 2, 3}), std::logic_error);   // flat x
+}
+
+}  // namespace
+}  // namespace stclock

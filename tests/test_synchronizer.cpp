@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "adversary/delay_policies.h"
+#include "clocks/drift_models.h"
+#include "core/synchronizer.h"
+#include "sim/simulator.h"
+
+namespace stclock {
+namespace {
+
+SyncConfig lockstep_config() {
+  SyncConfig cfg;
+  cfg.n = 5;
+  cfg.f = 2;
+  cfg.rho = 1e-3;
+  cfg.tdel = 0.01;
+  cfg.period = 1.0;
+  cfg.initial_sync = 0.005;
+  return cfg;
+}
+
+/// Records everything; used to verify the lockstep contract.
+class RecordingApp final : public LockstepApp {
+ public:
+  std::uint64_t on_round(NodeId self, std::uint64_t round) override {
+    rounds_entered.push_back(round);
+    return self * 1000 + round;  // payload encodes (sender, round)
+  }
+  void on_round_message(NodeId from, std::uint64_t round, std::uint64_t payload) override {
+    received[round].emplace(from, payload);
+  }
+
+  std::vector<std::uint64_t> rounds_entered;
+  std::map<std::uint64_t, std::set<std::pair<NodeId, std::uint64_t>>> received;
+};
+
+struct LockstepHarness {
+  explicit LockstepHarness(const SyncConfig& cfg, double delay_fraction = 1.0,
+                           Duration round_duration = 0, std::uint32_t crashed = 0)
+      : registry(cfg.n, 1) {
+    const Duration delta =
+        round_duration > 0 ? round_duration : min_lockstep_round_duration(cfg);
+    SimParams params;
+    params.n = cfg.n;
+    params.tdel = cfg.tdel;
+    params.seed = 1;
+    sim = std::make_unique<Simulator>(params, drift::adversarial_fleet(cfg.n, cfg.rho,
+                                                                       cfg.initial_sync),
+                                      std::make_unique<FixedDelay>(delay_fraction),
+                                      &registry);
+    std::vector<NodeId> corrupt;
+    for (NodeId id = cfg.n - crashed; id < cfg.n; ++id) corrupt.push_back(id);
+    if (!corrupt.empty()) sim->set_adversary(corrupt, nullptr);
+
+    for (NodeId id = 0; id < cfg.n - crashed; ++id) {
+      auto app = std::make_unique<RecordingApp>();
+      apps.push_back(app.get());
+      auto node = std::make_unique<SynchronizedApp>(cfg, delta,
+                                                    /*first_round_at=*/3 * cfg.period,
+                                                    std::move(app));
+      nodes.push_back(node.get());
+      sim->set_process(id, std::move(node));
+    }
+  }
+
+  crypto::KeyRegistry registry;
+  std::unique_ptr<Simulator> sim;
+  std::vector<RecordingApp*> apps;
+  std::vector<SynchronizedApp*> nodes;
+};
+
+TEST(Synchronizer, MinRoundDurationScalesWithBounds) {
+  SyncConfig cfg = lockstep_config();
+  const Duration base = min_lockstep_round_duration(cfg);
+  EXPECT_GT(base, 0);
+  cfg.tdel *= 2;
+  EXPECT_GT(min_lockstep_round_duration(cfg), base);
+}
+
+TEST(Synchronizer, RejectsTooShortRounds) {
+  const SyncConfig cfg = lockstep_config();
+  EXPECT_THROW(SynchronizedApp(cfg, min_lockstep_round_duration(cfg) / 2, 1.0,
+                               std::make_unique<RecordingApp>()),
+               std::logic_error);
+}
+
+TEST(Synchronizer, AllNodesExecuteSameRoundsInOrder) {
+  LockstepHarness h(lockstep_config());
+  h.sim->run_until(20.0);
+
+  ASSERT_FALSE(h.apps.empty());
+  const auto& reference = h.apps[0]->rounds_entered;
+  EXPECT_GE(reference.size(), 100u);  // many lockstep rounds in 17 s
+  for (const auto* app : h.apps) {
+    EXPECT_EQ(app->rounds_entered, reference);
+  }
+  // Rounds are consecutive starting at 1.
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(reference[i], i + 1);
+  }
+}
+
+TEST(Synchronizer, NoLateMessagesWhenDurationRespectsBound) {
+  LockstepHarness h(lockstep_config());
+  h.sim->run_until(20.0);
+  for (const auto* node : h.nodes) EXPECT_EQ(node->late_messages(), 0u);
+}
+
+TEST(Synchronizer, EveryRoundDeliversAllHonestMessages) {
+  LockstepHarness h(lockstep_config());
+  h.sim->run_until(20.0);
+
+  const std::uint64_t last_full_round = h.nodes[0]->rounds_executed() - 2;
+  for (std::size_t i = 0; i < h.apps.size(); ++i) {
+    for (std::uint64_t r = 1; r <= last_full_round; ++r) {
+      ASSERT_TRUE(h.apps[i]->received.contains(r)) << "node " << i << " round " << r;
+      // n messages per round: one from every node including self.
+      EXPECT_EQ(h.apps[i]->received.at(r).size(), h.apps.size())
+          << "node " << i << " round " << r;
+      // Payload integrity: (sender, sender*1000 + r).
+      for (const auto& [from, payload] : h.apps[i]->received.at(r)) {
+        EXPECT_EQ(payload, from * 1000 + r);
+      }
+    }
+  }
+}
+
+TEST(Synchronizer, SurvivesCrashedNodes) {
+  LockstepHarness h(lockstep_config(), 1.0, 0, /*crashed=*/2);
+  h.sim->run_until(20.0);
+  const std::uint64_t last_full_round = h.nodes[0]->rounds_executed() - 2;
+  EXPECT_GE(last_full_round, 50u);
+  for (const auto* node : h.nodes) EXPECT_EQ(node->late_messages(), 0u);
+  // Each round now delivers exactly the 3 honest messages.
+  for (const auto* app : h.apps) {
+    for (std::uint64_t r = 1; r <= last_full_round; ++r) {
+      EXPECT_EQ(app->received.at(r).size(), h.apps.size());
+    }
+  }
+}
+
+TEST(Synchronizer, PulseObserverForwards) {
+  LockstepHarness h(lockstep_config());
+  std::uint64_t pulses = 0;
+  for (auto* node : h.nodes) {
+    node->set_pulse_observer([&pulses](NodeId, Round) { ++pulses; });
+  }
+  h.sim->run_until(10.0);
+  EXPECT_GT(pulses, 0u);
+}
+
+/// Flooding-minimum demo: after f+1-ish rounds everyone knows the global
+/// minimum input — the classic synchronous-algorithm exercise, run on top of
+/// simulated synchrony.
+class MinFloodApp final : public LockstepApp {
+ public:
+  explicit MinFloodApp(std::uint64_t input) : min_(input) {}
+
+  std::uint64_t on_round(NodeId, std::uint64_t) override { return min_; }
+  void on_round_message(NodeId, std::uint64_t, std::uint64_t payload) override {
+    min_ = std::min(min_, payload);
+  }
+
+  [[nodiscard]] std::uint64_t current_min() const { return min_; }
+
+ private:
+  std::uint64_t min_;
+};
+
+TEST(Synchronizer, MinFloodConvergesInOneRound) {
+  const SyncConfig cfg = lockstep_config();
+  const crypto::KeyRegistry registry(cfg.n, 1);
+  SimParams params;
+  params.n = cfg.n;
+  params.tdel = cfg.tdel;
+  params.seed = 1;
+  Simulator sim(params, drift::adversarial_fleet(cfg.n, cfg.rho, cfg.initial_sync),
+                std::make_unique<FixedDelay>(1.0), &registry);
+
+  std::vector<MinFloodApp*> apps;
+  for (NodeId id = 0; id < cfg.n; ++id) {
+    auto app = std::make_unique<MinFloodApp>(100 + id * 7);
+    apps.push_back(app.get());
+    sim.set_process(id, std::make_unique<SynchronizedApp>(
+                            cfg, min_lockstep_round_duration(cfg), 3 * cfg.period,
+                            std::move(app)));
+  }
+  sim.run_until(10.0);
+  // Fully connected: one complete exchange suffices for the global min.
+  for (const auto* app : apps) EXPECT_EQ(app->current_min(), 100u);
+}
+
+}  // namespace
+}  // namespace stclock
