@@ -1,18 +1,26 @@
 #pragma once
 
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "baselines/baseline.h"
-#include "core/runner.h"
+#include "experiment/registry.h"
+#include "experiment/scenario.h"
+#include "experiment/sinks.h"
+#include "experiment/sweep.h"
 #include "util/table.h"
 
-/// Shared defaults for the experiment harnesses. Every experiment runs the
-/// protocol under *adversarial* conditions by default — worst-case drift
-/// (extremal rates), worst-case delay assignment (split), and an active
-/// attack — because that is the regime the paper's bounds are about.
+/// Shared harness for the experiment binaries, built on the unified scenario
+/// API: every experiment declares its grid as ScenarioSpec cells, executes
+/// them through a SweepRunner (parallel with --threads), and either renders
+/// its bespoke figure table or dumps the standard machine-readable sink
+/// (--csv / --json).
+///
+/// Every experiment runs the protocol under *adversarial* conditions by
+/// default — worst-case drift (extremal rates), worst-case delay assignment
+/// (split), and an active attack — because that is the regime the paper's
+/// bounds are about.
 namespace stclock::bench {
 
 inline SyncConfig default_auth_config() {
@@ -34,9 +42,12 @@ inline SyncConfig default_echo_config() {
   return cfg;
 }
 
-inline RunSpec adversarial_spec(SyncConfig cfg, RealTime horizon = 30.0,
-                                std::uint64_t seed = 1) {
-  RunSpec spec;
+/// Worst-case scenario for a Srikanth–Toueg config: extremal drift, split
+/// delays, spam-early attack; the protocol name follows cfg.variant.
+inline experiment::ScenarioSpec adversarial_scenario(SyncConfig cfg, RealTime horizon = 30.0,
+                                                     std::uint64_t seed = 1) {
+  experiment::ScenarioSpec spec;
+  spec.protocol = cfg.variant == Variant::kEcho ? "echo" : "auth";
   spec.cfg = cfg;
   spec.seed = seed;
   spec.horizon = horizon;
@@ -44,6 +55,17 @@ inline RunSpec adversarial_spec(SyncConfig cfg, RealTime horizon = 30.0,
   spec.delay = DelayKind::kSplit;
   spec.attack = AttackKind::kSpamEarly;
   return spec;
+}
+
+/// Grid-axis value that swaps in a whole ST config (and matching protocol):
+/// the standard "variant" axis of the T/F experiments. Because it replaces
+/// cfg wholesale, declare this axis FIRST — a variant axis applied after a
+/// cfg-mutating axis would silently undo that axis's mutation.
+inline experiment::SweepGrid::Value variant_value(const SyncConfig& cfg) {
+  return {cfg.variant_name(), [cfg](experiment::ScenarioSpec& spec) {
+            spec.cfg = cfg;
+            spec.protocol = cfg.variant == Variant::kEcho ? "echo" : "auth";
+          }};
 }
 
 inline void print_header(const char* experiment, const char* claim) {
@@ -54,11 +76,15 @@ inline void print_header(const char* experiment, const char* claim) {
 }
 
 /// Command-line options shared by every experiment binary:
-///   --seed N   rerun the experiment with a different random seed
-///   --csv      emit CSV instead of the aligned table (for plotting)
+///   --seed N     rerun the experiment with a different random seed
+///   --threads N  run the scenario grid on N worker threads (0 = all cores)
+///   --csv        emit CSV instead of the aligned table (for plotting)
+///   --json       emit the standard JSON sink with every spec+metric field
 struct Options {
   std::uint64_t seed = 1;
+  unsigned threads = 1;
   bool csv = false;
+  bool json = false;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -67,10 +93,14 @@ inline Options parse_options(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--csv") {
       opts.csv = true;
+    } else if (arg == "--json") {
+      opts.json = true;
     } else if (arg == "--seed" && i + 1 < argc) {
       opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opts.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << argv[0] << " [--seed N] [--csv]\n";
+      std::cout << "usage: " << argv[0] << " [--seed N] [--threads N] [--csv] [--json]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown option: " << arg << " (try --help)\n";
@@ -78,6 +108,29 @@ inline Options parse_options(int argc, char** argv) {
     }
   }
   return opts;
+}
+
+/// Banner variant that keeps stdout machine-parseable: under --json the
+/// whole stream must be the JSON document, so the banner is suppressed.
+inline void print_header(const char* experiment, const char* claim, const Options& opts) {
+  if (opts.json) return;
+  print_header(experiment, claim);
+}
+
+/// Executes every cell on the option-selected worker pool.
+inline std::vector<experiment::ScenarioResult> run_cells(
+    const std::vector<experiment::SweepCell>& cells, const Options& opts) {
+  return experiment::SweepRunner(opts.threads).run(cells);
+}
+
+/// Emits the standard machine-readable dump when --json was passed. Returns
+/// true if it did — callers then skip their bespoke table.
+inline bool emit_json(const std::vector<experiment::SweepCell>& cells,
+                      const std::vector<experiment::ScenarioResult>& results,
+                      const Options& opts) {
+  if (!opts.json) return false;
+  experiment::write_json(std::cout, cells, results);
+  return true;
 }
 
 inline void emit(const Table& table, const Options& opts) {

@@ -13,13 +13,18 @@
 int main(int argc, char** argv) {
   const stclock::bench::Options opts = stclock::bench::parse_options(argc, argv);
   using namespace stclock;
-  bench::print_header("F1 — Skew trace", "skew is a bounded sawtooth, never exceeding Dmax");
+  bench::print_header("F1 — Skew trace", "skew is a bounded sawtooth, never exceeding Dmax", opts);
 
   SyncConfig cfg = bench::default_auth_config();
   cfg.rho = 1e-3;  // visible drift component
-  RunSpec spec = bench::adversarial_spec(cfg, /*horizon=*/30.0, opts.seed);
-  spec.skew_series_interval = 0.25;
-  const RunResult r = run_sync(spec);
+  experiment::SweepCell cell;
+  cell.labels = {{"figure", "f1-skew-trace"}};
+  cell.spec = bench::adversarial_scenario(cfg, /*horizon=*/30.0, opts.seed);
+  cell.spec.skew_series_interval = 0.25;
+  const std::vector<experiment::SweepCell> cells = {cell};
+  const std::vector<experiment::ScenarioResult> results = bench::run_cells(cells, opts);
+  const experiment::ScenarioResult& r = results[0];
+  if (bench::emit_json(cells, results, opts)) return 0;
 
   std::cout << "# csv: time_s,skew_s,dmax_s\n";
   Table csv({"time_s", "skew_s", "dmax_s"});

@@ -7,107 +7,103 @@
 // rate beyond any hardware bound.
 //
 // Figure data: fitted long-run rate of each algorithm's logical clocks under
-// its worst implemented attack, against the hardware envelope.
+// its worst implemented attack, against the hardware envelope. Every
+// algorithm is one registry name; the whole figure is a single sweep.
 
-#include "baselines/hssd_sync.h"
-#include "baselines/interactive_convergence.h"
-#include "baselines/leader_sync.h"
-#include "baselines/lundelius_welch.h"
-#include "baselines/unsynchronized.h"
 #include "bench_common.h"
+
+namespace stclock {
+namespace {
+
+constexpr double kRho = 1e-4;
+
+experiment::ScenarioSpec cell_spec(const std::string& protocol, AttackKind attack,
+                                   std::uint64_t seed, std::uint32_t f = 2) {
+  SyncConfig cfg = bench::default_auth_config();
+  cfg.f = f;
+  cfg.rho = kRho;
+  experiment::ScenarioSpec spec = bench::adversarial_scenario(cfg, /*horizon=*/60.0, seed);
+  spec.protocol = protocol;
+  spec.attack = attack;
+  if (protocol == "echo") spec.cfg.variant = Variant::kEcho;
+  return spec;
+}
+
+}  // namespace
+}  // namespace stclock
 
 int main(int argc, char** argv) {
   const stclock::bench::Options opts = stclock::bench::parse_options(argc, argv);
   using namespace stclock;
-  using namespace stclock::baselines;
   bench::print_header("F2 — Accuracy envelope under attack",
                       "ST logical-clock rates stay hardware-optimal; averaging "
-                      "(CNV) amplifies drift under f colluding nodes");
+                      "(CNV) amplifies drift under f colluding nodes", opts);
 
-  constexpr double kRho = 1e-4;
   const double hw_hi = 1 + kRho;
   const double hw_lo = 1 / (1 + kRho);
+  const std::string hw_envelope =
+      "[" + Table::num(hw_lo, 6) + ", " + Table::num(hw_hi, 6) + "]";
+
+  std::vector<experiment::SweepCell> cells;
+  auto add_cell = [&cells](const std::string& algorithm, const std::string& attack_label,
+                           experiment::ScenarioSpec spec) {
+    experiment::SweepCell cell;
+    cell.index = cells.size();
+    cell.labels = {{"algorithm", algorithm}, {"attack", attack_label}};
+    cell.spec = std::move(spec);
+    cells.push_back(std::move(cell));
+  };
+  add_cell("srikanth-toueg-auth", "spam-early",
+           cell_spec("auth", AttackKind::kSpamEarly, opts.seed));
+  add_cell("srikanth-toueg-echo", "spam-early",
+           cell_spec("echo", AttackKind::kSpamEarly, opts.seed));
+  add_cell("lundelius-welch", "lw-pull", cell_spec("lundelius_welch", AttackKind::kLwPull,
+                                                   opts.seed));
+  add_cell("interactive-conv", "cnv-pull",
+           cell_spec("interactive_convergence", AttackKind::kCnvPull, opts.seed));
+  // HSSD accepts on a single signature within a plausibility window: ONE
+  // corrupted node advances every clock by ~window per period.
+  add_cell("hssd-single-sig", "hssd-early (1 node)",
+           cell_spec("hssd", AttackKind::kHssdEarly, opts.seed, /*f=*/1));
+  add_cell("leader-sync", "leader-lie",
+           cell_spec("leader_corrupt", AttackKind::kNone, opts.seed));
+  add_cell("unsynchronized", "-", cell_spec("unsynchronized", AttackKind::kNone, opts.seed));
+
+  const std::vector<experiment::ScenarioResult> results = bench::run_cells(cells, opts);
+  if (bench::emit_json(cells, results, opts)) return 0;
 
   Table table({"algorithm", "attack", "min rate", "max rate", "hw envelope",
                "theory ceiling", "verdict"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const experiment::ScenarioResult& r = results[i];
+    const std::string& algorithm = cells[i].labels[0].second;
+    const experiment::ScenarioSpec& spec = cells[i].spec;
 
-  auto add_st = [&](Variant variant) {
-    SyncConfig cfg = bench::default_auth_config();
-    cfg.f = 2;
-    cfg.rho = kRho;
-    cfg.variant = variant;
-    RunSpec spec = bench::adversarial_spec(cfg, /*horizon=*/60.0, opts.seed);
-    const RunResult r = run_sync(spec);
-    const bool optimal = r.envelope.max_rate <= r.bounds.rate_hi + r.rate_fit_tolerance &&
-                         r.envelope.min_rate >= r.bounds.rate_lo - r.rate_fit_tolerance;
-    table.add_row({std::string("srikanth-toueg-") + cfg.variant_name(), "spam-early",
-                   Table::num(r.envelope.min_rate, 6), Table::num(r.envelope.max_rate, 6),
-                   "[" + Table::num(hw_lo, 6) + ", " + Table::num(hw_hi, 6) + "]",
-                   Table::num(r.bounds.rate_hi, 6),
-                   optimal ? "hardware-optimal" : "VIOLATED"});
-  };
-  add_st(Variant::kAuthenticated);
-  add_st(Variant::kEcho);
-
-  BaselineSpec spec;
-  spec.n = 7;
-  spec.f = 2;
-  spec.rho = kRho;
-  spec.tdel = 0.01;
-  spec.period = 1.0;
-  spec.delta = 0.05;
-  spec.initial_sync = 0.005;
-  spec.horizon = 60.0;
-  spec.drift = DriftKind::kExtremal;
-  spec.delay = DelayKind::kSplit;
-
-  {
-    BaselineSpec s = spec;
-    s.attack = AttackKind::kLwPull;
-    const BaselineResult r = run_lundelius_welch(s);
-    // Asymmetric delays bias every reading by up to tdel/2, so LW (like ST)
-    // carries an inherent O(tdel/P) rate term; the f-trim keeps the
-    // *attack* from adding anything beyond it.
-    const bool resists = r.envelope.max_rate < hw_hi + s.tdel / s.period;
-    table.add_row({"lundelius-welch", "lw-pull", Table::num(r.envelope.min_rate, 6),
-                   Table::num(r.envelope.max_rate, 6),
-                   "[" + Table::num(hw_lo, 6) + ", " + Table::num(hw_hi, 6) + "]", "-",
-                   resists ? "resists (delay-bias only)" : "amplified"});
-  }
-  {
-    BaselineSpec s = spec;
-    s.attack = AttackKind::kCnvPull;
-    const BaselineResult r = run_interactive_convergence(s);
-    table.add_row({"interactive-conv", "cnv-pull", Table::num(r.envelope.min_rate, 6),
-                   Table::num(r.envelope.max_rate, 6),
-                   "[" + Table::num(hw_lo, 6) + ", " + Table::num(hw_hi, 6) + "]", "-",
-                   r.envelope.max_rate > hw_hi + 0.001 ? "drift AMPLIFIED" : "unexpected"});
-  }
-  {
-    // HSSD accepts on a single signature within a plausibility window: ONE
-    // corrupted node advances every clock by ~window per period.
-    BaselineSpec s = spec;
-    s.f = 1;
-    s.attack = AttackKind::kHssdEarly;
-    const BaselineResult r = run_hssd(s);
-    table.add_row({"hssd-single-sig", "hssd-early (1 node)",
-                   Table::num(r.envelope.min_rate, 6), Table::num(r.envelope.max_rate, 6),
-                   "[" + Table::num(hw_lo, 6) + ", " + Table::num(hw_hi, 6) + "]", "-",
-                   r.envelope.max_rate > hw_hi + 0.005 ? "drift AMPLIFIED" : "unexpected"});
-  }
-  {
-    const BaselineResult r = run_leader_sync(spec, /*corrupt_leader=*/true);
-    table.add_row({"leader-sync", "leader-lie", Table::num(r.envelope.min_rate, 6),
-                   Table::num(r.envelope.max_rate, 6),
-                   "[" + Table::num(hw_lo, 6) + ", " + Table::num(hw_hi, 6) + "]", "-",
-                   r.envelope.max_rate > 1.05 ? "fully hijacked" : "unexpected"});
-  }
-  {
-    const BaselineResult r = run_unsynchronized(spec);
-    table.add_row({"unsynchronized", "-", Table::num(r.envelope.min_rate, 6),
-                   Table::num(r.envelope.max_rate, 6),
-                   "[" + Table::num(hw_lo, 6) + ", " + Table::num(hw_hi, 6) + "]", "-",
-                   "hardware itself"});
+    std::string ceiling = "-";
+    std::string verdict;
+    if (algorithm == "srikanth-toueg-auth" || algorithm == "srikanth-toueg-echo") {
+      const bool optimal =
+          r.envelope.max_rate <= r.bounds.rate_hi + r.rate_fit_tolerance &&
+          r.envelope.min_rate >= r.bounds.rate_lo - r.rate_fit_tolerance;
+      ceiling = Table::num(r.bounds.rate_hi, 6);
+      verdict = optimal ? "hardware-optimal" : "VIOLATED";
+    } else if (algorithm == "lundelius-welch") {
+      // Asymmetric delays bias every reading by up to tdel/2, so LW (like ST)
+      // carries an inherent O(tdel/P) rate term; the f-trim keeps the
+      // *attack* from adding anything beyond it.
+      const bool resists = r.envelope.max_rate < hw_hi + spec.cfg.tdel / spec.cfg.period;
+      verdict = resists ? "resists (delay-bias only)" : "amplified";
+    } else if (algorithm == "interactive-conv") {
+      verdict = r.envelope.max_rate > hw_hi + 0.001 ? "drift AMPLIFIED" : "unexpected";
+    } else if (algorithm == "hssd-single-sig") {
+      verdict = r.envelope.max_rate > hw_hi + 0.005 ? "drift AMPLIFIED" : "unexpected";
+    } else if (algorithm == "leader-sync") {
+      verdict = r.envelope.max_rate > 1.05 ? "fully hijacked" : "unexpected";
+    } else {
+      verdict = "hardware itself";
+    }
+    table.add_row({algorithm, cells[i].labels[1].second, Table::num(r.envelope.min_rate, 6),
+                   Table::num(r.envelope.max_rate, 6), hw_envelope, ceiling, verdict});
   }
 
   stclock::bench::emit(table, opts);

@@ -11,22 +11,30 @@ int main(int argc, char** argv) {
   using namespace stclock;
   bench::print_header("F3 — Skew vs drift bound rho",
                       "Dmax = Theta(tdel + rho*P): flat in rho until rho*P ~ tdel, "
-                      "then linear");
+                      "then linear", opts);
+
+  experiment::SweepGrid grid(bench::adversarial_scenario(bench::default_auth_config(), 30.0,
+                                                         opts.seed));
+  grid.axis("variant", {bench::variant_value(bench::default_auth_config()),
+                        bench::variant_value(bench::default_echo_config())});
+  std::vector<experiment::SweepGrid::Value> rhos;
+  for (const double rho : {0.0, 1e-5, 1e-4, 1e-3, 3e-3, 1e-2}) {
+    rhos.emplace_back(Table::sci(rho, 1),
+                      [rho](experiment::ScenarioSpec& spec) { spec.cfg.rho = rho; });
+  }
+  grid.axis("rho", std::move(rhos));
+
+  const std::vector<experiment::SweepCell> cells = grid.cells();
+  const std::vector<experiment::ScenarioResult> results = bench::run_cells(cells, opts);
+  if (bench::emit_json(cells, results, opts)) return 0;
 
   Table table({"variant", "rho", "skew(s)", "Dmax(s)", "ratio", "live"});
-  for (const Variant variant : {Variant::kAuthenticated, Variant::kEcho}) {
-    for (const double rho : {0.0, 1e-5, 1e-4, 1e-3, 3e-3, 1e-2}) {
-      SyncConfig cfg = variant == Variant::kAuthenticated
-                           ? bench::default_auth_config()
-                           : bench::default_echo_config();
-      cfg.rho = rho;
-      const RunSpec spec = bench::adversarial_spec(cfg, 30.0, opts.seed);
-      const RunResult r = run_sync(spec);
-      table.add_row({cfg.variant_name(), Table::sci(rho, 1), Table::sci(r.steady_skew),
-                     Table::sci(r.bounds.precision),
-                     Table::num(r.steady_skew / r.bounds.precision, 2),
-                     r.live ? "yes" : "NO"});
-    }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const experiment::ScenarioResult& r = results[i];
+    table.add_row({cells[i].spec.cfg.variant_name(), Table::sci(cells[i].spec.cfg.rho, 1),
+                   Table::sci(r.steady_skew), Table::sci(r.bounds.precision),
+                   Table::num(r.steady_skew / r.bounds.precision, 2),
+                   r.live ? "yes" : "NO"});
   }
   stclock::bench::emit(table, opts);
   std::cout << "(n=7, tdel=10ms, P=1s, extremal drift, split delays, spam-early)\n";

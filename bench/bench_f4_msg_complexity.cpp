@@ -9,19 +9,38 @@
 
 #include "bench_common.h"
 
-namespace stclock {
-namespace {
+int main(int argc, char** argv) {
+  const stclock::bench::Options opts = stclock::bench::parse_options(argc, argv);
+  using namespace stclock;
+  bench::print_header("F4 — Message complexity vs n",
+                      "O(n^2) messages per round for both primitives; auth bytes "
+                      "carry Theta(n)-signature bundles", opts);
 
-void sweep(Table& table, Variant variant, std::uint64_t seed) {
+  experiment::SweepGrid grid(bench::adversarial_scenario(bench::default_auth_config(), 15.0,
+                                                         opts.seed));
+  grid.axis("variant", {bench::variant_value(bench::default_auth_config()),
+                        bench::variant_value(bench::default_echo_config())});
+  std::vector<experiment::SweepGrid::Value> sizes;
   for (const std::uint32_t n : {4u, 7u, 10u, 13u, 16u}) {
-    SyncConfig cfg = variant == Variant::kAuthenticated ? bench::default_auth_config()
-                                                        : bench::default_echo_config();
-    cfg.n = n;
-    cfg.f = variant == Variant::kAuthenticated ? max_faults_authenticated(n)
-                                               : max_faults_echo(n);
-    RunSpec spec = bench::adversarial_spec(cfg, /*horizon=*/15.0, seed);
-    spec.attack = AttackKind::kCrash;  // count only the protocol's own traffic
-    const RunResult r = run_sync(spec);
+    sizes.emplace_back(std::to_string(n), [n](experiment::ScenarioSpec& spec) {
+      spec.cfg.n = n;
+      spec.cfg.f = spec.cfg.variant == Variant::kAuthenticated ? max_faults_authenticated(n)
+                                                               : max_faults_echo(n);
+      spec.attack = AttackKind::kCrash;  // count only the protocol's own traffic
+    });
+  }
+  grid.axis("n", std::move(sizes));
+
+  const std::vector<experiment::SweepCell> cells = grid.cells();
+  const std::vector<experiment::ScenarioResult> results = bench::run_cells(cells, opts);
+  if (bench::emit_json(cells, results, opts)) return 0;
+
+  Table table({"variant", "n", "f", "msgs/round", "msgs/round/n^2", "bytes/round",
+               "bytes/round/n^2"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SyncConfig& cfg = cells[i].spec.cfg;
+    const experiment::ScenarioResult& r = results[i];
+    const std::uint32_t n = cfg.n;
     const double rounds = static_cast<double>(r.rounds_completed);
     const double msgs = static_cast<double>(r.messages_sent) / rounds;
     const double bytes = static_cast<double>(r.bytes_sent) / rounds;
@@ -29,22 +48,6 @@ void sweep(Table& table, Variant variant, std::uint64_t seed) {
                    Table::num(msgs, 0), Table::num(msgs / (n * n), 2),
                    Table::num(bytes, 0), Table::num(bytes / (n * n), 1)});
   }
-}
-
-}  // namespace
-}  // namespace stclock
-
-int main(int argc, char** argv) {
-  const stclock::bench::Options opts = stclock::bench::parse_options(argc, argv);
-  using namespace stclock;
-  bench::print_header("F4 — Message complexity vs n",
-                      "O(n^2) messages per round for both primitives; auth bytes "
-                      "carry Theta(n)-signature bundles");
-
-  Table table({"variant", "n", "f", "msgs/round", "msgs/round/n^2", "bytes/round",
-               "bytes/round/n^2"});
-  sweep(table, Variant::kAuthenticated, opts.seed);
-  sweep(table, Variant::kEcho, opts.seed);
   stclock::bench::emit(table, opts);
   std::cout << "(msgs/round/n^2 should be ~flat in n for both variants;\n"
                " bytes/round/n^2 flat for echo, growing ~linearly in n for auth)\n";

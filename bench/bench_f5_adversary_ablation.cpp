@@ -6,39 +6,41 @@
 
 #include "bench_common.h"
 
-namespace stclock {
-namespace {
-
-void sweep(Table& table, const SyncConfig& cfg, std::uint64_t seed) {
-  for (const AttackKind attack :
-       {AttackKind::kNone, AttackKind::kCrash, AttackKind::kSpamEarly,
-        AttackKind::kEquivocate, AttackKind::kReplay, AttackKind::kForge}) {
-    RunSpec spec = bench::adversarial_spec(cfg, /*horizon=*/20.0, seed);
-    spec.attack = attack;
-    const RunResult r = run_sync(spec);
-    const bool ok = r.live && r.steady_skew <= r.bounds.precision &&
-                    r.pulse_spread <= r.bounds.pulse_spread + 1e-9 &&
-                    r.min_period >= r.bounds.min_period - 1e-9;
-    table.add_row({cfg.variant_name(), attack_name(attack), Table::sci(r.steady_skew),
-                   Table::sci(r.bounds.precision), Table::sci(r.pulse_spread),
-                   Table::num(r.min_period, 4), Table::num(r.max_period, 4),
-                   ok ? "ok" : "VIOLATED"});
-  }
-}
-
-}  // namespace
-}  // namespace stclock
-
 int main(int argc, char** argv) {
   const stclock::bench::Options opts = stclock::bench::parse_options(argc, argv);
   using namespace stclock;
   bench::print_header("F5 — Adversary strategy ablation",
-                      "every implemented attack stays within the theorem's bounds");
+                      "every implemented attack stays within the theorem's bounds", opts);
+
+  experiment::SweepGrid grid(bench::adversarial_scenario(bench::default_auth_config(), 20.0,
+                                                         opts.seed));
+  grid.axis("variant", {bench::variant_value(bench::default_auth_config()),
+                        bench::variant_value(bench::default_echo_config())});
+  std::vector<experiment::SweepGrid::Value> attacks;
+  for (const AttackKind attack :
+       {AttackKind::kNone, AttackKind::kCrash, AttackKind::kSpamEarly,
+        AttackKind::kEquivocate, AttackKind::kReplay, AttackKind::kForge}) {
+    attacks.emplace_back(attack_name(attack),
+                         [attack](experiment::ScenarioSpec& spec) { spec.attack = attack; });
+  }
+  grid.axis("attack", std::move(attacks));
+
+  const std::vector<experiment::SweepCell> cells = grid.cells();
+  const std::vector<experiment::ScenarioResult> results = bench::run_cells(cells, opts);
+  if (bench::emit_json(cells, results, opts)) return 0;
 
   Table table({"variant", "attack", "skew(s)", "Dmax(s)", "pulse-spread",
                "min-period", "max-period", "verdict"});
-  sweep(table, bench::default_auth_config(), opts.seed);
-  sweep(table, bench::default_echo_config(), opts.seed);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const experiment::ScenarioResult& r = results[i];
+    const bool ok = r.live && r.steady_skew <= r.bounds.precision &&
+                    r.pulse_spread <= r.bounds.pulse_spread + 1e-9 &&
+                    r.min_period >= r.bounds.min_period - 1e-9;
+    table.add_row({cells[i].spec.cfg.variant_name(), attack_name(cells[i].spec.attack),
+                   Table::sci(r.steady_skew), Table::sci(r.bounds.precision),
+                   Table::sci(r.pulse_spread), Table::num(r.min_period, 4),
+                   Table::num(r.max_period, 4), ok ? "ok" : "VIOLATED"});
+  }
   stclock::bench::emit(table, opts);
   std::cout << "(n=7, extremal drift, split delays; forge rows double as the\n"
                " unforgeability check: a successful forgery would collapse min-period)\n";

@@ -7,10 +7,11 @@
 #include <benchmark/benchmark.h>
 
 #include "clocks/logical_clock.h"
-#include "core/runner.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 #include "crypto/signature.h"
+#include "experiment/scenario.h"
+#include "experiment/sweep.h"
 #include "sim/event_queue.h"
 
 namespace stclock {
@@ -96,50 +97,52 @@ void BM_LogicalClockWhenReads(benchmark::State& state) {
 }
 BENCHMARK(BM_LogicalClockWhenReads);
 
+experiment::ScenarioSpec micro_scenario(const char* protocol, std::uint32_t f) {
+  experiment::ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.cfg.n = 7;
+  spec.cfg.f = f;
+  spec.cfg.rho = 1e-4;
+  spec.cfg.tdel = 0.01;
+  spec.cfg.period = 1.0;
+  spec.cfg.initial_sync = 0.005;
+  spec.seed = 1;
+  spec.horizon = 5.0;  // ~5 rounds
+  spec.drift = DriftKind::kNone;
+  spec.delay = DelayKind::kHalf;
+  return spec;
+}
+
 void BM_FullRound_Auth(benchmark::State& state) {
   // End-to-end cost of one simulated resynchronization round (n = 7): all
   // events, crypto, and bookkeeping included.
-  for (auto _ : state) {
-    SyncConfig cfg;
-    cfg.n = 7;
-    cfg.f = 3;
-    cfg.rho = 1e-4;
-    cfg.tdel = 0.01;
-    cfg.period = 1.0;
-    cfg.initial_sync = 0.005;
-    RunSpec spec;
-    spec.cfg = cfg;
-    spec.seed = 1;
-    spec.horizon = 5.0;  // ~5 rounds
-    spec.drift = DriftKind::kNone;
-    spec.delay = DelayKind::kHalf;
-    benchmark::DoNotOptimize(run_sync(spec));
-  }
+  const experiment::ScenarioSpec spec = micro_scenario("auth", 3);
+  for (auto _ : state) benchmark::DoNotOptimize(experiment::run_scenario(spec));
   state.SetItemsProcessed(state.iterations() * 5);  // rounds
 }
 BENCHMARK(BM_FullRound_Auth)->Unit(benchmark::kMillisecond);
 
 void BM_FullRound_Echo(benchmark::State& state) {
-  for (auto _ : state) {
-    SyncConfig cfg;
-    cfg.n = 7;
-    cfg.f = 2;
-    cfg.variant = Variant::kEcho;
-    cfg.rho = 1e-4;
-    cfg.tdel = 0.01;
-    cfg.period = 1.0;
-    cfg.initial_sync = 0.005;
-    RunSpec spec;
-    spec.cfg = cfg;
-    spec.seed = 1;
-    spec.horizon = 5.0;
-    spec.drift = DriftKind::kNone;
-    spec.delay = DelayKind::kHalf;
-    benchmark::DoNotOptimize(run_sync(spec));
-  }
+  const experiment::ScenarioSpec spec = micro_scenario("echo", 2);
+  for (auto _ : state) benchmark::DoNotOptimize(experiment::run_scenario(spec));
   state.SetItemsProcessed(state.iterations() * 5);
 }
 BENCHMARK(BM_FullRound_Echo)->Unit(benchmark::kMillisecond);
+
+void BM_Sweep_Grid8(benchmark::State& state) {
+  // An 8-cell protocol x delay grid through the SweepRunner: the scaling
+  // payoff of the thread-pool sweep (state.range(0) worker threads).
+  experiment::SweepGrid grid(micro_scenario("auth", 2));
+  grid.protocols({"auth", "echo", "lundelius_welch", "unsynchronized"});
+  grid.axis("delay", {{"half", [](experiment::ScenarioSpec& s) { s.delay = DelayKind::kHalf; }},
+                      {"uniform",
+                       [](experiment::ScenarioSpec& s) { s.delay = DelayKind::kUniform; }}});
+  const std::vector<experiment::SweepCell> cells = grid.cells();
+  const experiment::SweepRunner runner(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(runner.run(cells));
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(cells.size()));
+}
+BENCHMARK(BM_Sweep_Grid8)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace stclock

@@ -13,34 +13,36 @@
 namespace stclock {
 namespace {
 
-void sweep_variant(Table& table, const SyncConfig& base, std::uint64_t seed) {
-  for (const Duration tdel : {0.001, 0.002, 0.005, 0.01, 0.02}) {
-    SyncConfig cfg = base;
-    cfg.tdel = tdel;
-    cfg.initial_sync = tdel / 2;
-    const RunSpec spec = bench::adversarial_spec(cfg, 30.0, seed);
-    const RunResult r = run_sync(spec);
-    table.add_row({cfg.variant_name(), Table::num(tdel * 1e3, 1),
-                   Table::num(cfg.period, 1), Table::sci(r.steady_skew),
-                   Table::sci(r.bounds.precision),
-                   Table::num(r.steady_skew / r.bounds.precision, 2),
-                   Table::sci(r.pulse_spread), Table::sci(r.bounds.pulse_spread),
-                   r.live ? "yes" : "NO"});
+std::vector<experiment::SweepCell> build_cells(std::uint64_t seed) {
+  std::vector<experiment::SweepCell> cells;
+  for (const SyncConfig& base : {bench::default_auth_config(), bench::default_echo_config()}) {
+    for (const Duration tdel : {0.001, 0.002, 0.005, 0.01, 0.02}) {
+      SyncConfig cfg = base;
+      cfg.tdel = tdel;
+      cfg.initial_sync = tdel / 2;
+      experiment::SweepCell cell;
+      cell.index = cells.size();
+      cell.labels = {{"variant", cfg.variant_name()},
+                     {"axis", "tdel"},
+                     {"value", Table::num(tdel * 1e3, 1) + "ms"}};
+      cell.spec = bench::adversarial_scenario(cfg, 30.0, seed);
+      cells.push_back(std::move(cell));
+    }
+    // P sweep at fixed tdel, larger rho so the rho*P term is visible.
+    for (const Duration period : {0.5, 1.0, 2.0, 5.0}) {
+      SyncConfig cfg = base;
+      cfg.rho = 1e-3;
+      cfg.period = period;
+      experiment::SweepCell cell;
+      cell.index = cells.size();
+      cell.labels = {{"variant", cfg.variant_name()},
+                     {"axis", "period"},
+                     {"value", Table::num(period, 1) + "s"}};
+      cell.spec = bench::adversarial_scenario(cfg, 20 * period, seed);
+      cells.push_back(std::move(cell));
+    }
   }
-  // P sweep at fixed tdel, larger rho so the rho*P term is visible.
-  for (const Duration period : {0.5, 1.0, 2.0, 5.0}) {
-    SyncConfig cfg = base;
-    cfg.rho = 1e-3;
-    cfg.period = period;
-    const RunSpec spec = bench::adversarial_spec(cfg, 20 * period, seed);
-    const RunResult r = run_sync(spec);
-    table.add_row({cfg.variant_name(), Table::num(cfg.tdel * 1e3, 1),
-                   Table::num(period, 1), Table::sci(r.steady_skew),
-                   Table::sci(r.bounds.precision),
-                   Table::num(r.steady_skew / r.bounds.precision, 2),
-                   Table::sci(r.pulse_spread), Table::sci(r.bounds.pulse_spread),
-                   r.live ? "yes" : "NO"});
-  }
+  return cells;
 }
 
 }  // namespace
@@ -50,12 +52,24 @@ int main(int argc, char** argv) {
   const stclock::bench::Options opts = stclock::bench::parse_options(argc, argv);
   using namespace stclock;
   bench::print_header("T1 — Precision vs (tdel, P)",
-                      "skew <= Dmax = Theta(tdel + rho*P) at optimal resilience");
+                      "skew <= Dmax = Theta(tdel + rho*P) at optimal resilience", opts);
+
+  const std::vector<experiment::SweepCell> cells = build_cells(opts.seed);
+  const std::vector<experiment::ScenarioResult> results = bench::run_cells(cells, opts);
+  if (bench::emit_json(cells, results, opts)) return 0;
 
   Table table({"variant", "tdel(ms)", "P(s)", "skew(s)", "Dmax(s)", "ratio",
                "pulse-spread", "D-bound", "live"});
-  sweep_variant(table, bench::default_auth_config(), opts.seed);
-  sweep_variant(table, bench::default_echo_config(), opts.seed);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SyncConfig& cfg = cells[i].spec.cfg;
+    const experiment::ScenarioResult& r = results[i];
+    table.add_row({cfg.variant_name(), Table::num(cfg.tdel * 1e3, 1),
+                   Table::num(cfg.period, 1), Table::sci(r.steady_skew),
+                   Table::sci(r.bounds.precision),
+                   Table::num(r.steady_skew / r.bounds.precision, 2),
+                   Table::sci(r.pulse_spread), Table::sci(r.bounds.pulse_spread),
+                   r.live ? "yes" : "NO"});
+  }
   stclock::bench::emit(table, opts);
   std::cout << "(workload: n=7, extremal drift, split delays, spam-early attack;\n"
                " every row must have ratio <= 1 and live = yes)\n";

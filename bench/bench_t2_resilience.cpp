@@ -12,23 +12,26 @@
 namespace stclock {
 namespace {
 
-void sweep(Table& table, SyncConfig cfg, std::uint32_t max_corrupt, std::uint64_t seed) {
-  for (std::uint32_t corrupt = 0; corrupt <= max_corrupt; ++corrupt) {
-    RunSpec spec = bench::adversarial_spec(cfg, /*horizon=*/20.0, seed);
-    spec.delay = DelayKind::kZero;  // give the adversary its best case
-    spec.corrupt_override = corrupt;
-    if (corrupt == 0) spec.attack = AttackKind::kNone;
-    const RunResult r = run_sync(spec);
-
-    const bool within = corrupt <= cfg.f;
-    const bool floor_holds = r.min_period >= r.bounds.min_period - 1e-9;
-    const bool skew_ok = r.steady_skew <= r.bounds.precision;
-    table.add_row({cfg.variant_name(), std::to_string(cfg.n), std::to_string(cfg.f),
-                   std::to_string(corrupt), within ? "yes" : "NO",
-                   Table::sci(r.steady_skew), Table::sci(r.bounds.precision),
-                   Table::num(r.min_period, 4), Table::num(r.bounds.min_period, 4),
-                   r.live ? "yes" : "NO", floor_holds && skew_ok ? "ok" : "BROKEN"});
+std::vector<experiment::SweepCell> build_cells(std::uint64_t seed) {
+  std::vector<experiment::SweepCell> cells;
+  const struct {
+    SyncConfig cfg;
+    std::uint32_t max_corrupt;  // one past the bound: the breakdown row
+  } sweeps[] = {{bench::default_auth_config(), 4}, {bench::default_echo_config(), 3}};
+  for (const auto& sweep : sweeps) {
+    for (std::uint32_t corrupt = 0; corrupt <= sweep.max_corrupt; ++corrupt) {
+      experiment::SweepCell cell;
+      cell.index = cells.size();
+      cell.labels = {{"variant", sweep.cfg.variant_name()},
+                     {"corrupt", std::to_string(corrupt)}};
+      cell.spec = bench::adversarial_scenario(sweep.cfg, 20.0, seed);
+      cell.spec.delay = DelayKind::kZero;  // give the adversary its best case
+      cell.spec.corrupt_override = corrupt;
+      if (corrupt == 0) cell.spec.attack = AttackKind::kNone;
+      cells.push_back(std::move(cell));
+    }
   }
+  return cells;
 }
 
 }  // namespace
@@ -38,17 +41,27 @@ int main(int argc, char** argv) {
   const stclock::bench::Options opts = stclock::bench::parse_options(argc, argv);
   using namespace stclock;
   bench::print_header("T2 — Resilience sweep",
-                      "auth correct iff corrupt <= ceil(n/2)-1; echo iff <= ceil(n/3)-1");
+                      "auth correct iff corrupt <= ceil(n/2)-1; echo iff <= ceil(n/3)-1", opts);
+
+  const std::vector<experiment::SweepCell> cells = build_cells(opts.seed);
+  const std::vector<experiment::ScenarioResult> results = bench::run_cells(cells, opts);
+  if (bench::emit_json(cells, results, opts)) return 0;
 
   Table table({"variant", "n", "f(protocol)", "corrupt", "within-bound", "skew",
                "Dmax", "min-period", "period-floor", "live", "verdict"});
-
-  SyncConfig auth = bench::default_auth_config();  // n=7, f=3
-  sweep(table, auth, 4, opts.seed);                           // 4 > 3: breakdown row
-
-  SyncConfig echo = bench::default_echo_config();  // n=7, f=2
-  sweep(table, echo, 3, opts.seed);                           // 3 > 2: breakdown row
-
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SyncConfig& cfg = cells[i].spec.cfg;
+    const std::uint32_t corrupt = cells[i].spec.corrupt_override;
+    const experiment::ScenarioResult& r = results[i];
+    const bool within = corrupt <= cfg.f;
+    const bool floor_holds = r.min_period >= r.bounds.min_period - 1e-9;
+    const bool skew_ok = r.steady_skew <= r.bounds.precision;
+    table.add_row({cfg.variant_name(), std::to_string(cfg.n), std::to_string(cfg.f),
+                   std::to_string(corrupt), within ? "yes" : "NO",
+                   Table::sci(r.steady_skew), Table::sci(r.bounds.precision),
+                   Table::num(r.min_period, 4), Table::num(r.bounds.min_period, 4),
+                   r.live ? "yes" : "NO", floor_holds && skew_ok ? "ok" : "BROKEN"});
+  }
   stclock::bench::emit(table, opts);
   std::cout << "(spam-early attack, zero honest delays — the adversary's best case.\n"
                " Expect verdict=ok for corrupt <= f and BROKEN beyond: the pulse-rate\n"

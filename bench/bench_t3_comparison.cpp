@@ -4,17 +4,14 @@
 // algorithms; this table turns it into a measurement. All algorithms run on
 // the identical substrate (n = 7, f = 2, same drift trajectories, same delay
 // policy) in two regimes: benign (crashed faulty nodes) and attacked (each
-// algorithm's worst implemented attack).
+// algorithm's worst implemented attack) — every cell goes through the one
+// scenario engine, selected purely by registry name.
 //
 // Key columns: steady skew (precision) and the fitted clock rate under
 // attack (accuracy). Srikanth–Toueg keeps BOTH bounded; interactive
 // convergence keeps agreement but loses accuracy (drift amplification);
 // leader sync loses everything to one corrupted leader.
 
-#include "baselines/interactive_convergence.h"
-#include "baselines/leader_sync.h"
-#include "baselines/lundelius_welch.h"
-#include "baselines/unsynchronized.h"
 #include "bench_common.h"
 
 namespace stclock {
@@ -22,55 +19,29 @@ namespace {
 
 constexpr double kRho = 1e-4;
 
-baselines::BaselineSpec baseline_spec(AttackKind attack) {
-  baselines::BaselineSpec spec;
-  spec.n = 7;
-  spec.f = 2;
-  spec.rho = kRho;
-  spec.tdel = 0.01;
-  spec.period = 1.0;
-  spec.delta = 0.05;
-  spec.initial_sync = 0.005;
-  spec.seed = 1;
-  spec.horizon = 30.0;
-  spec.drift = DriftKind::kExtremal;
-  spec.delay = DelayKind::kSplit;
+experiment::ScenarioSpec cell_spec(const std::string& protocol, AttackKind attack,
+                                   std::uint64_t seed, double delta = 0.05) {
+  SyncConfig cfg = bench::default_auth_config();
+  cfg.f = 2;  // match the baselines' f so substrates are identical
+  cfg.rho = kRho;
+  experiment::ScenarioSpec spec = bench::adversarial_scenario(cfg, 30.0, seed);
+  spec.protocol = protocol;
   spec.attack = attack;
+  spec.delta = delta;
+  if (protocol == "echo") spec.cfg.variant = Variant::kEcho;
   return spec;
 }
 
-struct Row {
-  std::string name;
-  double benign_skew;
-  double attacked_skew;
-  double attacked_rate;
+struct Comparison {
+  std::string display;
+  std::string benign_protocol;  // registry name for the benign regime
+  AttackKind benign_attack;
+  std::string attacked_protocol;  // registry name for the attacked regime
+  AttackKind attacked_attack;
+  double delta;
   std::string guarantee;  // a-priori bound on the attacked rate, if any
-  double msgs_per_round;
   std::string resilience;
 };
-
-Row st_row(Variant variant, std::uint64_t seed) {
-  SyncConfig cfg = bench::default_auth_config();
-  cfg.f = 2;  // match the baselines' f so substrates are identical
-  cfg.variant = variant;
-  RunSpec benign = bench::adversarial_spec(cfg, 30.0, seed);
-  benign.attack = AttackKind::kCrash;
-  RunSpec attacked = bench::adversarial_spec(cfg, 30.0, seed);
-  attacked.attack = AttackKind::kSpamEarly;
-
-  const RunResult rb = run_sync(benign);
-  const RunResult ra = run_sync(attacked);
-  const double rounds = static_cast<double>(ra.rounds_completed);
-  return {std::string("srikanth-toueg-") + cfg.variant_name(), rb.steady_skew,
-          ra.steady_skew, ra.envelope.max_rate,
-          "<= " + Table::num(ra.bounds.rate_hi, 6),
-          static_cast<double>(ra.messages_sent) / rounds,
-          variant == Variant::kAuthenticated ? "f < n/2" : "f < n/3"};
-}
-
-double rounds_of(const baselines::BaselineSpec& spec) {
-  return spec.horizon / spec.period;
-}
 
 }  // namespace
 }  // namespace stclock
@@ -78,62 +49,77 @@ double rounds_of(const baselines::BaselineSpec& spec) {
 int main(int argc, char** argv) {
   const stclock::bench::Options opts = stclock::bench::parse_options(argc, argv);
   using namespace stclock;
-  using namespace stclock::baselines;
   bench::print_header(
       "T3 — Algorithm comparison (identical substrate, n=7, f=2)",
       "ST achieves skew Theta(tdel + rho*P) AND hardware-optimal accuracy at "
-      "f < n/2 (auth); averaging baselines amplify drift or lose resilience");
+      "f < n/2 (auth); averaging baselines amplify drift or lose resilience",
+      opts);
 
-  std::vector<Row> rows;
-  rows.push_back(st_row(Variant::kAuthenticated, opts.seed));
-  rows.push_back(st_row(Variant::kEcho, opts.seed));
+  const std::vector<Comparison> comparisons = {
+      {"srikanth-toueg-auth", "auth", AttackKind::kCrash, "auth", AttackKind::kSpamEarly,
+       0.05, "", "f < n/2"},
+      {"srikanth-toueg-echo", "echo", AttackKind::kCrash, "echo", AttackKind::kSpamEarly,
+       0.05, "", "f < n/3"},
+      {"lundelius-welch", "lundelius_welch", AttackKind::kCrash, "lundelius_welch",
+       AttackKind::kLwPull, 0.05, "bounded (f-trim)", "f < n/3"},
+      // Two CNV rows with different discard thresholds: the rate excess scales
+      // with the attacker-relevant parameter delta — there is no a-priori bound.
+      {"interactive-conv d=0.05", "interactive_convergence", AttackKind::kCrash,
+       "interactive_convergence", AttackKind::kCnvPull, 0.05, "NONE (grows with delta)",
+       "f < n/3 (agreement only)"},
+      {"interactive-conv d=0.20", "interactive_convergence", AttackKind::kCrash,
+       "interactive_convergence", AttackKind::kCnvPull, 0.2, "NONE (grows with delta)",
+       "f < n/3 (agreement only)"},
+      {"leader-sync", "leader", AttackKind::kNone, "leader_corrupt", AttackKind::kNone,
+       0.05, "NONE (leader-controlled)", "f = 0"},
+      {"unsynchronized", "unsynchronized", AttackKind::kNone, "unsynchronized",
+       AttackKind::kNone, 0.05, "hardware envelope", "-"},
+  };
 
-  {
-    const BaselineResult benign = run_lundelius_welch(baseline_spec(AttackKind::kCrash));
-    const BaselineResult attacked = run_lundelius_welch(baseline_spec(AttackKind::kLwPull));
-    rows.push_back({"lundelius-welch", benign.steady_skew, attacked.steady_skew,
-                    attacked.envelope.max_rate, "bounded (f-trim)",
-                    static_cast<double>(attacked.messages_sent) /
-                        rounds_of(baseline_spec(AttackKind::kLwPull)),
-                    "f < n/3"});
+  // One flat cell list — benign and attacked regimes interleaved — so the
+  // whole comparison runs through a single (parallel) sweep.
+  std::vector<experiment::SweepCell> cells;
+  for (const Comparison& c : comparisons) {
+    experiment::SweepCell benign;
+    benign.index = cells.size();
+    benign.labels = {{"algorithm", c.display}, {"regime", "benign"}};
+    benign.spec = cell_spec(c.benign_protocol, c.benign_attack, opts.seed, c.delta);
+    cells.push_back(std::move(benign));
+
+    experiment::SweepCell attacked;
+    attacked.index = cells.size();
+    attacked.labels = {{"algorithm", c.display}, {"regime", "attacked"}};
+    attacked.spec = cell_spec(c.attacked_protocol, c.attacked_attack, opts.seed, c.delta);
+    cells.push_back(std::move(attacked));
   }
-  // Two CNV rows with different discard thresholds: the rate excess scales
-  // with the attacker-relevant parameter delta — there is no a-priori bound.
-  for (const double delta : {0.05, 0.2}) {
-    BaselineSpec benign_spec = baseline_spec(AttackKind::kCrash);
-    benign_spec.delta = delta;
-    BaselineSpec attack_spec = baseline_spec(AttackKind::kCnvPull);
-    attack_spec.delta = delta;
-    const BaselineResult benign = run_interactive_convergence(benign_spec);
-    const BaselineResult attacked = run_interactive_convergence(attack_spec);
-    rows.push_back({"interactive-conv d=" + Table::num(delta, 2), benign.steady_skew,
-                    attacked.steady_skew, attacked.envelope.max_rate,
-                    "NONE (grows with delta)",
-                    static_cast<double>(attacked.messages_sent) /
-                        rounds_of(attack_spec),
-                    "f < n/3 (agreement only)"});
-  }
-  {
-    const BaselineResult benign = run_leader_sync(baseline_spec(AttackKind::kNone), false);
-    const BaselineResult attacked = run_leader_sync(baseline_spec(AttackKind::kNone), true);
-    rows.push_back({"leader-sync", benign.steady_skew, attacked.steady_skew,
-                    attacked.envelope.max_rate, "NONE (leader-controlled)",
-                    static_cast<double>(benign.messages_sent) /
-                        rounds_of(baseline_spec(AttackKind::kNone)),
-                    "f = 0"});
-  }
-  {
-    const BaselineResult r = run_unsynchronized(baseline_spec(AttackKind::kNone));
-    rows.push_back({"unsynchronized", r.max_skew, r.max_skew, 1.0 + kRho,
-                    "hardware envelope", 0.0, "-"});
-  }
+
+  const std::vector<experiment::ScenarioResult> results = bench::run_cells(cells, opts);
+  if (bench::emit_json(cells, results, opts)) return 0;
 
   Table table({"algorithm", "skew benign(s)", "skew attacked(s)", "rate attacked",
                "rate guarantee", "msgs/round", "resilience"});
-  for (const Row& row : rows) {
-    table.add_row({row.name, Table::sci(row.benign_skew), Table::sci(row.attacked_skew),
-                   Table::num(row.attacked_rate, 6), row.guarantee,
-                   Table::num(row.msgs_per_round, 0), row.resilience});
+  for (std::size_t i = 0; i < comparisons.size(); ++i) {
+    const Comparison& c = comparisons[i];
+    const experiment::ScenarioResult& benign = results[2 * i];
+    const experiment::ScenarioResult& attacked = results[2 * i + 1];
+    const double rounds = attacked.rounds_completed > 0
+                              ? static_cast<double>(attacked.rounds_completed)
+                              : cells[2 * i + 1].spec.horizon / cells[2 * i + 1].spec.cfg.period;
+    std::string guarantee = c.guarantee.empty()
+                                ? "<= " + Table::num(attacked.bounds.rate_hi, 6)
+                                : c.guarantee;
+    // The free-running control: skew only ever grows, and its rate envelope
+    // IS the hardware envelope.
+    const bool unsync = c.display == "unsynchronized";
+    const double msgs_per_round =
+        unsync ? 0.0
+               : static_cast<double>((c.display == "leader-sync" ? benign : attacked)
+                                         .messages_sent) /
+                     rounds;
+    table.add_row({c.display, Table::sci(unsync ? benign.max_skew : benign.steady_skew),
+                   Table::sci(unsync ? attacked.max_skew : attacked.steady_skew),
+                   Table::num(unsync ? 1.0 + kRho : attacked.envelope.max_rate, 6),
+                   guarantee, Table::num(msgs_per_round, 0), c.resilience});
   }
   stclock::bench::emit(table, opts);
   std::cout << "(hardware rate max = " << Table::num(1.0 + kRho, 6) << ".\n"

@@ -9,20 +9,23 @@
 namespace stclock {
 namespace {
 
-void sweep(Table& table, const SyncConfig& cfg, std::uint64_t seed) {
+std::vector<experiment::SweepCell> build_cells(std::uint64_t seed) {
+  experiment::SweepGrid grid(bench::adversarial_scenario(bench::default_auth_config(), 30.0,
+                                                         seed));
+  grid.axis("variant", {bench::variant_value(bench::default_auth_config()),
+                        bench::variant_value(bench::default_echo_config())});
+  std::vector<experiment::SweepGrid::Value> joins;
   for (const double phase : {0.0, 0.25, 0.5, 0.75}) {
     for (const RealTime base : {8.0, 15.0}) {
-      RunSpec spec = bench::adversarial_spec(cfg, /*horizon=*/30.0, seed);
-      spec.joiners = 1;
-      spec.join_time = base + phase * cfg.period;
-      const RunResult r = run_sync(spec);
-      table.add_row({cfg.variant_name(), Table::num(spec.join_time, 2),
-                     r.joiners_integrated ? "yes" : "NO",
-                     Table::num(r.join_latency, 4),
-                     Table::num(r.bounds.max_period, 4), Table::sci(r.steady_skew),
-                     Table::sci(r.bounds.precision), r.live ? "yes" : "NO"});
+      joins.emplace_back(Table::num(base, 0) + "s+" + Table::num(phase, 2) + "P",
+                         [phase, base](experiment::ScenarioSpec& spec) {
+                           spec.joiners = 1;
+                           spec.join_time = base + phase * spec.cfg.period;
+                         });
     }
   }
+  grid.axis("join", std::move(joins));
+  return grid.cells();
 }
 
 }  // namespace
@@ -32,12 +35,21 @@ int main(int argc, char** argv) {
   const stclock::bench::Options opts = stclock::bench::parse_options(argc, argv);
   using namespace stclock;
   bench::print_header("T4 — Reintegration latency",
-                      "a joining process synchronizes within one max period");
+                      "a joining process synchronizes within one max period", opts);
+
+  const std::vector<experiment::SweepCell> cells = build_cells(opts.seed);
+  const std::vector<experiment::ScenarioResult> results = bench::run_cells(cells, opts);
+  if (bench::emit_json(cells, results, opts)) return 0;
 
   Table table({"variant", "join-time(s)", "integrated", "latency(s)",
                "max-period bound", "post-join skew", "Dmax", "live"});
-  sweep(table, bench::default_auth_config(), opts.seed);
-  sweep(table, bench::default_echo_config(), opts.seed);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const experiment::ScenarioResult& r = results[i];
+    table.add_row({cells[i].spec.cfg.variant_name(), Table::num(cells[i].spec.join_time, 2),
+                   r.joiners_integrated ? "yes" : "NO", Table::num(r.join_latency, 4),
+                   Table::num(r.bounds.max_period, 4), Table::sci(r.steady_skew),
+                   Table::sci(r.bounds.precision), r.live ? "yes" : "NO"});
+  }
   stclock::bench::emit(table, opts);
   std::cout << "(spam-early attack active during integration; latency must stay\n"
                " below the max-period bound and skew below Dmax on every row)\n";

@@ -11,20 +11,19 @@
 namespace stclock {
 namespace {
 
-void sweep(Table& table, const SyncConfig& base, std::uint64_t seed) {
-  const Duration alpha_default = theory::resolve_alpha(base);
+std::vector<experiment::SweepCell> build_cells(std::uint64_t seed) {
+  experiment::SweepGrid grid(bench::adversarial_scenario(bench::default_auth_config(), 30.0,
+                                                         seed));
+  grid.axis("variant", {bench::variant_value(bench::default_auth_config()),
+                        bench::variant_value(bench::default_echo_config())});
+  std::vector<experiment::SweepGrid::Value> alphas;
   for (const double mult : {0.25, 0.5, 1.0, 2.0, 8.0, 32.0}) {
-    SyncConfig cfg = base;
-    cfg.alpha = mult * alpha_default;
-    const RunSpec spec = bench::adversarial_spec(cfg, 30.0, seed);
-    const RunResult r = run_sync(spec);
-    table.add_row({cfg.variant_name(), Table::num(mult, 2),
-                   Table::num(cfg.alpha * 1e3, 2), Table::sci(r.steady_skew),
-                   Table::sci(r.bounds.precision),
-                   Table::num(r.envelope.max_rate, 6),
-                   Table::num(r.bounds.rate_hi, 6), Table::num(r.min_period, 3),
-                   r.live ? "yes" : "NO"});
+    alphas.emplace_back(Table::num(mult, 2), [mult](experiment::ScenarioSpec& spec) {
+      spec.cfg.alpha = mult * theory::resolve_alpha(spec.cfg);
+    });
   }
+  grid.axis("alpha/default", std::move(alphas));
+  return grid.cells();
 }
 
 }  // namespace
@@ -34,12 +33,22 @@ int main(int argc, char** argv) {
   const stclock::bench::Options opts = stclock::bench::parse_options(argc, argv);
   using namespace stclock;
   bench::print_header("T5 — alpha ablation",
-                      "alpha = (1+rho)*D balances skew against period/rate inflation");
+                      "alpha = (1+rho)*D balances skew against period/rate inflation", opts);
+
+  const std::vector<experiment::SweepCell> cells = build_cells(opts.seed);
+  const std::vector<experiment::ScenarioResult> results = bench::run_cells(cells, opts);
+  if (bench::emit_json(cells, results, opts)) return 0;
 
   Table table({"variant", "alpha/default", "alpha(ms)", "skew(s)", "Dmax(s)",
                "max rate", "rate bound", "min period(s)", "live"});
-  sweep(table, bench::default_auth_config(), opts.seed);
-  sweep(table, bench::default_echo_config(), opts.seed);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const experiment::ScenarioResult& r = results[i];
+    table.add_row({cells[i].spec.cfg.variant_name(), cells[i].labels[1].second,
+                   Table::num(cells[i].spec.cfg.alpha * 1e3, 2), Table::sci(r.steady_skew),
+                   Table::sci(r.bounds.precision), Table::num(r.envelope.max_rate, 6),
+                   Table::num(r.bounds.rate_hi, 6), Table::num(r.min_period, 3),
+                   r.live ? "yes" : "NO"});
+  }
   stclock::bench::emit(table, opts);
   std::cout << "(expect: skew within Dmax for all alpha; rate ceiling and min-period\n"
                " degradation grow with alpha — the paper's default keeps both negligible)\n";

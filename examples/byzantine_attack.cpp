@@ -1,29 +1,34 @@
 // Byzantine attack demo: what the adversary can (and cannot) do.
 //
 // Runs a 7-node system with 3 actively malicious nodes (the authenticated
-// maximum) through every implemented attack strategy, then deliberately
+// maximum) through every implemented attack strategy — one sweep over the
+// attack axis, executed on a small worker pool — then deliberately
 // over-corrupts the system to show where the guarantees genuinely stop.
 
 #include <iostream>
 
-#include "core/runner.h"
+#include "experiment/sweep.h"
 #include "util/table.h"
 
 int main() {
   using namespace stclock;
 
-  SyncConfig cfg;
-  cfg.n = 7;
-  cfg.f = 3;  // ceil(7/2) - 1: every second node may be malicious
-  cfg.rho = 1e-4;
-  cfg.tdel = 0.01;
-  cfg.period = 1.0;
-  cfg.initial_sync = 0.005;
+  experiment::ScenarioSpec base;
+  base.protocol = "auth";
+  base.cfg.n = 7;
+  base.cfg.f = 3;  // ceil(7/2) - 1: every second node may be malicious
+  base.cfg.rho = 1e-4;
+  base.cfg.tdel = 0.01;
+  base.cfg.period = 1.0;
+  base.cfg.initial_sync = 0.005;
+  base.seed = 7;
+  base.horizon = 20.0;
+  base.drift = DriftKind::kExtremal;
+  base.delay = DelayKind::kSplit;
 
   std::cout << "System: n=7, f=3 (authenticated). Every attack below controls 3 nodes\n"
                "with full knowledge of the system state and of all message timing.\n\n";
 
-  Table table({"attack", "what it tries", "skew(s)", "Dmax(s)", "held?"});
   const struct {
     AttackKind kind;
     const char* description;
@@ -35,17 +40,23 @@ int main() {
       {AttackKind::kForge, "fabricate honest nodes' signatures"},
   };
 
+  experiment::SweepGrid grid(base);
+  std::vector<experiment::SweepGrid::Value> axis;
   for (const auto& attack : attacks) {
-    RunSpec spec;
-    spec.cfg = cfg;
-    spec.seed = 7;
-    spec.horizon = 20.0;
-    spec.drift = DriftKind::kExtremal;
-    spec.delay = DelayKind::kSplit;
-    spec.attack = attack.kind;
-    const RunResult r = run_sync(spec);
+    const AttackKind kind = attack.kind;
+    axis.emplace_back(attack_name(kind),
+                      [kind](experiment::ScenarioSpec& spec) { spec.attack = kind; });
+  }
+  grid.axis("attack", std::move(axis));
+  const std::vector<experiment::SweepCell> cells = grid.cells();
+  const std::vector<experiment::ScenarioResult> results =
+      experiment::SweepRunner(/*threads=*/0).run(cells);  // 0 = all cores
+
+  Table table({"attack", "what it tries", "skew(s)", "Dmax(s)", "held?"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const experiment::ScenarioResult& r = results[i];
     const bool held = r.live && r.steady_skew <= r.bounds.precision;
-    table.add_row({attack_name(attack.kind), attack.description,
+    table.add_row({attack_name(attacks[i].kind), attacks[i].description,
                    Table::sci(r.steady_skew), Table::sci(r.bounds.precision),
                    held ? "yes" : "NO"});
   }
@@ -53,15 +64,11 @@ int main() {
 
   // And now the honest answer about where the guarantee ends.
   std::cout << "\nOver-corrupting the same system (4 nodes = f+1, spam-early):\n";
-  RunSpec breakdown;
-  breakdown.cfg = cfg;
-  breakdown.seed = 7;
-  breakdown.horizon = 20.0;
-  breakdown.drift = DriftKind::kExtremal;
+  experiment::ScenarioSpec breakdown = base;
   breakdown.delay = DelayKind::kZero;
   breakdown.attack = AttackKind::kSpamEarly;
   breakdown.corrupt_override = 4;
-  const RunResult r = run_sync(breakdown);
+  const experiment::ScenarioResult r = experiment::run_scenario(breakdown);
   std::cout << "  min inter-pulse period: " << Table::num(r.min_period, 4)
             << " s (floor was " << Table::num(r.bounds.min_period, 4) << " s)\n"
             << "  -> with f+1 corrupted nodes the adversary assembles signature\n"

@@ -1,15 +1,17 @@
 // Quickstart: synchronize a 5-node system that tolerates 2 Byzantine nodes.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
+//   cmake -B build && cmake --build build && ./build/example_quickstart
 //
 // The snippet below is the complete recipe: describe the system with a
-// SyncConfig, describe the environment/adversary with a RunSpec, call
-// run_sync(), and read the metrics off the result.
+// SyncConfig, describe the protocol/environment/adversary with a
+// ScenarioSpec, call run_scenario(), and read the metrics off the result.
+// The same three steps run every protocol in the registry — swap
+// spec.protocol for "echo", "lundelius_welch", ... and nothing else changes.
 
 #include <iostream>
 
-#include "core/runner.h"
+#include "experiment/scenario.h"
 #include "util/table.h"
 
 int main() {
@@ -35,8 +37,9 @@ int main() {
             << "  period: [" << Table::num(bounds.min_period, 4) << ", "
             << Table::num(bounds.max_period, 4) << "] s\n\n";
 
-  // --- 2. Describe the environment and adversary -------------------------
-  RunSpec spec;
+  // --- 2. Describe the protocol, environment, and adversary --------------
+  experiment::ScenarioSpec spec;
+  spec.protocol = "auth";              // any ProtocolRegistry name runs here
   spec.cfg = cfg;
   spec.seed = 42;                      // fully deterministic replay
   spec.horizon = 30.0;                 // simulate 30 s of real time
@@ -45,7 +48,7 @@ int main() {
   spec.attack = AttackKind::kSpamEarly;  // f nodes actively Byzantine
 
   // --- 3. Run and inspect ------------------------------------------------
-  const RunResult result = run_sync(spec);
+  const experiment::ScenarioResult result = experiment::run_scenario(spec);
 
   std::cout << "After " << spec.horizon << " s under attack:\n"
             << "  all nodes kept pulsing:   " << (result.live ? "yes" : "NO") << "\n"

@@ -7,22 +7,20 @@
 
 #include <iostream>
 
-#include "core/runner.h"
+#include "experiment/scenario.h"
 #include "util/table.h"
 
 int main() {
   using namespace stclock;
 
-  SyncConfig cfg;
-  cfg.n = 5;
-  cfg.f = 1;
-  cfg.rho = 1e-4;
-  cfg.tdel = 0.01;
-  cfg.period = 1.0;
-  cfg.initial_sync = 0.005;
-
-  RunSpec spec;
-  spec.cfg = cfg;
+  experiment::ScenarioSpec spec;
+  spec.protocol = "auth";
+  spec.cfg.n = 5;
+  spec.cfg.f = 1;
+  spec.cfg.rho = 1e-4;
+  spec.cfg.tdel = 0.01;
+  spec.cfg.period = 1.0;
+  spec.cfg.initial_sync = 0.005;
   spec.seed = 99;
   spec.horizon = 30.0;
   spec.drift = DriftKind::kExtremal;
@@ -34,7 +32,7 @@ int main() {
   std::cout << "n=5, f=1 under active attack; node 3 boots at t = " << spec.join_time
             << " s with an unsynchronized clock.\n\n";
 
-  const RunResult r = run_sync(spec);
+  const experiment::ScenarioResult r = experiment::run_scenario(spec);
 
   Table table({"metric", "value", "guarantee"});
   table.add_row({"joiner integrated", r.joiners_integrated ? "yes" : "NO", "yes"});

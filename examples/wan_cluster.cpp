@@ -4,57 +4,57 @@
 // oven-stabilized oscillators (20 ppm drift), resynchronization every 5 s.
 // Four replicas may be compromised (the authenticated maximum for n = 9).
 // Compares the Srikanth–Toueg protocol against Lundelius–Welch and the
-// unsynchronized control under identical conditions.
+// unsynchronized control under identical conditions — three registry names,
+// one parallel sweep, one engine.
 
 #include <iostream>
 
-#include "baselines/lundelius_welch.h"
-#include "baselines/unsynchronized.h"
-#include "core/runner.h"
+#include "experiment/sweep.h"
 #include "util/table.h"
 
 int main() {
   using namespace stclock;
 
-  SyncConfig cfg;
-  cfg.n = 9;
-  cfg.f = 4;  // authenticated maximum
-  cfg.rho = 2e-5;    // 20 ppm oscillators
-  cfg.tdel = 0.05;   // 50 ms WAN delay bound
-  cfg.period = 5.0;  // resync every 5 s
-  cfg.initial_sync = 0.02;
-
-  RunSpec spec;
-  spec.cfg = cfg;
-  spec.seed = 2024;
-  spec.horizon = 300.0;  // five minutes
-  spec.drift = DriftKind::kRandomWalk;  // realistic wandering oscillators
-  spec.delay = DelayKind::kUniform;     // jittery network
-  spec.attack = AttackKind::kSpamEarly;
+  experiment::ScenarioSpec base;
+  base.cfg.n = 9;
+  base.cfg.f = 4;  // authenticated maximum
+  base.cfg.rho = 2e-5;    // 20 ppm oscillators
+  base.cfg.tdel = 0.05;   // 50 ms WAN delay bound
+  base.cfg.period = 5.0;  // resync every 5 s
+  base.cfg.initial_sync = 0.02;
+  base.delta = 0.2;
+  base.seed = 2024;
+  base.horizon = 300.0;  // five minutes
+  base.drift = DriftKind::kRandomWalk;  // realistic wandering oscillators
+  base.delay = DelayKind::kUniform;     // jittery network
 
   std::cout << "WAN cluster: n=9 replicas, 4 compromised, 50 ms delays, 20 ppm\n"
                "oscillators, resync every 5 s, 5 minutes of operation.\n\n";
 
-  const RunResult st = run_sync(spec);
-
-  baselines::BaselineSpec lw_spec;
-  lw_spec.n = cfg.n;
-  lw_spec.f = 2;  // LW cannot tolerate 4 of 9 — n > 3f forces f <= 2
-  lw_spec.rho = cfg.rho;
-  lw_spec.tdel = cfg.tdel;
-  lw_spec.period = cfg.period;
-  lw_spec.delta = 0.2;
-  lw_spec.initial_sync = cfg.initial_sync;
-  lw_spec.seed = spec.seed;
-  lw_spec.horizon = spec.horizon;
-  lw_spec.drift = spec.drift;
-  lw_spec.delay = spec.delay;
-  lw_spec.attack = AttackKind::kLwPull;
-  const baselines::BaselineResult lw = baselines::run_lundelius_welch(lw_spec);
-
-  baselines::BaselineSpec unsync_spec = lw_spec;
-  unsync_spec.attack = AttackKind::kNone;
-  const baselines::BaselineResult unsync = baselines::run_unsynchronized(unsync_spec);
+  experiment::SweepGrid grid(base);
+  grid.axis("algorithm",
+            {{"srikanth-toueg (auth)",
+              [](experiment::ScenarioSpec& spec) {
+                spec.protocol = "auth";
+                spec.attack = AttackKind::kSpamEarly;
+              }},
+             {"lundelius-welch",
+              [](experiment::ScenarioSpec& spec) {
+                spec.protocol = "lundelius_welch";
+                spec.cfg.f = 2;  // LW cannot tolerate 4 of 9 — n > 3f forces f <= 2
+                spec.attack = AttackKind::kLwPull;
+              }},
+             {"unsynchronized", [](experiment::ScenarioSpec& spec) {
+                spec.protocol = "unsynchronized";
+                spec.cfg.f = 2;
+                spec.attack = AttackKind::kNone;
+              }}});
+  const std::vector<experiment::SweepCell> cells = grid.cells();
+  const std::vector<experiment::ScenarioResult> results =
+      experiment::SweepRunner(/*threads=*/3).run(cells);
+  const experiment::ScenarioResult& st = results[0];
+  const experiment::ScenarioResult& lw = results[1];
+  const experiment::ScenarioResult& unsync = results[2];
 
   Table table({"algorithm", "tolerates", "worst skew", "skew bound", "msgs sent"});
   table.add_row({"srikanth-toueg (auth)", "4 of 9 Byzantine",
@@ -69,7 +69,7 @@ int main() {
   table.print(std::cout);
 
   // When would free-running clocks overtake the synchronized bound?
-  const double gamma = (1 + cfg.rho) - 1 / (1 + cfg.rho);
+  const double gamma = (1 + base.cfg.rho) - 1 / (1 + base.cfg.rho);
   const double crossover_min = st.bounds.precision / gamma / 60.0;
 
   std::cout << "\nTakeaways:\n"

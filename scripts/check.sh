@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local / CI gate: the tier-1 verify line with warnings-as-errors.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-check)
+#
+# Uses a separate build directory so the strict flags never pollute an
+# incremental developer build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-check}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+echo "check.sh: all green"

@@ -1,123 +1,43 @@
 #include "baselines/baseline.h"
 
-#include "adversary/delay_policies.h"
-#include "clocks/drift_models.h"
-#include "sim/simulator.h"
-#include "trace/skew_tracker.h"
-#include "util/contracts.h"
+#include <utility>
 
 namespace stclock::baselines {
 
-namespace {
-
-std::vector<HardwareClock> build_clocks(const BaselineSpec& spec, Rng& rng) {
-  switch (spec.drift) {
-    case DriftKind::kNone: {
-      std::vector<HardwareClock> fleet;
-      for (std::uint32_t i = 0; i < spec.n; ++i) {
-        const LocalTime initial =
-            spec.n == 1 ? 0.0
-                        : spec.initial_sync * static_cast<double>(i) /
-                              static_cast<double>(spec.n - 1);
-        fleet.push_back(drift::constant(initial, 1.0));
-      }
-      return fleet;
-    }
-    case DriftKind::kRandomConstant: {
-      std::vector<HardwareClock> fleet;
-      for (std::uint32_t i = 0; i < spec.n; ++i) {
-        fleet.push_back(drift::random_constant(rng, spec.rho, spec.initial_sync));
-      }
-      return fleet;
-    }
-    case DriftKind::kRandomWalk:
-      return drift::random_fleet(rng, spec.n, spec.rho, spec.initial_sync,
-                                 spec.horizon + 1.0, spec.period);
-    case DriftKind::kExtremal:
-      return drift::adversarial_fleet(spec.n, spec.rho, spec.initial_sync);
-  }
-  ST_ASSERT(false, "build_clocks: unhandled drift kind");
-  return {};
+experiment::ScenarioSpec to_scenario(const BaselineSpec& spec, std::string protocol) {
+  experiment::ScenarioSpec scenario;
+  scenario.protocol = std::move(protocol);
+  scenario.cfg.n = spec.n;
+  scenario.cfg.f = spec.f;
+  scenario.cfg.rho = spec.rho;
+  scenario.cfg.tdel = spec.tdel;
+  scenario.cfg.period = spec.period;
+  scenario.cfg.initial_sync = spec.initial_sync;
+  scenario.delta = spec.delta;
+  scenario.seed = spec.seed;
+  scenario.horizon = spec.horizon;
+  scenario.drift = spec.drift;
+  scenario.delay = spec.delay;
+  scenario.attack = spec.attack;
+  return scenario;
 }
 
-std::unique_ptr<DelayPolicy> build_delays(const BaselineSpec& spec) {
-  switch (spec.delay) {
-    case DelayKind::kZero: return std::make_unique<FixedDelay>(0.0);
-    case DelayKind::kHalf: return std::make_unique<FixedDelay>(0.5);
-    case DelayKind::kMax: return std::make_unique<FixedDelay>(1.0);
-    case DelayKind::kUniform: return std::make_unique<UniformDelay>(0.0, 1.0);
-    case DelayKind::kSplit: {
-      std::vector<NodeId> slow;
-      for (NodeId id = 1; id < spec.n; id += 2) slow.push_back(id);
-      return std::make_unique<SplitDelay>(std::move(slow));
-    }
-    case DelayKind::kAlternating:
-      return std::make_unique<AlternatingDelay>(spec.period);
-  }
-  ST_ASSERT(false, "build_delays: unhandled delay kind");
-  return nullptr;
+BaselineResult to_baseline_result(const experiment::ScenarioResult& result) {
+  BaselineResult out;
+  out.max_skew = result.max_skew;
+  out.steady_skew = result.steady_skew;
+  out.envelope = result.envelope;
+  out.messages_sent = result.messages_sent;
+  out.bytes_sent = result.bytes_sent;
+  return out;
 }
-
-}  // namespace
 
 BaselineResult run_baseline(
     const BaselineSpec& spec,
     const std::function<std::unique_ptr<Process>(NodeId)>& factory) {
-  ST_REQUIRE(spec.n > spec.f, "run_baseline: need at least one honest node");
-
-  Rng rng(spec.seed);
-  std::vector<HardwareClock> clocks = build_clocks(spec, rng);
-  const crypto::KeyRegistry registry(spec.n, spec.seed ^ 0x5eedULL);
-
-  SimParams params;
-  params.n = spec.n;
-  params.tdel = spec.tdel;
-  params.seed = rng.next_u64();
-  Simulator sim(params, std::move(clocks), build_delays(spec), &registry);
-
-  std::vector<NodeId> corrupt;
-  if (spec.attack != AttackKind::kNone && spec.f > 0) {
-    for (NodeId id = spec.n - spec.f; id < spec.n; ++id) corrupt.push_back(id);
-  }
-
-  AttackParams attack_params;
-  attack_params.max_round = static_cast<Round>(spec.horizon / spec.period) + 8;
-  attack_params.period = spec.period;
-  attack_params.cnv_delta = spec.delta;
-  attack_params.nominal_delay = spec.tdel / 2;
-
-  if (!corrupt.empty()) sim.set_adversary(corrupt, make_attack(spec.attack, attack_params));
-
-  for (NodeId id = 0; id < spec.n - static_cast<std::uint32_t>(corrupt.size()); ++id) {
-    sim.set_process(id, factory(id));
-  }
-
-  SkewTracker skew(0.05);
-  skew.set_steady_start(3 * spec.period);
-  EnvelopeTracker envelope(0.1);
-  sim.set_post_event_hook([&skew, &envelope](const Simulator& s) {
-    skew.sample(s);
-    envelope.sample(s);
-  });
-
-  // Step the simulation so metrics get sampled even when a protocol (e.g.
-  // the unsynchronized control) generates no events at all.
-  for (RealTime t = 0.05; t < spec.horizon + 0.05; t += 0.05) {
-    sim.run_until(std::min(t, spec.horizon));
-    skew.sample(sim);
-    envelope.sample(sim);
-  }
-
-  BaselineResult result;
-  result.max_skew = skew.max_skew();
-  result.steady_skew = skew.steady_max_skew();
-  if (spec.horizon > 3 * spec.period + 1.0) {
-    result.envelope = envelope.report(1.0 / (1.0 + spec.rho), 1.0 + spec.rho,
-                                      3 * spec.period);
-  }
-  result.messages_sent = sim.counters().total_sent();
-  result.bytes_sent = sim.counters().total_bytes();
-  return result;
+  return to_baseline_result(experiment::run_scenario_with(
+      to_scenario(spec, "custom"), experiment::EngineMode::kBaseline,
+      [&factory](const experiment::ScenarioSpec&, NodeId id, bool) { return factory(id); }));
 }
 
 }  // namespace stclock::baselines

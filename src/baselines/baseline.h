@@ -3,14 +3,22 @@
 #include <functional>
 #include <memory>
 
-#include "core/runner.h"
+#include "experiment/scenario.h"
 #include "sim/process.h"
 #include "trace/envelope.h"
 
 /// Shared harness for the baseline algorithms (prior work the paper compares
 /// against). Baselines run on exactly the same substrate — clocks, delays,
-/// adversary model — as the Srikanth–Toueg protocol, so comparison tables
-/// measure algorithms, not harness differences.
+/// adversary model — as the Srikanth–Toueg protocol, because both now route
+/// through the unified scenario engine (experiment/scenario.h); comparison
+/// tables measure algorithms, not harness differences.
+///
+/// This header is the legacy shim: a BaselineSpec maps 1:1 onto a
+/// ScenarioSpec, and every run_* entry point reproduces seed-identical
+/// metrics through experiment::run_scenario(). New code should use the
+/// scenario API with the registered protocol names ("lundelius_welch",
+/// "interactive_convergence", "hssd", "leader", "leader_corrupt",
+/// "unsynchronized") directly.
 namespace stclock::baselines {
 
 struct BaselineSpec {
@@ -37,6 +45,13 @@ struct BaselineResult {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
 };
+
+/// Maps a legacy spec onto the unified scenario API under `protocol`.
+[[nodiscard]] experiment::ScenarioSpec to_scenario(const BaselineSpec& spec,
+                                                   std::string protocol);
+
+/// Projects a ScenarioResult back onto the legacy result struct.
+[[nodiscard]] BaselineResult to_baseline_result(const experiment::ScenarioResult& result);
 
 /// Builds the common simulation, instantiates one honest process per honest
 /// node via `factory(id)`, installs the spec's attack against the baseline,

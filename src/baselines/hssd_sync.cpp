@@ -60,13 +60,7 @@ void HssdProtocol::try_accept(Context& ctx, Round k, const crypto::Signature& si
 }
 
 BaselineResult run_hssd(const BaselineSpec& spec) {
-  HssdParams params;
-  params.n = spec.n;
-  params.period = spec.period;
-  params.beta = spec.tdel;
-  params.window = spec.delta;
-  return run_baseline(spec,
-                      [&params](NodeId) { return std::make_unique<HssdProtocol>(params); });
+  return to_baseline_result(experiment::run_scenario(to_scenario(spec, "hssd")));
 }
 
 }  // namespace stclock::baselines

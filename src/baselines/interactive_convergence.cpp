@@ -64,14 +64,8 @@ void CnvProtocol::finish_round(Context& ctx) {
 }
 
 BaselineResult run_interactive_convergence(const BaselineSpec& spec) {
-  CnvParams params;
-  params.n = spec.n;
-  params.f = spec.f;
-  params.period = spec.period;
-  params.delta = spec.delta;
-  params.nominal_delay = spec.tdel / 2;
-  return run_baseline(spec,
-                      [&params](NodeId) { return std::make_unique<CnvProtocol>(params); });
+  return to_baseline_result(
+      experiment::run_scenario(to_scenario(spec, "interactive_convergence")));
 }
 
 }  // namespace stclock::baselines

@@ -32,18 +32,11 @@ void LeaderProtocol::on_timer(Context& ctx, TimerId id) {
 }
 
 BaselineResult run_leader_sync(const BaselineSpec& spec, bool corrupt_leader) {
-  BaselineSpec adjusted = spec;
-  // run_baseline corrupts the highest ids, so the leader is the last node
-  // when it is to be corrupted, and node 0 otherwise.
-  const NodeId leader = corrupt_leader ? spec.n - 1 : 0;
-  adjusted.attack = corrupt_leader ? AttackKind::kLeaderLie : AttackKind::kNone;
-  adjusted.f = corrupt_leader ? std::max<std::uint32_t>(spec.f, 1) : spec.f;
-
-  const Duration nominal = spec.tdel / 2;
-  const Duration period = spec.period;
-  return run_baseline(adjusted, [leader, period, nominal](NodeId) {
-    return std::make_unique<LeaderProtocol>(leader, period, nominal);
-  });
+  // The registry entries carry the leader placement and forced attack: the
+  // engine corrupts the highest ids, so "leader_corrupt" leads from the last
+  // node, "leader" from node 0 with no attack.
+  return to_baseline_result(experiment::run_scenario(
+      to_scenario(spec, corrupt_leader ? "leader_corrupt" : "leader")));
 }
 
 }  // namespace stclock::baselines

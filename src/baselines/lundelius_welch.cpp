@@ -71,14 +71,7 @@ void LwProtocol::finish_round(Context& ctx) {
 }
 
 BaselineResult run_lundelius_welch(const BaselineSpec& spec) {
-  LwParams params;
-  params.n = spec.n;
-  params.f = spec.f;
-  params.period = spec.period;
-  params.nominal_delay = spec.tdel / 2;
-  params.collect_window = spec.delta + 4 * params.nominal_delay;
-  return run_baseline(spec,
-                      [&params](NodeId) { return std::make_unique<LwProtocol>(params); });
+  return to_baseline_result(experiment::run_scenario(to_scenario(spec, "lundelius_welch")));
 }
 
 }  // namespace stclock::baselines

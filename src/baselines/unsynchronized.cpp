@@ -3,7 +3,7 @@
 namespace stclock::baselines {
 
 BaselineResult run_unsynchronized(const BaselineSpec& spec) {
-  return run_baseline(spec, [](NodeId) { return std::make_unique<UnsynchronizedProtocol>(); });
+  return to_baseline_result(experiment::run_scenario(to_scenario(spec, "unsynchronized")));
 }
 
 }  // namespace stclock::baselines

@@ -1,269 +1,44 @@
 #include "core/runner.h"
 
-#include <algorithm>
-#include <map>
-
-#include "adversary/delay_policies.h"
-#include "clocks/drift_models.h"
-#include "core/joiner.h"
-#include "sim/simulator.h"
-#include "trace/skew_tracker.h"
-#include "util/contracts.h"
+#include "experiment/scenario.h"
 
 namespace stclock {
 
-const char* drift_name(DriftKind kind) {
-  switch (kind) {
-    case DriftKind::kNone: return "none";
-    case DriftKind::kRandomConstant: return "rand-const";
-    case DriftKind::kRandomWalk: return "rand-walk";
-    case DriftKind::kExtremal: return "extremal";
-  }
-  return "unknown";
-}
-
-const char* delay_name(DelayKind kind) {
-  switch (kind) {
-    case DelayKind::kZero: return "zero";
-    case DelayKind::kHalf: return "half";
-    case DelayKind::kMax: return "max";
-    case DelayKind::kUniform: return "uniform";
-    case DelayKind::kSplit: return "split";
-    case DelayKind::kAlternating: return "alternating";
-  }
-  return "unknown";
-}
-
-namespace {
-
-std::vector<HardwareClock> build_clocks(const RunSpec& spec, Rng& rng) {
-  const SyncConfig& cfg = spec.cfg;
-  switch (spec.drift) {
-    case DriftKind::kNone: {
-      std::vector<HardwareClock> fleet;
-      fleet.reserve(cfg.n);
-      for (std::uint32_t i = 0; i < cfg.n; ++i) {
-        const LocalTime initial =
-            cfg.n == 1 ? 0.0
-                       : cfg.initial_sync * static_cast<double>(i) /
-                             static_cast<double>(cfg.n - 1);
-        fleet.push_back(drift::constant(initial, 1.0));
-      }
-      return fleet;
-    }
-    case DriftKind::kRandomConstant: {
-      std::vector<HardwareClock> fleet;
-      fleet.reserve(cfg.n);
-      for (std::uint32_t i = 0; i < cfg.n; ++i) {
-        fleet.push_back(drift::random_constant(rng, cfg.rho, cfg.initial_sync));
-      }
-      return fleet;
-    }
-    case DriftKind::kRandomWalk:
-      return drift::random_fleet(rng, cfg.n, cfg.rho, cfg.initial_sync,
-                                 spec.horizon + 1.0, cfg.period);
-    case DriftKind::kExtremal:
-      return drift::adversarial_fleet(cfg.n, cfg.rho, cfg.initial_sync);
-  }
-  ST_ASSERT(false, "build_clocks: unhandled drift kind");
-  return {};
-}
-
-std::unique_ptr<DelayPolicy> build_delays(const RunSpec& spec) {
-  switch (spec.delay) {
-    case DelayKind::kZero: return std::make_unique<FixedDelay>(0.0);
-    case DelayKind::kHalf: return std::make_unique<FixedDelay>(0.5);
-    case DelayKind::kMax: return std::make_unique<FixedDelay>(1.0);
-    case DelayKind::kUniform: return std::make_unique<UniformDelay>(0.0, 1.0);
-    case DelayKind::kSplit: {
-      std::vector<NodeId> slow;
-      for (NodeId id = 1; id < spec.cfg.n; id += 2) slow.push_back(id);
-      return std::make_unique<SplitDelay>(std::move(slow));
-    }
-    case DelayKind::kAlternating:
-      return std::make_unique<AlternatingDelay>(spec.cfg.period);
-  }
-  ST_ASSERT(false, "build_delays: unhandled delay kind");
-  return nullptr;
-}
-
-struct PulseLog {
-  // pulse real times per node, indexed by round.
-  std::vector<std::map<Round, RealTime>> by_node;
-  std::vector<RealTime> first_pulse;  // -1 until seen
-};
-
-}  // namespace
-
 RunResult run_sync(const RunSpec& spec) {
-  const SyncConfig& cfg = spec.cfg;
-  cfg.validate();
-  ST_REQUIRE(spec.horizon > 0, "run_sync: horizon must be positive");
-  ST_REQUIRE(spec.joiners + cfg.f < cfg.n, "run_sync: need at least one regular honest node");
+  experiment::ScenarioSpec scenario;
+  scenario.protocol = spec.cfg.variant == Variant::kEcho ? "echo" : "auth";
+  scenario.cfg = spec.cfg;
+  scenario.seed = spec.seed;
+  scenario.horizon = spec.horizon;
+  scenario.drift = spec.drift;
+  scenario.delay = spec.delay;
+  scenario.attack = spec.attack;
+  scenario.joiners = spec.joiners;
+  scenario.join_time = spec.join_time;
+  scenario.corrupt_override = spec.corrupt_override;
+  scenario.skew_series_interval = spec.skew_series_interval;
+  scenario.envelope_interval = spec.envelope_interval;
+
+  experiment::ScenarioResult r = experiment::run_scenario(scenario);
 
   RunResult result;
-  result.bounds = theory::derive_bounds(cfg);
-
-  Rng rng(spec.seed);
-  std::vector<HardwareClock> clocks = build_clocks(spec, rng);
-
-  const crypto::KeyRegistry registry(cfg.n, spec.seed ^ 0x5eedULL);
-
-  SimParams params;
-  params.n = cfg.n;
-  params.tdel = cfg.tdel;
-  params.seed = rng.next_u64();
-  Simulator sim(params, std::move(clocks), build_delays(spec), &registry);
-
-  // Corrupted nodes take the highest ids; joiners the highest honest ids.
-  const std::uint32_t corrupt_count =
-      spec.attack == AttackKind::kNone ? 0
-      : spec.corrupt_override > 0      ? spec.corrupt_override
-                                       : cfg.f;
-  ST_REQUIRE(corrupt_count + spec.joiners < cfg.n,
-             "run_sync: need at least one regular honest node");
-  std::vector<NodeId> corrupt;
-  for (NodeId id = cfg.n - corrupt_count; id < cfg.n; ++id) corrupt.push_back(id);
-  const NodeId first_joiner = cfg.n - corrupt_count - spec.joiners;
-
-  AttackParams attack_params;
-  attack_params.max_round =
-      static_cast<Round>(spec.horizon / result.bounds.min_period) + 8;
-  attack_params.period = cfg.period;
-  attack_params.variant = cfg.variant;
-  attack_params.nominal_delay = cfg.tdel / 2;
-
-  if (!corrupt.empty()) {
-    sim.set_adversary(corrupt, make_attack(spec.attack, attack_params));
-  }
-
-  PulseLog pulses;
-  pulses.by_node.resize(cfg.n);
-  pulses.first_pulse.assign(cfg.n, -1.0);
-
-  std::vector<SyncProtocol*> protocols(cfg.n, nullptr);
-  const std::uint32_t honest_count = cfg.n - corrupt_count;
-  for (NodeId id = 0; id < honest_count; ++id) {
-    const bool joining = id >= first_joiner;
-    auto process = joining ? make_joining_process(cfg) : make_sync_process(cfg);
-    protocols[id] = process.get();
-    process->set_pulse_observer([&pulses, &sim](NodeId node, Round round) {
-      pulses.by_node[node][round] = sim.now();
-      if (pulses.first_pulse[node] < 0) pulses.first_pulse[node] = sim.now();
-    });
-    if (joining) sim.set_start_time(id, spec.join_time);
-    sim.set_process(id, std::move(process));
-  }
-
-  // Joiners only count toward skew once integrated (their pre-integration
-  // clock is arbitrary by definition).
-  SkewTracker skew(spec.skew_series_interval, [&protocols](NodeId id) {
-    return protocols[id] == nullptr || protocols[id]->integrated();
-  });
-  skew.set_steady_start(2 * result.bounds.max_period);
-  EnvelopeTracker envelope(spec.envelope_interval);
-  sim.set_post_event_hook([&skew, &envelope](const Simulator& s) {
-    skew.sample(s);
-    envelope.sample(s);
-  });
-
-  // Step the simulation so metrics get sampled at a bounded real-time
-  // granularity even through event-quiet stretches.
-  const Duration step = std::max(spec.skew_series_interval, 1e-3);
-  for (RealTime t = step; t < spec.horizon + step; t += step) {
-    sim.run_until(std::min(t, spec.horizon));
-    skew.sample(sim);
-    envelope.sample(sim);
-  }
-
-  // --- Collect metrics ---
-  result.max_skew = skew.max_skew();
-  result.steady_skew = skew.steady_max_skew();
-  result.skew_series = skew.series();
-
-  // Pulse spread per round: only rounds every regular honest node completed.
-  std::map<Round, std::pair<RealTime, RealTime>> round_window;  // min,max
-  std::map<Round, std::uint32_t> round_count;
-  std::uint64_t regular_nodes = 0;
-  for (NodeId id = 0; id < honest_count; ++id) {
-    const bool joiner = id >= first_joiner;
-    if (!joiner) ++regular_nodes;
-    for (const auto& [round, t] : pulses.by_node[id]) {
-      auto [it, inserted] = round_window.try_emplace(round, t, t);
-      if (!inserted) {
-        it->second.first = std::min(it->second.first, t);
-        it->second.second = std::max(it->second.second, t);
-      }
-      if (!joiner) ++round_count[round];
-    }
-  }
-  for (const auto& [round, window] : round_window) {
-    if (round_count[round] == regular_nodes) {
-      result.pulse_spread = std::max(result.pulse_spread, window.second - window.first);
-    }
-  }
-
-  // Per-node periods and pulse counts.
-  result.min_period = kTimeInfinity;
-  bool any_period = false;
-  result.min_pulses = UINT64_MAX;
-  for (NodeId id = 0; id < honest_count; ++id) {
-    const bool joiner = id >= first_joiner;
-    const auto& log = pulses.by_node[id];
-    RealTime prev = -1;
-    for (const auto& [round, t] : log) {
-      if (prev >= 0) {
-        result.min_period = std::min(result.min_period, t - prev);
-        result.max_period = std::max(result.max_period, t - prev);
-        any_period = true;
-      }
-      prev = t;
-    }
-    if (!joiner) {
-      result.min_pulses = std::min<std::uint64_t>(result.min_pulses, log.size());
-      result.max_pulses = std::max<std::uint64_t>(result.max_pulses, log.size());
-    }
-  }
-  if (!any_period) result.min_period = 0;
-  if (result.min_pulses == UINT64_MAX) result.min_pulses = 0;
-
-  // Liveness: nobody stalls — every regular honest node is within one round
-  // of the front, and everyone pulsed at least twice.
-  Round front = 0, back = UINT64_MAX;
-  result.rounds_completed = UINT64_MAX;
-  for (NodeId id = 0; id < honest_count; ++id) {
-    if (id >= first_joiner) continue;
-    const Round last = protocols[id]->last_round();
-    front = std::max(front, last);
-    back = std::min(back, last);
-    result.rounds_completed = std::min<std::uint64_t>(result.rounds_completed, last);
-  }
-  result.live = result.min_pulses >= 2 && front <= back + 1;
-
-  if (spec.joiners > 0) {
-    result.joiners_integrated = true;
-    for (NodeId id = first_joiner; id < honest_count; ++id) {
-      if (!protocols[id]->integrated() || pulses.first_pulse[id] < 0) {
-        result.joiners_integrated = false;
-        continue;
-      }
-      result.join_latency =
-          std::max(result.join_latency, pulses.first_pulse[id] - spec.join_time);
-    }
-    result.live = result.live && result.joiners_integrated;
-  }
-
-  // The envelope fit needs a few samples past the convergence prefix.
-  if (spec.horizon > 2 * result.bounds.max_period + 3 * spec.envelope_interval) {
-    const RealTime fit_start = 2 * result.bounds.max_period;
-    result.envelope =
-        envelope.report(result.bounds.rate_lo, result.bounds.rate_hi, fit_start);
-    result.rate_fit_tolerance =
-        2 * result.bounds.precision / (spec.horizon - fit_start);
-  }
-
-  result.messages_sent = sim.counters().total_sent();
-  result.bytes_sent = sim.counters().total_bytes();
+  result.bounds = r.bounds;
+  result.max_skew = r.max_skew;
+  result.steady_skew = r.steady_skew;
+  result.skew_series = std::move(r.skew_series);
+  result.pulse_spread = r.pulse_spread;
+  result.min_period = r.min_period;
+  result.max_period = r.max_period;
+  result.min_pulses = r.min_pulses;
+  result.max_pulses = r.max_pulses;
+  result.live = r.live;
+  result.envelope = r.envelope;
+  result.rate_fit_tolerance = r.rate_fit_tolerance;
+  result.join_latency = r.join_latency;
+  result.joiners_integrated = r.joiners_integrated;
+  result.messages_sent = r.messages_sent;
+  result.bytes_sent = r.bytes_sent;
+  result.rounds_completed = r.rounds_completed;
   return result;
 }
 

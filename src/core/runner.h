@@ -7,34 +7,18 @@
 #include "adversary/strategies.h"
 #include "core/config.h"
 #include "core/theory.h"
+#include "experiment/environment.h"
 #include "trace/envelope.h"
 
-/// One-call experiment runner: builds a simulation (clocks, delays, honest
-/// protocol instances, adversary), runs it, and reports every metric the
-/// paper's claims are checked against. This is the main entry point used by
-/// tests, benchmarks, and examples.
+/// One-call experiment runner for the Srikanth–Toueg protocol.
+///
+/// This is now a thin shim over the unified scenario engine
+/// (experiment/scenario.h): a RunSpec maps 1:1 onto a ScenarioSpec with
+/// protocol "auth" or "echo", and run_sync() reproduces seed-identical
+/// metrics through experiment::run_scenario(). New code should use the
+/// scenario API directly — it runs baselines and sweeps through the same
+/// engine; this entry point remains for its concise ST-only signature.
 namespace stclock {
-
-/// Hardware-clock trajectory family for the honest fleet.
-enum class DriftKind {
-  kNone,            ///< all clocks perfect rate 1 (isolates delay effects)
-  kRandomConstant,  ///< per-node constant rate within the drift bound
-  kRandomWalk,      ///< rates wander within the bound
-  kExtremal,        ///< alternating fastest/slowest rates (worst-case drift)
-};
-
-/// Honest-to-honest delay assignment (all within [0, tdel]).
-enum class DelayKind {
-  kZero,         ///< instantaneous
-  kHalf,         ///< every message takes tdel/2
-  kMax,          ///< every message takes tdel
-  kUniform,      ///< uniform in [0, tdel]
-  kSplit,        ///< odd-indexed nodes always lag by tdel (worst-case spread)
-  kAlternating,  ///< the lagging half flips every period
-};
-
-[[nodiscard]] const char* drift_name(DriftKind kind);
-[[nodiscard]] const char* delay_name(DelayKind kind);
 
 struct RunSpec {
   SyncConfig cfg;

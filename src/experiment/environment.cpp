@@ -1,0 +1,86 @@
+#include "experiment/environment.h"
+
+#include <utility>
+
+#include "adversary/delay_policies.h"
+#include "clocks/drift_models.h"
+#include "util/contracts.h"
+
+namespace stclock {
+
+const char* drift_name(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kNone: return "none";
+    case DriftKind::kRandomConstant: return "rand-const";
+    case DriftKind::kRandomWalk: return "rand-walk";
+    case DriftKind::kExtremal: return "extremal";
+  }
+  return "unknown";
+}
+
+const char* delay_name(DelayKind kind) {
+  switch (kind) {
+    case DelayKind::kZero: return "zero";
+    case DelayKind::kHalf: return "half";
+    case DelayKind::kMax: return "max";
+    case DelayKind::kUniform: return "uniform";
+    case DelayKind::kSplit: return "split";
+    case DelayKind::kAlternating: return "alternating";
+  }
+  return "unknown";
+}
+
+namespace experiment {
+
+std::vector<HardwareClock> build_clock_fleet(DriftKind kind, std::uint32_t n, double rho,
+                                             Duration initial_sync, RealTime horizon,
+                                             Duration period, Rng& rng) {
+  switch (kind) {
+    case DriftKind::kNone: {
+      std::vector<HardwareClock> fleet;
+      fleet.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const LocalTime initial =
+            n == 1 ? 0.0
+                   : initial_sync * static_cast<double>(i) / static_cast<double>(n - 1);
+        fleet.push_back(drift::constant(initial, 1.0));
+      }
+      return fleet;
+    }
+    case DriftKind::kRandomConstant: {
+      std::vector<HardwareClock> fleet;
+      fleet.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        fleet.push_back(drift::random_constant(rng, rho, initial_sync));
+      }
+      return fleet;
+    }
+    case DriftKind::kRandomWalk:
+      return drift::random_fleet(rng, n, rho, initial_sync, horizon + 1.0, period);
+    case DriftKind::kExtremal:
+      return drift::adversarial_fleet(n, rho, initial_sync);
+  }
+  ST_ASSERT(false, "build_clock_fleet: unhandled drift kind");
+  return {};
+}
+
+std::unique_ptr<DelayPolicy> build_delay_policy(DelayKind kind, std::uint32_t n,
+                                                Duration period) {
+  switch (kind) {
+    case DelayKind::kZero: return std::make_unique<FixedDelay>(0.0);
+    case DelayKind::kHalf: return std::make_unique<FixedDelay>(0.5);
+    case DelayKind::kMax: return std::make_unique<FixedDelay>(1.0);
+    case DelayKind::kUniform: return std::make_unique<UniformDelay>(0.0, 1.0);
+    case DelayKind::kSplit: {
+      std::vector<NodeId> slow;
+      for (NodeId id = 1; id < n; id += 2) slow.push_back(id);
+      return std::make_unique<SplitDelay>(std::move(slow));
+    }
+    case DelayKind::kAlternating: return std::make_unique<AlternatingDelay>(period);
+  }
+  ST_ASSERT(false, "build_delay_policy: unhandled delay kind");
+  return nullptr;
+}
+
+}  // namespace experiment
+}  // namespace stclock

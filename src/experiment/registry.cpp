@@ -1,0 +1,156 @@
+#include "experiment/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/hssd_sync.h"
+#include "baselines/interactive_convergence.h"
+#include "baselines/leader_sync.h"
+#include "baselines/lundelius_welch.h"
+#include "baselines/unsynchronized.h"
+#include "core/joiner.h"
+#include "util/contracts.h"
+
+namespace stclock::experiment {
+
+namespace {
+
+ProtocolRegistry::Entry sync_entry(std::string name, Variant variant) {
+  ProtocolRegistry::Entry entry;
+  entry.name = std::move(name);
+  entry.mode = EngineMode::kSyncProtocol;
+  entry.prepare = [variant](ScenarioSpec& spec) { spec.cfg.variant = variant; };
+  entry.factory = [](const ScenarioSpec& spec, NodeId, bool joining) -> std::unique_ptr<Process> {
+    return joining ? make_joining_process(spec.cfg) : make_sync_process(spec.cfg);
+  };
+  return entry;
+}
+
+ProtocolRegistry::Entry baseline_entry(std::string name, ProcessFactory factory,
+                                       std::function<void(ScenarioSpec&)> prepare = nullptr) {
+  ProtocolRegistry::Entry entry;
+  entry.name = std::move(name);
+  entry.mode = EngineMode::kBaseline;
+  entry.prepare = std::move(prepare);
+  entry.factory = std::move(factory);
+  return entry;
+}
+
+ProtocolRegistry built_ins() {
+  using baselines::CnvParams;
+  using baselines::CnvProtocol;
+  using baselines::HssdParams;
+  using baselines::HssdProtocol;
+  using baselines::LeaderProtocol;
+  using baselines::LwParams;
+  using baselines::LwProtocol;
+  using baselines::UnsynchronizedProtocol;
+
+  ProtocolRegistry registry;
+  registry.add(sync_entry("auth", Variant::kAuthenticated));
+  registry.add(sync_entry("echo", Variant::kEcho));
+
+  registry.add(baseline_entry(
+      "lundelius_welch", [](const ScenarioSpec& spec, NodeId, bool) -> std::unique_ptr<Process> {
+        LwParams params;
+        params.n = spec.cfg.n;
+        params.f = spec.cfg.f;
+        params.period = spec.cfg.period;
+        params.nominal_delay = spec.cfg.tdel / 2;
+        params.collect_window = spec.delta + 4 * params.nominal_delay;
+        return std::make_unique<LwProtocol>(params);
+      }));
+
+  registry.add(baseline_entry(
+      "interactive_convergence",
+      [](const ScenarioSpec& spec, NodeId, bool) -> std::unique_ptr<Process> {
+        CnvParams params;
+        params.n = spec.cfg.n;
+        params.f = spec.cfg.f;
+        params.period = spec.cfg.period;
+        params.delta = spec.delta;
+        params.nominal_delay = spec.cfg.tdel / 2;
+        return std::make_unique<CnvProtocol>(params);
+      }));
+
+  registry.add(baseline_entry(
+      "hssd", [](const ScenarioSpec& spec, NodeId, bool) -> std::unique_ptr<Process> {
+        HssdParams params;
+        params.n = spec.cfg.n;
+        params.period = spec.cfg.period;
+        params.beta = spec.cfg.tdel;
+        params.window = spec.delta;
+        return std::make_unique<HssdProtocol>(params);
+      }));
+
+  // The leader strawman comes in two registrations because corrupting the
+  // leader changes which node leads: the engine corrupts the highest ids, so
+  // the leader is the last node when it is to be corrupted, node 0 otherwise.
+  registry.add(baseline_entry(
+      "leader",
+      [](const ScenarioSpec& spec, NodeId, bool) -> std::unique_ptr<Process> {
+        return std::make_unique<LeaderProtocol>(0, spec.cfg.period, spec.cfg.tdel / 2);
+      },
+      [](ScenarioSpec& spec) { spec.attack = AttackKind::kNone; }));
+  registry.add(baseline_entry(
+      "leader_corrupt",
+      [](const ScenarioSpec& spec, NodeId, bool) -> std::unique_ptr<Process> {
+        return std::make_unique<LeaderProtocol>(spec.cfg.n - 1, spec.cfg.period,
+                                                spec.cfg.tdel / 2);
+      },
+      [](ScenarioSpec& spec) {
+        spec.attack = AttackKind::kLeaderLie;
+        spec.cfg.f = std::max<std::uint32_t>(spec.cfg.f, 1);
+      }));
+
+  registry.add(baseline_entry(
+      "unsynchronized", [](const ScenarioSpec&, NodeId, bool) -> std::unique_ptr<Process> {
+        return std::make_unique<UnsynchronizedProtocol>();
+      }));
+  return registry;
+}
+
+}  // namespace
+
+ProtocolRegistry& ProtocolRegistry::global() {
+  static ProtocolRegistry registry = built_ins();
+  return registry;
+}
+
+void ProtocolRegistry::add(Entry entry) {
+  ST_REQUIRE(!entry.name.empty(), "ProtocolRegistry: entry needs a name");
+  ST_REQUIRE(entry.factory != nullptr, "ProtocolRegistry: entry needs a factory");
+  const auto [it, inserted] = entries_.try_emplace(entry.name, std::move(entry));
+  (void)it;
+  ST_REQUIRE(inserted, "ProtocolRegistry: duplicate protocol name");
+}
+
+const ProtocolRegistry::Entry* ProtocolRegistry::find(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const ProtocolRegistry::Entry& ProtocolRegistry::at(const std::string& name) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) {
+    std::string known;
+    for (const auto& [key, value] : entries_) {
+      (void)value;
+      known += known.empty() ? key : ", " + key;
+    }
+    throw std::out_of_range("unknown protocol \"" + name + "\" (known: " + known + ")");
+  }
+  return *entry;
+}
+
+std::vector<std::string> ProtocolRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    (void)entry;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace stclock::experiment

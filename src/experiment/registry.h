@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "experiment/scenario.h"
+
+/// Name → protocol mapping for the unified scenario engine.
+///
+/// Every protocol the repo can run — the two Srikanth–Toueg variants and all
+/// prior-work baselines — registers here under a stable string name, so
+/// sweeps, comparison tables, and command lines can select protocols
+/// uniformly. The global registry is pre-populated with the built-ins:
+///
+///   "auth"                     Srikanth–Toueg, authenticated (n >= 2f+1)
+///   "echo"                     Srikanth–Toueg, init/echo     (n >= 3f+1)
+///   "lundelius_welch"          fault-tolerant midpoint averaging (f < n/3)
+///   "interactive_convergence"  CNV egocentric averaging (f < n/3, agreement only)
+///   "hssd"                     HSSD-style single-signature authenticated sync
+///   "leader"                   NTP-like leader strawman, honest leader
+///   "leader_corrupt"           same, leader under adversary control
+///   "unsynchronized"           free-running clocks (control)
+namespace stclock::experiment {
+
+class ProtocolRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    EngineMode mode = EngineMode::kBaseline;
+    /// Normalizes the spec before the engine runs — e.g. "auth" forces
+    /// cfg.variant, "leader_corrupt" forces the kLeaderLie attack. May be
+    /// null.
+    std::function<void(ScenarioSpec&)> prepare;
+    /// Builds one honest process per node.
+    ProcessFactory factory;
+  };
+
+  /// The process-wide registry, pre-populated with the built-in protocols.
+  /// Registration is not thread-safe; mutate only during startup (lookups
+  /// from sweep worker threads are fine).
+  [[nodiscard]] static ProtocolRegistry& global();
+
+  /// Throws std::logic_error on duplicate names or a missing factory.
+  void add(Entry entry);
+
+  /// nullptr when unknown.
+  [[nodiscard]] const Entry* find(const std::string& name) const;
+  /// Throws std::out_of_range (listing the known names) when unknown.
+  [[nodiscard]] const Entry& at(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace stclock::experiment

@@ -1,0 +1,252 @@
+#include "experiment/scenario.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/sync_protocol.h"
+#include "experiment/registry.h"
+#include "sim/simulator.h"
+#include "trace/skew_tracker.h"
+#include "util/contracts.h"
+
+namespace stclock::experiment {
+
+namespace {
+
+struct PulseLog {
+  // pulse real times per node, indexed by round.
+  std::vector<std::map<Round, RealTime>> by_node;
+  std::vector<RealTime> first_pulse;  // -1 until seen
+};
+
+/// Pulse / liveness / joiner metrics, collected only for kSyncProtocol
+/// scenarios (baselines have no acceptance events to observe).
+void collect_pulse_metrics(const ScenarioSpec& spec, const PulseLog& pulses,
+                           const std::vector<SyncProtocol*>& protocols,
+                           std::uint32_t honest_count, NodeId first_joiner,
+                           ScenarioResult& result) {
+  // Pulse spread per round: only rounds every regular honest node completed.
+  std::map<Round, std::pair<RealTime, RealTime>> round_window;  // min,max
+  std::map<Round, std::uint32_t> round_count;
+  std::uint64_t regular_nodes = 0;
+  for (NodeId id = 0; id < honest_count; ++id) {
+    const bool joiner = id >= first_joiner;
+    if (!joiner) ++regular_nodes;
+    for (const auto& [round, t] : pulses.by_node[id]) {
+      auto [it, inserted] = round_window.try_emplace(round, t, t);
+      if (!inserted) {
+        it->second.first = std::min(it->second.first, t);
+        it->second.second = std::max(it->second.second, t);
+      }
+      if (!joiner) ++round_count[round];
+    }
+  }
+  for (const auto& [round, window] : round_window) {
+    if (round_count[round] == regular_nodes) {
+      result.pulse_spread = std::max(result.pulse_spread, window.second - window.first);
+    }
+  }
+
+  // Per-node periods and pulse counts.
+  result.min_period = kTimeInfinity;
+  bool any_period = false;
+  result.min_pulses = UINT64_MAX;
+  for (NodeId id = 0; id < honest_count; ++id) {
+    const bool joiner = id >= first_joiner;
+    const auto& log = pulses.by_node[id];
+    RealTime prev = -1;
+    for (const auto& [round, t] : log) {
+      if (prev >= 0) {
+        result.min_period = std::min(result.min_period, t - prev);
+        result.max_period = std::max(result.max_period, t - prev);
+        any_period = true;
+      }
+      prev = t;
+    }
+    if (!joiner) {
+      result.min_pulses = std::min<std::uint64_t>(result.min_pulses, log.size());
+      result.max_pulses = std::max<std::uint64_t>(result.max_pulses, log.size());
+    }
+  }
+  if (!any_period) result.min_period = 0;
+  if (result.min_pulses == UINT64_MAX) result.min_pulses = 0;
+
+  // Liveness: nobody stalls — every regular honest node is within one round
+  // of the front, and everyone pulsed at least twice.
+  Round front = 0, back = UINT64_MAX;
+  result.rounds_completed = UINT64_MAX;
+  for (NodeId id = 0; id < honest_count; ++id) {
+    if (id >= first_joiner) continue;
+    const Round last = protocols[id]->last_round();
+    front = std::max(front, last);
+    back = std::min(back, last);
+    result.rounds_completed = std::min<std::uint64_t>(result.rounds_completed, last);
+  }
+  result.live = result.min_pulses >= 2 && front <= back + 1;
+
+  if (spec.joiners > 0) {
+    result.joiners_integrated = true;
+    for (NodeId id = first_joiner; id < honest_count; ++id) {
+      if (!protocols[id]->integrated() || pulses.first_pulse[id] < 0) {
+        result.joiners_integrated = false;
+        continue;
+      }
+      result.join_latency =
+          std::max(result.join_latency, pulses.first_pulse[id] - spec.join_time);
+    }
+    result.live = result.live && result.joiners_integrated;
+  }
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  const ProtocolRegistry::Entry& entry = ProtocolRegistry::global().at(spec.protocol);
+  ScenarioResult result = run_scenario_with(resolved_spec(spec), entry.mode, entry.factory);
+  result.protocol = spec.protocol;
+  return result;
+}
+
+ScenarioSpec resolved_spec(const ScenarioSpec& spec) {
+  const ProtocolRegistry::Entry* entry = ProtocolRegistry::global().find(spec.protocol);
+  if (entry == nullptr || !entry->prepare) return spec;
+  ScenarioSpec adjusted = spec;
+  entry->prepare(adjusted);
+  return adjusted;
+}
+
+ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
+                                 const ProcessFactory& factory) {
+  const SyncConfig& cfg = spec.cfg;
+  const bool sync_mode = mode == EngineMode::kSyncProtocol;
+
+  ScenarioResult result;
+  result.protocol = spec.protocol;
+
+  if (sync_mode) {
+    cfg.validate();
+    ST_REQUIRE(spec.horizon > 0, "run_scenario: horizon must be positive");
+    ST_REQUIRE(spec.joiners + cfg.f < cfg.n,
+               "run_scenario: need at least one regular honest node");
+    result.bounds = theory::derive_bounds(cfg);
+  } else {
+    ST_REQUIRE(cfg.n > cfg.f, "run_scenario: need at least one honest node");
+    ST_REQUIRE(spec.joiners == 0, "run_scenario: baselines do not support joiners");
+  }
+
+  Rng rng(spec.seed);
+  std::vector<HardwareClock> clocks = build_clock_fleet(
+      spec.drift, cfg.n, cfg.rho, cfg.initial_sync, spec.horizon, cfg.period, rng);
+
+  const crypto::KeyRegistry registry(cfg.n, spec.seed ^ 0x5eedULL);
+
+  SimParams params;
+  params.n = cfg.n;
+  params.tdel = cfg.tdel;
+  params.seed = rng.next_u64();
+  Simulator sim(params, std::move(clocks), build_delay_policy(spec.delay, cfg.n, cfg.period),
+                &registry);
+
+  // Corrupted nodes take the highest ids; joiners the highest honest ids.
+  const std::uint32_t corrupt_count =
+      spec.attack == AttackKind::kNone ? 0
+      : spec.corrupt_override > 0      ? spec.corrupt_override
+                                       : cfg.f;
+  ST_REQUIRE(corrupt_count + spec.joiners < cfg.n,
+             "run_scenario: need at least one regular honest node");
+  std::vector<NodeId> corrupt;
+  for (NodeId id = cfg.n - corrupt_count; id < cfg.n; ++id) corrupt.push_back(id);
+  const std::uint32_t honest_count = cfg.n - corrupt_count;
+  const NodeId first_joiner = honest_count - spec.joiners;
+
+  AttackParams attack_params;
+  attack_params.period = cfg.period;
+  attack_params.nominal_delay = cfg.tdel / 2;
+  if (sync_mode) {
+    attack_params.max_round =
+        static_cast<Round>(spec.horizon / result.bounds.min_period) + 8;
+    attack_params.variant = cfg.variant;
+  } else {
+    attack_params.max_round = static_cast<Round>(spec.horizon / cfg.period) + 8;
+    attack_params.cnv_delta = spec.delta;
+  }
+
+  if (!corrupt.empty()) {
+    sim.set_adversary(corrupt, make_attack(spec.attack, attack_params));
+  }
+
+  PulseLog pulses;
+  pulses.by_node.resize(cfg.n);
+  pulses.first_pulse.assign(cfg.n, -1.0);
+
+  // Non-null only in sync mode (and only for honest ids).
+  std::vector<SyncProtocol*> protocols(cfg.n, nullptr);
+  for (NodeId id = 0; id < honest_count; ++id) {
+    const bool joining = id >= first_joiner;
+    std::unique_ptr<Process> process = factory(spec, id, joining);
+    ST_REQUIRE(process != nullptr, "run_scenario: factory returned no process");
+    if (sync_mode) {
+      auto* sync = dynamic_cast<SyncProtocol*>(process.get());
+      ST_REQUIRE(sync != nullptr,
+                 "run_scenario: kSyncProtocol factories must build SyncProtocol instances");
+      protocols[id] = sync;
+      sync->set_pulse_observer([&pulses, &sim](NodeId node, Round round) {
+        pulses.by_node[node][round] = sim.now();
+        if (pulses.first_pulse[node] < 0) pulses.first_pulse[node] = sim.now();
+      });
+      if (joining) sim.set_start_time(id, spec.join_time);
+    }
+    sim.set_process(id, std::move(process));
+  }
+
+  // Joiners only count toward skew once integrated (their pre-integration
+  // clock is arbitrary by definition).
+  SkewTracker skew(spec.skew_series_interval,
+                   sync_mode ? std::function<bool(NodeId)>([&protocols](NodeId id) {
+                     return protocols[id] == nullptr || protocols[id]->integrated();
+                   })
+                             : nullptr);
+  skew.set_steady_start(sync_mode ? 2 * result.bounds.max_period : 3 * cfg.period);
+  EnvelopeTracker envelope(spec.envelope_interval);
+  sim.set_post_event_hook([&skew, &envelope](const Simulator& s) {
+    skew.sample(s);
+    envelope.sample(s);
+  });
+
+  // Step the simulation so metrics get sampled at a bounded real-time
+  // granularity even through event-quiet stretches (e.g. the unsynchronized
+  // control generates no events at all).
+  const Duration step = std::max(spec.skew_series_interval, 1e-3);
+  for (RealTime t = step; t < spec.horizon + step; t += step) {
+    sim.run_until(std::min(t, spec.horizon));
+    skew.sample(sim);
+    envelope.sample(sim);
+  }
+
+  // --- Collect metrics ---
+  result.max_skew = skew.max_skew();
+  result.steady_skew = skew.steady_max_skew();
+  result.skew_series = skew.series();
+
+  if (sync_mode) {
+    collect_pulse_metrics(spec, pulses, protocols, honest_count, first_joiner, result);
+
+    // The envelope fit needs a few samples past the convergence prefix.
+    if (spec.horizon > 2 * result.bounds.max_period + 3 * spec.envelope_interval) {
+      const RealTime fit_start = 2 * result.bounds.max_period;
+      result.envelope =
+          envelope.report(result.bounds.rate_lo, result.bounds.rate_hi, fit_start);
+      result.rate_fit_tolerance =
+          2 * result.bounds.precision / (spec.horizon - fit_start);
+    }
+  } else if (spec.horizon > 3 * cfg.period + 1.0) {
+    // Baselines are judged against the raw hardware envelope.
+    result.envelope = envelope.report(1.0 / (1.0 + cfg.rho), 1.0 + cfg.rho, 3 * cfg.period);
+  }
+
+  result.messages_sent = sim.counters().total_sent();
+  result.bytes_sent = sim.counters().total_bytes();
+  return result;
+}
+
+}  // namespace stclock::experiment

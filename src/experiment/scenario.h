@@ -1,0 +1,138 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adversary/strategies.h"
+#include "core/config.h"
+#include "core/theory.h"
+#include "experiment/environment.h"
+#include "sim/process.h"
+#include "trace/envelope.h"
+
+/// The unified experiment API: one engine runs every protocol — both
+/// Srikanth–Toueg variants and all prior-work baselines — on an identical
+/// substrate (clocks, delays, adversary, metric sampling), so comparison
+/// tables measure algorithms, not harness differences.
+///
+/// A `ScenarioSpec` names a protocol (resolved through the ProtocolRegistry,
+/// see experiment/registry.h) and describes the environment and adversary;
+/// `run_scenario` builds the simulation, runs it, and reports every metric
+/// the paper's claims are checked against in one `ScenarioResult`.
+namespace stclock::experiment {
+
+/// How the engine treats the protocol under test.
+enum class EngineMode {
+  /// A Srikanth–Toueg variant: the engine derives the paper's theoretical
+  /// bounds, tracks pulses/liveness, supports late joiners and
+  /// over-corruption, and fits the accuracy envelope against the derived
+  /// rate bounds.
+  kSyncProtocol,
+  /// A prior-work baseline: skew / accuracy / cost metrics only; the
+  /// accuracy envelope is fitted against the raw hardware drift bounds.
+  kBaseline,
+};
+
+/// Everything needed to run one experiment cell. Supersedes the legacy
+/// RunSpec (core/runner.h) and BaselineSpec (baselines/baseline.h), both of
+/// which are now thin shims over this type.
+struct ScenarioSpec {
+  /// Protocol name resolved via the ProtocolRegistry: "auth", "echo",
+  /// "lundelius_welch", "interactive_convergence", "hssd", "leader",
+  /// "leader_corrupt", "unsynchronized", or any custom registration.
+  std::string protocol = "auth";
+
+  /// System parameters (n, f, rho, tdel, period, alpha, initial_sync, ...).
+  /// Baselines read the subset they need; `variant` is forced by the
+  /// "auth"/"echo" registry entries.
+  SyncConfig cfg;
+
+  /// Baseline collection threshold: CNV's discard threshold, HSSD's
+  /// plausibility window, and the sizing of LW's collection window.
+  Duration delta = 0.05;
+
+  std::uint64_t seed = 1;
+  RealTime horizon = 30.0;
+  DriftKind drift = DriftKind::kRandomWalk;
+  DelayKind delay = DelayKind::kUniform;
+  AttackKind attack = AttackKind::kNone;
+
+  /// The last `joiners` honest nodes boot at `join_time` and integrate
+  /// passively instead of starting at time 0 (kSyncProtocol only).
+  std::uint32_t joiners = 0;
+  RealTime join_time = 10.0;
+
+  /// If non-zero, the adversary controls this many nodes regardless of
+  /// cfg.f (which the protocol still uses for its thresholds). Setting it
+  /// above the variant's resilience bound demonstrates breakdown (T2).
+  std::uint32_t corrupt_override = 0;
+
+  /// Metric sampling granularity.
+  Duration skew_series_interval = 0.05;
+  Duration envelope_interval = 0.1;
+};
+
+/// Superset of the legacy RunResult / BaselineResult. Fields that only make
+/// sense for kSyncProtocol scenarios (bounds, pulses, liveness, joiners)
+/// keep their zero defaults for baselines.
+struct ScenarioResult {
+  std::string protocol;
+
+  theory::Bounds bounds;  ///< derived theoretical bounds (kSyncProtocol only)
+
+  // Precision.
+  double max_skew = 0;     ///< sup spread of honest logical clocks, whole run
+  double steady_skew = 0;  ///< same, after the convergence prefix
+  std::vector<std::pair<RealTime, double>> skew_series;
+
+  // Pulses (acceptance events; kSyncProtocol only).
+  double pulse_spread = 0;   ///< max over rounds of acceptance real-time spread
+  double min_period = 0;     ///< min observed per-node inter-pulse gap
+  double max_period = 0;     ///< max observed per-node inter-pulse gap
+  std::uint64_t min_pulses = 0;
+  std::uint64_t max_pulses = 0;
+  bool live = false;  ///< every honest node keeps pulsing (no stall / split)
+
+  // Accuracy.
+  EnvelopeTracker::Report envelope;
+  /// Least-squares slopes over a finite window carry O(precision / window)
+  /// noise from the sawtooth of corrections; compare fitted rates against
+  /// [rate_lo - tol, rate_hi + tol] with this tol (kSyncProtocol only).
+  double rate_fit_tolerance = 0;
+
+  // Integration (when spec.joiners > 0).
+  double join_latency = -1;  ///< worst joiner: first pulse time - boot time
+  bool joiners_integrated = false;
+
+  // Cost.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t rounds_completed = 0;  ///< min over honest nodes of last round
+};
+
+/// Builds one honest protocol instance. `joining` is true for late joiners
+/// (kSyncProtocol scenarios only; baselines never see it set).
+using ProcessFactory =
+    std::function<std::unique_ptr<Process>(const ScenarioSpec&, NodeId, bool joining)>;
+
+/// Runs the scenario with the protocol resolved through the global
+/// ProtocolRegistry. Throws std::out_of_range for unknown protocol names and
+/// std::logic_error for inconsistent specs.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// The spec as the engine actually runs it: the registry entry's prepare
+/// hook applied (e.g. "leader_corrupt" forces attack = kLeaderLie and
+/// f >= 1). Unknown protocols come back unchanged. The sinks record this,
+/// so dumps reflect the run, not the request.
+[[nodiscard]] ScenarioSpec resolved_spec(const ScenarioSpec& spec);
+
+/// The engine itself: runs the scenario with an explicit mode and process
+/// factory, bypassing the registry. This is what the legacy
+/// `baselines::run_baseline(spec, factory)` shim calls.
+[[nodiscard]] ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
+                                               const ProcessFactory& factory);
+
+}  // namespace stclock::experiment

@@ -1,0 +1,196 @@
+#include "experiment/sinks.h"
+
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/contracts.h"
+
+namespace stclock::experiment {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& field) {
+  std::string out;
+  for (const char c : field) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Axis names in order of first appearance across all cells.
+std::vector<std::string> label_columns(const std::vector<SweepCell>& cells) {
+  std::vector<std::string> columns;
+  for (const SweepCell& cell : cells) {
+    for (const auto& [axis, value] : cell.labels) {
+      (void)value;
+      bool seen = false;
+      for (const std::string& column : columns) seen = seen || column == axis;
+      if (!seen) columns.push_back(axis);
+    }
+  }
+  return columns;
+}
+
+std::string label_value(const SweepCell& cell, const std::string& axis) {
+  for (const auto& [name, value] : cell.labels) {
+    if (name == axis) return value;
+  }
+  return "";
+}
+
+struct Field {
+  const char* name;
+  std::string value;
+};
+
+std::vector<Field> spec_fields(const ScenarioSpec& spec) {
+  return {
+      {"protocol", spec.protocol},
+      {"n", std::to_string(spec.cfg.n)},
+      {"f", std::to_string(spec.cfg.f)},
+      {"rho", fmt(spec.cfg.rho)},
+      {"tdel", fmt(spec.cfg.tdel)},
+      {"period", fmt(spec.cfg.period)},
+      {"delta", fmt(spec.delta)},
+      {"seed", std::to_string(spec.seed)},
+      {"horizon", fmt(spec.horizon)},
+      {"drift", drift_name(spec.drift)},
+      {"delay", delay_name(spec.delay)},
+      {"attack", attack_name(spec.attack)},
+      {"joiners", std::to_string(spec.joiners)},
+      {"corrupt_override", std::to_string(spec.corrupt_override)},
+  };
+}
+
+std::vector<Field> result_fields(const ScenarioResult& r) {
+  return {
+      {"max_skew", fmt(r.max_skew)},
+      {"steady_skew", fmt(r.steady_skew)},
+      {"precision_bound", fmt(r.bounds.precision)},
+      {"pulse_spread", fmt(r.pulse_spread)},
+      {"min_period", fmt(r.min_period)},
+      {"max_period", fmt(r.max_period)},
+      {"min_pulses", std::to_string(r.min_pulses)},
+      {"max_pulses", std::to_string(r.max_pulses)},
+      {"live", r.live ? "1" : "0"},
+      {"min_rate", fmt(r.envelope.min_rate)},
+      {"max_rate", fmt(r.envelope.max_rate)},
+      {"rate_fit_tolerance", fmt(r.rate_fit_tolerance)},
+      {"join_latency", fmt(r.join_latency)},
+      {"joiners_integrated", r.joiners_integrated ? "1" : "0"},
+      {"messages_sent", std::to_string(r.messages_sent)},
+      {"bytes_sent", std::to_string(r.bytes_sent)},
+      {"rounds_completed", std::to_string(r.rounds_completed)},
+  };
+}
+
+/// Numeric fields pass through bare in JSON; everything else is quoted.
+bool json_bare(const std::string& value) {
+  if (value.empty()) return false;
+  std::size_t start = value[0] == '-' ? 1 : 0;
+  if (start == value.size()) return false;
+  for (std::size_t i = start; i < value.size(); ++i) {
+    const char c = value[i];
+    const bool numeric = (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+                         c == '+' || c == '-';
+    if (!numeric) return false;
+  }
+  return value != "inf" && value != "-inf" && value != "nan";
+}
+
+void write_json_object(std::ostream& os, const std::vector<Field>& fields) {
+  os << '{';
+  bool first = true;
+  for (const Field& field : fields) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << field.name << "\": ";
+    if (json_bare(field.value)) {
+      os << field.value;
+    } else {
+      os << '"' << json_escape(field.value) << '"';
+    }
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const std::vector<SweepCell>& cells,
+               const std::vector<ScenarioResult>& results) {
+  ST_REQUIRE(cells.size() == results.size(), "write_csv: cells/results size mismatch");
+  const std::vector<std::string> axes = label_columns(cells);
+
+  os << "cell";
+  for (const std::string& axis : axes) os << ',' << csv_escape(axis);
+  if (!cells.empty()) {
+    for (const Field& field : spec_fields(cells[0].spec)) os << ',' << field.name;
+    for (const Field& field : result_fields(results[0])) os << ',' << field.name;
+  }
+  os << '\n';
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    os << cells[i].index;
+    for (const std::string& axis : axes) os << ',' << csv_escape(label_value(cells[i], axis));
+    // Record what actually ran (the registry's prepare hook applied), not
+    // the pre-resolution request.
+    for (const Field& field : spec_fields(resolved_spec(cells[i].spec))) {
+      os << ',' << csv_escape(field.value);
+    }
+    for (const Field& field : result_fields(results[i])) os << ',' << csv_escape(field.value);
+    os << '\n';
+  }
+}
+
+void write_json(std::ostream& os, const std::vector<SweepCell>& cells,
+                const std::vector<ScenarioResult>& results) {
+  ST_REQUIRE(cells.size() == results.size(), "write_json: cells/results size mismatch");
+  os << "[\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    os << "  {\"cell\": " << cells[i].index << ", \"labels\": {";
+    bool first = true;
+    for (const auto& [axis, value] : cells[i].labels) {
+      if (!first) os << ", ";
+      first = false;
+      os << '"' << json_escape(axis) << "\": \"" << json_escape(value) << '"';
+    }
+    os << "}, \"spec\": ";
+    write_json_object(os, spec_fields(resolved_spec(cells[i].spec)));
+    os << ", \"result\": ";
+    write_json_object(os, result_fields(results[i]));
+    os << '}' << (i + 1 < cells.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+}
+
+}  // namespace stclock::experiment

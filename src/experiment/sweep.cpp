@@ -1,0 +1,113 @@
+#include "experiment/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/contracts.h"
+
+namespace stclock::experiment {
+
+std::uint64_t derive_cell_seed(std::uint64_t base_seed, std::uint64_t cell_index) {
+  // splitmix64 over the concatenated inputs; bijective per fixed base, so no
+  // two cells of one grid collide.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (cell_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+SweepGrid& SweepGrid::axis(std::string name, std::vector<Value> values) {
+  ST_REQUIRE(!values.empty(), "SweepGrid: axis needs at least one value");
+  axes_.push_back(Axis{std::move(name), std::move(values)});
+  return *this;
+}
+
+SweepGrid& SweepGrid::protocols(const std::vector<std::string>& names) {
+  std::vector<Value> values;
+  values.reserve(names.size());
+  for (const std::string& name : names) {
+    values.emplace_back(name, [name](ScenarioSpec& spec) { spec.protocol = name; });
+  }
+  return axis("protocol", std::move(values));
+}
+
+std::vector<SweepCell> SweepGrid::cells() const {
+  std::size_t total = 1;
+  for (const Axis& axis : axes_) total *= axis.values.size();
+
+  std::vector<SweepCell> cells;
+  cells.reserve(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    SweepCell cell;
+    cell.index = index;
+    cell.spec = base_;
+    // Row-major: the first axis varies slowest.
+    std::size_t stride = total;
+    for (const Axis& axis : axes_) {
+      stride /= axis.values.size();
+      const auto& [label, mutate] = axis.values[(index / stride) % axis.values.size()];
+      cell.labels.emplace_back(axis.name, label);
+      if (mutate) mutate(cell.spec);
+    }
+    if (reseed_) cell.spec.seed = derive_cell_seed(base_.seed, index);
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+SweepRunner::SweepRunner(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) threads_ = std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::vector<ScenarioResult> SweepRunner::run(const std::vector<SweepCell>& cells) const {
+  std::vector<ScenarioResult> results(cells.size());
+  if (cells.empty()) return results;
+
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads_, cells.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) results[i] = run_scenario(cells[i].spec);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto work = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) return;
+      try {
+        results[i] = run_scenario(cells[i].spec);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) pool.emplace_back(work);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<ScenarioResult> SweepRunner::run(const std::vector<ScenarioSpec>& specs) const {
+  std::vector<SweepCell> cells(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    cells[i].index = i;
+    cells[i].spec = specs[i];
+  }
+  return run(cells);
+}
+
+}  // namespace stclock::experiment

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiment/scenario.h"
+
+/// Parameter sweeps over the unified scenario engine.
+///
+/// A `SweepGrid` declares a cartesian product of spec mutations ("axes") over
+/// a base scenario and materializes it into labelled cells; a `SweepRunner`
+/// executes any cell list across a thread pool. Every scenario is a pure
+/// function of its spec (the engine seeds a fresh RNG per cell), so results
+/// are deterministic and identical regardless of thread count — the worker
+/// pool only changes wall-clock time, never output.
+namespace stclock::experiment {
+
+/// Deterministic per-cell seed: a splitmix64 mix of the base seed and the
+/// cell index. Distinct indices give statistically independent streams, and
+/// the mapping is stable across runs, grids, and thread counts.
+[[nodiscard]] std::uint64_t derive_cell_seed(std::uint64_t base_seed, std::uint64_t cell_index);
+
+/// One grid cell: the fully resolved spec plus (axis, value) labels for
+/// reporting.
+struct SweepCell {
+  std::size_t index = 0;
+  std::vector<std::pair<std::string, std::string>> labels;
+  ScenarioSpec spec;
+};
+
+class SweepGrid {
+ public:
+  using Mutator = std::function<void(ScenarioSpec&)>;
+  /// One labelled setting on an axis.
+  using Value = std::pair<std::string, Mutator>;
+
+  explicit SweepGrid(ScenarioSpec base) : base_(std::move(base)) {}
+
+  /// Appends an axis; the grid is the row-major cartesian product of all
+  /// axes (first axis outermost), applied left to right to the base spec.
+  SweepGrid& axis(std::string name, std::vector<Value> values);
+
+  /// Convenience axis over registered protocol names.
+  SweepGrid& protocols(const std::vector<std::string>& names);
+
+  /// Re-seed every cell with derive_cell_seed(base.seed, index) instead of
+  /// letting all cells share the base seed.
+  SweepGrid& reseed_per_cell(bool on = true) {
+    reseed_ = on;
+    return *this;
+  }
+
+  [[nodiscard]] std::vector<SweepCell> cells() const;
+
+ private:
+  struct Axis {
+    std::string name;
+    std::vector<Value> values;
+  };
+
+  ScenarioSpec base_;
+  bool reseed_ = false;
+  std::vector<Axis> axes_;
+};
+
+/// Executes scenario cells on a pool of worker threads. Results come back
+/// indexed exactly like the input, whatever the interleaving.
+class SweepRunner {
+ public:
+  /// `threads` = 0 selects std::thread::hardware_concurrency().
+  explicit SweepRunner(unsigned threads = 1);
+
+  [[nodiscard]] std::vector<ScenarioResult> run(const std::vector<SweepCell>& cells) const;
+  [[nodiscard]] std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& specs) const;
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace stclock::experiment

@@ -1,11 +1,12 @@
 #include <gtest/gtest.h>
 
 #include "core/runner.h"
+#include "experiment/scenario.h"
 
 namespace stclock {
 namespace {
 
-RunSpec basic_spec(Variant variant) {
+experiment::ScenarioSpec basic_spec(Variant variant) {
   SyncConfig cfg;
   cfg.variant = variant;
   cfg.n = 7;
@@ -15,7 +16,8 @@ RunSpec basic_spec(Variant variant) {
   cfg.period = 1.0;
   cfg.initial_sync = 0.005;
 
-  RunSpec spec;
+  experiment::ScenarioSpec spec;
+  spec.protocol = variant == Variant::kAuthenticated ? "auth" : "echo";
   spec.cfg = cfg;
   spec.seed = 1;
   spec.horizon = 15.0;
@@ -25,7 +27,7 @@ RunSpec basic_spec(Variant variant) {
 }
 
 TEST(Runner, SkewSeriesIsTimeMonotone) {
-  const RunResult r = run_sync(basic_spec(Variant::kAuthenticated));
+  const experiment::ScenarioResult r = run_scenario(basic_spec(Variant::kAuthenticated));
   ASSERT_GE(r.skew_series.size(), 10u);
   for (std::size_t i = 1; i < r.skew_series.size(); ++i) {
     EXPECT_GT(r.skew_series[i].first, r.skew_series[i - 1].first);
@@ -37,7 +39,7 @@ TEST(Runner, SkewSeriesIsTimeMonotone) {
 }
 
 TEST(Runner, PulseCountsConsistentWithHorizonAndPeriods) {
-  const RunResult r = run_sync(basic_spec(Variant::kAuthenticated));
+  const experiment::ScenarioResult r = run_scenario(basic_spec(Variant::kAuthenticated));
   EXPECT_LE(r.min_pulses, r.max_pulses);
   // Pulses per node ~ horizon / period; generous brackets either side.
   EXPECT_GE(r.min_pulses, 10u);
@@ -48,8 +50,8 @@ TEST(Runner, PulseCountsConsistentWithHorizonAndPeriods) {
 }
 
 TEST(Runner, BoundsMatchTheoryModule) {
-  const RunSpec spec = basic_spec(Variant::kEcho);
-  const RunResult r = run_sync(spec);
+  const experiment::ScenarioSpec spec = basic_spec(Variant::kEcho);
+  const experiment::ScenarioResult r = run_scenario(spec);
   const theory::Bounds direct = theory::derive_bounds(spec.cfg);
   EXPECT_DOUBLE_EQ(r.bounds.precision, direct.precision);
   EXPECT_DOUBLE_EQ(r.bounds.min_period, direct.min_period);
@@ -60,16 +62,15 @@ TEST(Runner, AuthRunsProduceOnlyRoundTraffic) {
   // Message-kind accounting: the authenticated protocol must emit nothing
   // but (round k) messages; a stray init/echo would mean the primitives
   // leaked into each other.
-  RunSpec spec = basic_spec(Variant::kAuthenticated);
-  const RunResult r = run_sync(spec);
+  const experiment::ScenarioResult r = run_scenario(basic_spec(Variant::kAuthenticated));
   EXPECT_GT(r.messages_sent, 0u);
   // Bytes per message for round msgs: header + at least one signature.
   EXPECT_GE(r.bytes_sent, r.messages_sent * (9 + 36));
 }
 
 TEST(Runner, EchoRunsAreCheaperPerMessage) {
-  const RunResult auth = run_sync(basic_spec(Variant::kAuthenticated));
-  const RunResult echo = run_sync(basic_spec(Variant::kEcho));
+  const experiment::ScenarioResult auth = run_scenario(basic_spec(Variant::kAuthenticated));
+  const experiment::ScenarioResult echo = run_scenario(basic_spec(Variant::kEcho));
   const double auth_avg =
       static_cast<double>(auth.bytes_sent) / static_cast<double>(auth.messages_sent);
   const double echo_avg =
@@ -79,19 +80,26 @@ TEST(Runner, EchoRunsAreCheaperPerMessage) {
 
 TEST(Runner, RejectsInvalidSpecs) {
   {
-    RunSpec spec = basic_spec(Variant::kAuthenticated);
+    experiment::ScenarioSpec spec = basic_spec(Variant::kAuthenticated);
     spec.horizon = 0;
-    EXPECT_THROW((void)run_sync(spec), std::logic_error);
+    EXPECT_THROW((void)run_scenario(spec), std::logic_error);
   }
   {
-    RunSpec spec = basic_spec(Variant::kAuthenticated);
+    experiment::ScenarioSpec spec = basic_spec(Variant::kAuthenticated);
     spec.cfg.f = 5;  // > ceil(7/2)-1
-    EXPECT_THROW((void)run_sync(spec), std::logic_error);
+    EXPECT_THROW((void)run_scenario(spec), std::logic_error);
   }
   {
-    RunSpec spec = basic_spec(Variant::kAuthenticated);
+    experiment::ScenarioSpec spec = basic_spec(Variant::kAuthenticated);
     spec.joiners = 4;  // 7 - 3 corrupt - 4 joiners = 0 regular nodes
     spec.attack = AttackKind::kCrash;
+    EXPECT_THROW((void)run_scenario(spec), std::logic_error);
+  }
+  {
+    // The legacy shim forwards the same validation.
+    RunSpec spec;
+    spec.cfg = basic_spec(Variant::kAuthenticated).cfg;
+    spec.horizon = 0;
     EXPECT_THROW((void)run_sync(spec), std::logic_error);
   }
 }
@@ -105,16 +113,30 @@ TEST(Runner, NameHelpersCoverAllKinds) {
   EXPECT_STREQ(delay_name(DelayKind::kAlternating), "alternating");
 }
 
+TEST(Runner, LegacyShimReproducesEngineMetrics) {
+  RunSpec legacy;
+  legacy.cfg = basic_spec(Variant::kAuthenticated).cfg;
+  legacy.seed = 1;
+  legacy.horizon = 15.0;
+  legacy.drift = DriftKind::kRandomWalk;
+  legacy.delay = DelayKind::kUniform;
+  const RunResult shim = run_sync(legacy);
+  const experiment::ScenarioResult direct = run_scenario(basic_spec(Variant::kAuthenticated));
+  EXPECT_EQ(shim.max_skew, direct.max_skew);
+  EXPECT_EQ(shim.messages_sent, direct.messages_sent);
+  EXPECT_EQ(shim.min_pulses, direct.min_pulses);
+}
+
 TEST(Runner, SleeperWakeupVisibleInSkewSeries) {
   // The sleeper attack wakes at t = 10; pulses accelerate afterwards but
   // the run must stay within bounds — and the series must actually cover
   // both phases.
-  RunSpec spec = basic_spec(Variant::kAuthenticated);
+  experiment::ScenarioSpec spec = basic_spec(Variant::kAuthenticated);
   spec.drift = DriftKind::kExtremal;
   spec.delay = DelayKind::kSplit;
   spec.attack = AttackKind::kSleeper;
   spec.horizon = 20.0;
-  const RunResult r = run_sync(spec);
+  const experiment::ScenarioResult r = run_scenario(spec);
   EXPECT_TRUE(r.live);
   EXPECT_GT(r.skew_series.back().first, 15.0);
   EXPECT_LE(r.steady_skew, r.bounds.precision);
