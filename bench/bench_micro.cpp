@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
+#include "clocks/drift_models.h"
 #include "clocks/logical_clock.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
@@ -13,6 +16,8 @@
 #include "experiment/scenario.h"
 #include "experiment/sweep.h"
 #include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "trace/counters.h"
 
 namespace stclock {
 namespace {
@@ -66,6 +71,111 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueuePushPop);
+
+// --- Hot-path benches (the perf trajectory tracked by scripts/bench.sh) ---
+
+/// Broadcasts a quorum-sized RoundMsg once per simulated second. The other
+/// n-1 nodes sink deliveries, so one simulated second costs one broadcast
+/// fan-out (n sends) plus n deliveries through the queue/counter path.
+class BroadcastDriver final : public Process {
+ public:
+  explicit BroadcastDriver(Message msg) : msg_(std::move(msg)) {}
+  void on_start(Context& ctx) override { (void)ctx.set_timer_at_hardware(1.0); }
+  void on_timer(Context& ctx, TimerId) override {
+    ctx.broadcast(msg_);
+    (void)ctx.set_timer_at_hardware(ctx.hardware_now() + 1.0);
+  }
+  void on_message(Context&, NodeId, const Message&) override {}
+
+ private:
+  Message msg_;
+};
+
+class SinkProcess final : public Process {
+ public:
+  void on_start(Context&) override {}
+  void on_message(Context&, NodeId, const Message&) override {}
+  void on_timer(Context&, TimerId) override {}
+};
+
+void run_broadcast_bench(benchmark::State& state, std::uint32_t n) {
+  SimParams params;
+  params.n = n;
+  params.tdel = 0.01;
+  params.seed = 1;
+  params.max_events = std::numeric_limits<std::uint64_t>::max();  // bench runs unbounded
+  std::vector<HardwareClock> clocks;
+  for (std::uint32_t i = 0; i < n; ++i) clocks.emplace_back(0.0, 1.0);
+  const crypto::KeyRegistry registry(n, 1);
+  Simulator sim(params, std::move(clocks), std::make_unique<FixedDelay>(1.0), &registry);
+
+  // A quorum-sized (f+1 = n/2) signature bundle: the relay message whose
+  // per-recipient payload copy dominates un-interned broadcast cost.
+  RoundMsg msg{1, {}};
+  const Bytes payload = round_signing_payload(1);
+  for (NodeId s = 0; s < n / 2 + 1; ++s) {
+    msg.sigs.push_back(registry.signer_for(s).sign(payload));
+  }
+  sim.set_process(0, std::make_unique<BroadcastDriver>(Message(std::move(msg))));
+  for (NodeId id = 1; id < n; ++id) sim.set_process(id, std::make_unique<SinkProcess>());
+
+  RealTime t = 0;
+  for (auto _ : state) {
+    t += 1.0;
+    sim.run_until(t);
+  }
+  state.SetItemsProcessed(state.iterations() * n);  // per-recipient sends
+}
+
+void BM_Broadcast_N64(benchmark::State& state) { run_broadcast_bench(state, 64); }
+BENCHMARK(BM_Broadcast_N64);
+
+void BM_Broadcast_N256(benchmark::State& state) { run_broadcast_bench(state, 256); }
+BENCHMARK(BM_Broadcast_N256);
+
+void BM_EventQueue_Churn(benchmark::State& state) {
+  // Standing population of 1024 mixed timer/delivery events; each iteration
+  // pops the earliest and pushes one of the other kind at a random future
+  // time, exercising both payload paths plus heap sift cost.
+  EventQueue q;
+  Rng rng(7);
+  const auto msg = std::make_shared<const Message>(RoundMsg{1, {}});
+  for (int i = 0; i < 1024; ++i) {
+    if (i % 2 == 0) {
+      q.push_timer(rng.next_double(), TimerEvent{0, static_cast<TimerId>(i + 1)});
+    } else {
+      q.push_delivery(rng.next_double(), DeliveryEvent{0, 1, msg, 0.0});
+    }
+  }
+  for (auto _ : state) {
+    const Event e = q.pop();
+    const RealTime t = e.time + rng.next_double();
+    if (e.is_timer) {
+      q.push_delivery(t, DeliveryEvent{0, 1, msg, e.time});
+    } else {
+      q.push_timer(t, TimerEvent{0, 1});
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueue_Churn);
+
+void BM_Counters(benchmark::State& state) {
+  // The per-send/per-deliver accounting exactly as the simulator performs it
+  // (kind + size derivation included).
+  MessageCounters c;
+  const Message round = Message(RoundMsg{3, {}});
+  const Message echo = Message(EchoMsg{3});
+  for (auto _ : state) {
+    c.on_send(message_kind(round), message_size_bytes(round));
+    c.on_deliver(message_kind(round));
+    c.on_send(message_kind(echo), message_size_bytes(echo));
+    c.on_deliver(message_kind(echo));
+  }
+  benchmark::DoNotOptimize(c.total_sent());
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_Counters);
 
 void BM_HardwareClockRead(benchmark::State& state) {
   // A clock with 100 rate-change segments (a busy random-walk trajectory).

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Perf trajectory runner: builds bench_micro in Release and runs the tracked
+# hot-path benchmarks (broadcast fan-out, event-queue churn, counters, and
+# the BM_Sweep_Grid8 end-to-end sweep), appending the result as one labelled
+# point to BENCH_core.json.
+#
+# Usage: scripts/bench.sh [--smoke] [--label NAME] [build-dir]
+#   --smoke   1-iteration run to a temp file (CI bit-rot guard; does NOT
+#             touch BENCH_core.json)
+#   --label   label recorded with the run (default: git describe)
+#   build-dir defaults to build-bench
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+LABEL=""
+BUILD_DIR="build-bench"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1; shift ;;
+    --label)
+      [[ $# -ge 2 ]] || { echo "bench.sh: --label needs a value (see --help)" >&2; exit 2; }
+      LABEL="$2"; shift 2 ;;
+    -h|--help)
+      echo "usage: scripts/bench.sh [--smoke] [--label NAME] [build-dir]"; exit 0 ;;
+    *) BUILD_DIR="$1"; shift ;;
+  esac
+done
+[[ -n "$LABEL" ]] || LABEL="$(git describe --always --dirty 2>/dev/null || echo unlabelled)"
+
+FILTER='BM_Broadcast_N64|BM_Broadcast_N256|BM_EventQueue_Churn|BM_Counters|BM_Sweep_Grid8'
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target bench_micro
+if [[ ! -x "$BUILD_DIR/bench_micro" ]]; then
+  echo "bench.sh: bench_micro not built (google-benchmark not found)" >&2
+  exit 1
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+EXTRA=()
+if [[ "$SMOKE" -eq 1 ]]; then
+  # Near-zero min_time: each benchmark runs a handful of iterations, just
+  # enough to prove the binaries still build and execute. (The "1x"
+  # iteration syntax needs google-benchmark >= 1.8, which the image lacks.)
+  EXTRA+=(--benchmark_min_time=0.001)
+fi
+
+"$BUILD_DIR/bench_micro" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out="$RAW" \
+  --benchmark_out_format=json \
+  "${EXTRA[@]}"
+
+if [[ "$SMOKE" -eq 1 ]]; then
+  echo "bench.sh: smoke run OK (BENCH_core.json unchanged)"
+  exit 0
+fi
+
+# Append this run to the perf trajectory. Requires python3 (baked into the
+# dev image); the raw google-benchmark JSON is preserved verbatim per run.
+LABEL="$LABEL" RAW="$RAW" python3 - <<'EOF'
+import json, os
+
+raw = json.load(open(os.environ["RAW"]))
+point = {
+    "label": os.environ["LABEL"],
+    "date": raw["context"]["date"],
+    "host": {k: raw["context"].get(k) for k in ("num_cpus", "mhz_per_cpu", "library_build_type")},
+    "benchmarks": [
+        {k: b.get(k) for k in ("name", "iterations", "real_time", "cpu_time",
+                               "time_unit", "items_per_second") if k in b}
+        for b in raw["benchmarks"]
+    ],
+}
+
+path = "BENCH_core.json"
+doc = {"tracks": "scripts/bench.sh hot-path trajectory", "history": []}
+if os.path.exists(path):
+    doc = json.load(open(path))
+doc["history"].append(point)
+json.dump(doc, open(path, "w"), indent=1)
+open(path, "a").write("\n")
+print(f"bench.sh: appended run '{point['label']}' to {path} "
+      f"({len(doc['history'])} point(s) in trajectory)")
+EOF

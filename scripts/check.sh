@@ -1,16 +1,33 @@
 #!/usr/bin/env bash
-# Local / CI gate: the tier-1 verify line with warnings-as-errors.
+# Local / CI gate: the tier-1 verify line with warnings-as-errors. The whole
+# tree (src/, tests/, bench/, examples/) builds under -Wall -Wextra -Werror,
+# so any new warning in the hot-path files fails the gate.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-check)
+# Usage: scripts/check.sh [--bench] [build-dir]   (default: build-check)
+#   --bench  additionally smoke-run the tracked perf benchmarks (1 iteration,
+#            via scripts/bench.sh --smoke) so the bench binaries cannot
+#            bit-rot; BENCH_core.json is not modified.
 #
 # Uses a separate build directory so the strict flags never pollute an
 # incremental developer build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-check}"
+RUN_BENCH=0
+BUILD_DIR="build-check"
+for arg in "$@"; do
+  case "$arg" in
+    --bench) RUN_BENCH=1 ;;
+    -*) echo "check.sh: unknown option: $arg" >&2; exit 2 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ "$RUN_BENCH" -eq 1 ]]; then
+  scripts/bench.sh --smoke "$BUILD_DIR-bench"
+fi
 echo "check.sh: all green"

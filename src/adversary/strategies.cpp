@@ -43,6 +43,30 @@ std::vector<NodeId> honest_ids_of(const AdversaryContext& ctx) {
   return ids;
 }
 
+/// The maximal flood: every valid message the corrupted nodes could ever
+/// legitimately send — round-k signatures (authenticated variant) or init +
+/// echo pairs (echo variant) for all rounds up to max_round, delivered to
+/// every honest node at `now`. Each round payload is serialized once, not
+/// once per corrupted node. Shared by the spam-early and sleeper attacks.
+void flood_all_rounds(AdversaryContext& ctx, const AttackParams& params, RealTime now) {
+  std::vector<Bytes> payloads;  // authenticated variant only
+  if (params.variant == Variant::kAuthenticated) {
+    payloads.reserve(params.max_round);
+    for (Round k = 1; k <= params.max_round; ++k) payloads.push_back(round_signing_payload(k));
+  }
+  for (NodeId c : corrupt_ids(ctx)) {
+    for (Round k = 1; k <= params.max_round; ++k) {
+      if (params.variant == Variant::kAuthenticated) {
+        const crypto::Signature sig = ctx.signer_for(c).sign(payloads[k - 1]);
+        ctx.send_from_to_all(c, Message(RoundMsg{k, {sig}}), now);
+      } else {
+        ctx.send_from_to_all(c, Message(InitMsg{k}), now);
+        ctx.send_from_to_all(c, Message(EchoMsg{k}), now);
+      }
+    }
+  }
+}
+
 /// Highest logical clock among honest started nodes (omniscient estimate of
 /// how far the protocol has progressed).
 LocalTime max_honest_logical(const AdversaryContext& ctx) {
@@ -66,19 +90,7 @@ class SpamEarlyAdversary final : public Adversary {
   explicit SpamEarlyAdversary(AttackParams params) : params_(params) {}
 
   void on_start(AdversaryContext& ctx) override {
-    const RealTime now = ctx.real_now();
-    for (NodeId c : corrupt_ids(ctx)) {
-      for (Round k = 1; k <= params_.max_round; ++k) {
-        if (params_.variant == Variant::kAuthenticated) {
-          const Bytes payload = round_signing_payload(k);
-          const crypto::Signature sig = ctx.signer_for(c).sign(payload);
-          ctx.send_from_to_all(c, Message(RoundMsg{k, {sig}}), now);
-        } else {
-          ctx.send_from_to_all(c, Message(InitMsg{k}), now);
-          ctx.send_from_to_all(c, Message(EchoMsg{k}), now);
-        }
-      }
-    }
+    flood_all_rounds(ctx, params_, ctx.real_now());
   }
   void on_message(AdversaryContext&, NodeId, NodeId, const Message&) override {}
   void on_timer(AdversaryContext&, TimerId) override {}
@@ -314,19 +326,7 @@ class SleeperAdversary final : public Adversary {
   }
 
   void on_timer(AdversaryContext& ctx, TimerId) override {
-    const RealTime now = ctx.real_now();
-    for (NodeId c : corrupt_ids(ctx)) {
-      for (Round k = 1; k <= params_.max_round; ++k) {
-        if (params_.variant == Variant::kAuthenticated) {
-          const crypto::Signature sig =
-              ctx.signer_for(c).sign(round_signing_payload(k));
-          ctx.send_from_to_all(c, Message(RoundMsg{k, {sig}}), now);
-        } else {
-          ctx.send_from_to_all(c, Message(InitMsg{k}), now);
-          ctx.send_from_to_all(c, Message(EchoMsg{k}), now);
-        }
-      }
-    }
+    flood_all_rounds(ctx, params_, ctx.real_now());
   }
   void on_message(AdversaryContext&, NodeId, NodeId, const Message&) override {}
 

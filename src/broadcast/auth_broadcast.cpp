@@ -14,8 +14,7 @@ void AuthBroadcast::broadcast_ready(Context& ctx, Round k) {
   if (state.sent_own) return;
   state.sent_own = true;
 
-  const Bytes payload = round_signing_payload(k);
-  const crypto::Signature sig = ctx.signer().sign(payload);
+  const crypto::Signature sig = ctx.signer().sign(payload_for(k, state));
   // Broadcast reaches self too, but acceptance bookkeeping is synchronous
   // here so a solo quorum (f == 0) fires immediately either way.
   ctx.broadcast(Message(RoundMsg{k, {sig}}));
@@ -29,12 +28,18 @@ bool AuthBroadcast::handle_message(Context& ctx, NodeId /*from*/, const Message&
   return true;
 }
 
+const Bytes& AuthBroadcast::payload_for(Round k, RoundState& state) {
+  // The payload is never empty ("st-round" + the round), so empty = unset.
+  if (state.payload.empty()) state.payload = round_signing_payload(k);
+  return state.payload;
+}
+
 void AuthBroadcast::add_signatures(Context& ctx, Round k,
                                    const std::vector<crypto::Signature>& sigs) {
   RoundState& state = rounds_[k];
   if (state.accepted) return;
 
-  const Bytes payload = round_signing_payload(k);
+  const Bytes& payload = payload_for(k, state);
   for (const crypto::Signature& sig : sigs) {
     if (state.signers.contains(sig.signer)) continue;
     // Invalid signatures — wrong round, forged MAC, unknown signer — are

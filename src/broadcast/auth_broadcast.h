@@ -35,9 +35,15 @@ class AuthBroadcast final : public BroadcastPrimitive {
   struct RoundState {
     std::set<NodeId> signers;
     std::vector<crypto::Signature> sigs;
+    /// Cached round_signing_payload(k), serialized at most once per round
+    /// instead of once per incoming signature batch.
+    Bytes payload;
     bool sent_own = false;
     bool accepted = false;
   };
+
+  /// The canonical signing payload for round `k`, cached in `state`.
+  static const Bytes& payload_for(Round k, RoundState& state);
 
   void add_signatures(Context& ctx, Round k, const std::vector<crypto::Signature>& sigs);
   void maybe_accept(Context& ctx, Round k, RoundState& state);

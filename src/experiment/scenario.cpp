@@ -246,6 +246,7 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
 
   result.messages_sent = sim.counters().total_sent();
   result.bytes_sent = sim.counters().total_bytes();
+  result.events_dispatched = sim.events_dispatched();
   return result;
 }
 

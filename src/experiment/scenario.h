@@ -110,6 +110,7 @@ struct ScenarioResult {
   // Cost.
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t events_dispatched = 0;  ///< simulator events (timers + deliveries)
   std::uint64_t rounds_completed = 0;  ///< min over honest nodes of last round
 };
 

@@ -110,6 +110,7 @@ std::vector<Field> result_fields(const ScenarioResult& r) {
       {"joiners_integrated", r.joiners_integrated ? "1" : "0"},
       {"messages_sent", std::to_string(r.messages_sent)},
       {"bytes_sent", std::to_string(r.bytes_sent)},
+      {"events_dispatched", std::to_string(r.events_dispatched)},
       {"rounds_completed", std::to_string(r.rounds_completed)},
   };
 }

@@ -1,39 +1,60 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "util/contracts.h"
 
 namespace stclock {
 
+void EventQueue::reserve(std::size_t events) {
+  heap_.reserve(events);
+  slab_.reserve(events);
+  free_slots_.reserve(events);
+}
+
 void EventQueue::push_timer(RealTime time, TimerEvent ev) {
   ST_REQUIRE(time >= 0, "EventQueue: negative event time");
-  Event e;
-  e.time = time;
-  e.seq = next_seq_++;
-  e.is_timer = true;
-  e.timer = ev;
-  heap_.push(std::move(e));
+  heap_.push_back(Entry{time, next_seq_++, ev.id, ev.node, true});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void EventQueue::push_delivery(RealTime time, DeliveryEvent ev) {
   ST_REQUIRE(time >= 0, "EventQueue: negative event time");
   ST_REQUIRE(ev.msg != nullptr, "EventQueue: null message");
-  Event e;
-  e.time = time;
-  e.seq = next_seq_++;
-  e.is_timer = false;
-  e.delivery = std::move(ev);
-  heap_.push(std::move(e));
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(std::move(ev));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slab_[slot] = std::move(ev);
+  }
+  heap_.push_back(Entry{time, next_seq_++, 0, slot, false});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 RealTime EventQueue::next_time() const {
   ST_REQUIRE(!heap_.empty(), "EventQueue: next_time on empty queue");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 Event EventQueue::pop() {
   ST_REQUIRE(!heap_.empty(), "EventQueue: pop on empty queue");
-  Event e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry top = heap_.back();
+  heap_.pop_back();
+
+  Event e;
+  e.time = top.time;
+  e.seq = top.seq;
+  e.is_timer = top.is_timer;
+  if (top.is_timer) {
+    e.timer = TimerEvent{top.node_or_slot, top.timer_id};
+  } else {
+    e.delivery = std::move(slab_[top.node_or_slot]);
+    free_slots_.push_back(top.node_or_slot);
+  }
   return e;
 }
 

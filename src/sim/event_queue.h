@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/message.h"
@@ -13,6 +12,13 @@
 /// Events at equal real times are dispatched in insertion order (a strictly
 /// increasing sequence number breaks ties), which makes every run fully
 /// deterministic for a given seed.
+///
+/// Internally the heap stores only slim POD entries: timer payloads (two
+/// ids) are inlined, and delivery payloads live in a free-listed slab
+/// referenced by slot. Heap sifts therefore move 32-byte entries and never
+/// touch a shared_ptr refcount; steady-state operation performs no
+/// allocation once the slab and heap have grown to the standing population
+/// (or were pre-sized via reserve()).
 namespace stclock {
 
 using TimerId = std::uint64_t;
@@ -29,6 +35,8 @@ struct DeliveryEvent {
   RealTime sent_at = 0;
 };
 
+/// A popped event, materialized from the queue's slim internal
+/// representation: `timer` is meaningful when is_timer, `delivery` otherwise.
 struct Event {
   RealTime time = 0;
   std::uint64_t seq = 0;
@@ -39,6 +47,11 @@ struct Event {
 
 class EventQueue {
  public:
+  /// Pre-sizes the heap and the delivery slab for `events` resident events
+  /// (e.g. one full broadcast round, ~n^2), so the steady state never
+  /// reallocates.
+  void reserve(std::size_t events);
+
   void push_timer(RealTime time, TimerEvent ev);
   void push_delivery(RealTime time, DeliveryEvent ev);
 
@@ -50,14 +63,25 @@ class EventQueue {
   [[nodiscard]] Event pop();
 
  private:
+  struct Entry {
+    RealTime time = 0;
+    std::uint64_t seq = 0;
+    TimerId timer_id = 0;         ///< timer payload (is_timer only)
+    std::uint32_t node_or_slot = 0;  ///< timer target node, or delivery slab slot
+    bool is_timer = false;
+  };
+
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Min-heap over Entry (std::push_heap/pop_heap with Later).
+  std::vector<Entry> heap_;
+  std::vector<DeliveryEvent> slab_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
 };
 

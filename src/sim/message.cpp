@@ -9,17 +9,20 @@ Bytes round_signing_payload(Round round) {
   return std::move(w).take();
 }
 
-namespace {
-struct KindVisitor {
-  std::string operator()(const RoundMsg&) const { return "round"; }
-  std::string operator()(const InitMsg&) const { return "init"; }
-  std::string operator()(const EchoMsg&) const { return "echo"; }
-  std::string operator()(const CnvValueMsg&) const { return "cnv"; }
-  std::string operator()(const LwValueMsg&) const { return "lw"; }
-  std::string operator()(const LeaderTimeMsg&) const { return "leader"; }
-  std::string operator()(const LockstepMsg&) const { return "lockstep"; }
-};
+const char* message_kind_name(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kRound: return "round";
+    case MessageKind::kInit: return "init";
+    case MessageKind::kEcho: return "echo";
+    case MessageKind::kCnv: return "cnv";
+    case MessageKind::kLw: return "lw";
+    case MessageKind::kLeader: return "leader";
+    case MessageKind::kLockstep: return "lockstep";
+  }
+  return "unknown";
+}
 
+namespace {
 struct SizeVisitor {
   // Header: 1 byte tag + 8 byte round.
   static constexpr std::size_t kHeader = 9;
@@ -45,8 +48,6 @@ struct RoundVisitor {
   Round operator()(const LockstepMsg& m) const { return m.round; }
 };
 }  // namespace
-
-std::string message_kind(const Message& m) { return std::visit(KindVisitor{}, m); }
 
 std::size_t message_size_bytes(const Message& m) { return std::visit(SizeVisitor{}, m); }
 

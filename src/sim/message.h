@@ -1,6 +1,6 @@
 #pragma once
 
-#include <string>
+#include <cstdint>
 #include <variant>
 #include <vector>
 
@@ -63,13 +63,34 @@ struct LockstepMsg {
 using Message = std::variant<RoundMsg, InitMsg, EchoMsg, CnvValueMsg, LwValueMsg,
                              LeaderTimeMsg, LockstepMsg>;
 
+/// Message discriminator in variant-alternative order. Keys the fixed-size
+/// counter arrays in trace/counters.h, so per-event accounting never
+/// allocates; convert to a human-readable tag only at report time via
+/// message_kind_name().
+enum class MessageKind : std::uint8_t {
+  kRound = 0,
+  kInit,
+  kEcho,
+  kCnv,
+  kLw,
+  kLeader,
+  kLockstep,
+};
+
+inline constexpr std::size_t kMessageKindCount = std::variant_size_v<Message>;
+
 /// Canonical byte string that round-k signatures are computed over. Includes
 /// the round number so stale signatures cannot be replayed into a later
 /// round (a replay adversary tests exactly this).
 [[nodiscard]] Bytes round_signing_payload(Round round);
 
-/// Short human-readable tag for logs/counters ("round", "init", ...).
-[[nodiscard]] std::string message_kind(const Message& m);
+/// Kind discriminator of a message (O(1): the variant index).
+[[nodiscard]] constexpr MessageKind message_kind(const Message& m) {
+  return static_cast<MessageKind>(m.index());
+}
+
+/// Short human-readable tag ("round", "init", ...) for reports and logs.
+[[nodiscard]] const char* message_kind_name(MessageKind kind);
 
 /// Approximate serialized size in bytes (for the message/byte counters).
 [[nodiscard]] std::size_t message_size_bytes(const Message& m);

@@ -18,6 +18,11 @@ Simulator::Simulator(SimParams params, std::vector<HardwareClock> clocks,
   net_rng_.emplace(root.fork());
   adv_rng_.emplace(root.fork());
 
+  queue_.reserve(params_.queue_reserve != 0
+                     ? params_.queue_reserve
+                     : static_cast<std::size_t>(params_.n) * (params_.n + 2));
+  timer_states_.reserve(static_cast<std::size_t>(params_.n) * 4);
+
   // nodes_ is sized exactly once; LogicalClock instances hold pointers into
   // their own Node's HardwareClock, so the vector must never reallocate.
   nodes_.resize(params_.n);
@@ -109,9 +114,7 @@ void Simulator::run_until(RealTime horizon) {
     for (NodeId id = 0; id < params_.n; ++id) {
       Node& node = nodes_[id];
       if (node.corrupt || node.process == nullptr) continue;
-      const TimerId tid = next_timer_id_++;
-      start_timers_.emplace(tid, id);
-      queue_.push_timer(node.start_time, TimerEvent{id, tid});
+      (void)arm_timer(id, node.start_time, TimerState::kArmedStart);
     }
     if (adversary_ != nullptr) adversary_->on_start(*adv_ctx_);
   }
@@ -131,21 +134,30 @@ void Simulator::run_until(RealTime horizon) {
 void Simulator::dispatch(const Event& ev) {
   if (ev.is_timer) {
     const TimerId id = ev.timer.id;
-    if (cancelled_timers_.erase(id) > 0) return;
-
-    if (auto it = start_timers_.find(id); it != start_timers_.end()) {
-      Node& node = nodes_[it->second];
-      start_timers_.erase(it);
-      node.started = true;
-      node.process->on_start(*node.ctx);
-      return;
+    TimerState& slot = timer_state(id);
+    const TimerState kind = slot;
+    slot = TimerState::kFired;  // each armed timer pops exactly once
+    switch (kind) {
+      case TimerState::kCancelled:
+        return;
+      case TimerState::kArmedStart: {
+        Node& node = nodes_[ev.timer.node];
+        node.started = true;
+        node.process->on_start(*node.ctx);
+        return;
+      }
+      case TimerState::kArmedAdversary:
+        if (adversary_ != nullptr) adversary_->on_timer(*adv_ctx_, id);
+        return;
+      case TimerState::kArmedProcess: {
+        Node& node = nodes_[ev.timer.node];
+        if (node.process != nullptr && node.started) node.process->on_timer(*node.ctx, id);
+        return;
+      }
+      case TimerState::kFired:
+        ST_ASSERT(kind != TimerState::kFired, "Simulator: timer dispatched twice");
+        return;
     }
-    if (adversary_timers_.erase(id) > 0) {
-      if (adversary_ != nullptr) adversary_->on_timer(*adv_ctx_, id);
-      return;
-    }
-    Node& node = nodes_[ev.timer.node];
-    if (node.process != nullptr && node.started) node.process->on_timer(*node.ctx, id);
     return;
   }
 
@@ -162,38 +174,54 @@ void Simulator::dispatch(const Event& ev) {
 }
 
 void Simulator::honest_send(NodeId from, NodeId to, const Message& m) {
-  auto msg = std::make_shared<const Message>(m);
-  counters_.on_send(message_kind(m), message_size_bytes(m));
+  honest_send(from, to, std::make_shared<const Message>(m));
+}
+
+void Simulator::honest_send(NodeId from, NodeId to, std::shared_ptr<const Message> msg) {
+  counters_.on_send(message_kind(*msg), message_size_bytes(*msg));
 
   Duration delay = 0;
   if (to != from && !nodes_[to].corrupt) {
     delay = delays_->delay(from, to, now_, params_.tdel, *net_rng_);
     ST_ASSERT(delay >= 0 && delay <= params_.tdel,
               "DelayPolicy returned a delay outside [0, tdel]");
-    delay = std::clamp(delay, 0.0, params_.tdel);
   }
   // Self-delivery and delivery to corrupted nodes (rushing adversary) are
   // immediate; both are within the model's [0, tdel].
   queue_.push_delivery(now_ + delay, DeliveryEvent{to, from, std::move(msg), now_});
 }
 
-void Simulator::adversary_send(NodeId from, NodeId to, const Message& m, RealTime deliver_at) {
+void Simulator::adversary_send(NodeId from, NodeId to, std::shared_ptr<const Message> msg,
+                               RealTime deliver_at) {
   ST_REQUIRE(nodes_[from].corrupt, "adversary_send: sender must be corrupted (channels are "
                                    "authenticated)");
   ST_REQUIRE(deliver_at >= now_, "adversary_send: cannot deliver in the past");
   ST_REQUIRE(to < params_.n, "adversary_send: recipient out of range");
-  counters_.on_send(message_kind(m), message_size_bytes(m));
-  queue_.push_delivery(deliver_at,
-                       DeliveryEvent{to, from, std::make_shared<const Message>(m), now_});
+  counters_.on_send(message_kind(*msg), message_size_bytes(*msg));
+  queue_.push_delivery(deliver_at, DeliveryEvent{to, from, std::move(msg), now_});
 }
 
-TimerId Simulator::arm_timer(NodeId node, RealTime fire_at) {
+TimerId Simulator::arm_timer(NodeId node, RealTime fire_at, TimerState kind) {
   const TimerId id = next_timer_id_++;
+  timer_states_.push_back(kind);
   queue_.push_timer(std::max(fire_at, now_), TimerEvent{node, id});
   return id;
 }
 
-void Simulator::cancel_timer(TimerId id) { cancelled_timers_.insert(id); }
+void Simulator::cancel_timer(TimerId id) {
+  TimerState& state = timer_state(id);
+  ST_REQUIRE(state != TimerState::kArmedStart, "cancel_timer: start timers are internal");
+  // Cancelling a timer that already fired (or was already cancelled) is a
+  // harmless no-op — and leaves no tombstone behind.
+  if (state == TimerState::kArmedProcess || state == TimerState::kArmedAdversary) {
+    state = TimerState::kCancelled;
+  }
+}
+
+Simulator::TimerState& Simulator::timer_state(TimerId id) {
+  ST_REQUIRE(id >= 1 && id < next_timer_id_, "Simulator: unknown timer id");
+  return timer_states_[static_cast<std::size_t>(id - 1)];
+}
 
 // --- Context ---
 
@@ -206,7 +234,10 @@ LocalTime Context::logical_now() const { return sim_->nodes_[id_].logical->read(
 LogicalClock& Context::logical() { return *sim_->nodes_[id_].logical; }
 
 void Context::broadcast(const Message& m) {
-  for (NodeId to = 0; to < sim_->params_.n; ++to) sim_->honest_send(id_, to, m);
+  // Intern the payload once for the whole fan-out: n refcount bumps instead
+  // of n deep copies (a RoundMsg relay bundle carries Theta(n) signatures).
+  const auto msg = std::make_shared<const Message>(m);
+  for (NodeId to = 0; to < sim_->params_.n; ++to) sim_->honest_send(id_, to, msg);
 }
 
 void Context::send(NodeId to, const Message& m) { sim_->honest_send(id_, to, m); }
@@ -251,12 +282,13 @@ const Simulator& AdversaryContext::observe() const { return *sim_; }
 
 void AdversaryContext::send_from(NodeId from, NodeId to, const Message& m,
                                  RealTime deliver_at) {
-  sim_->adversary_send(from, to, m, deliver_at);
+  sim_->adversary_send(from, to, std::make_shared<const Message>(m), deliver_at);
 }
 
 void AdversaryContext::send_from_to_all(NodeId from, const Message& m, RealTime deliver_at) {
+  const auto msg = std::make_shared<const Message>(m);
   for (NodeId to = 0; to < sim_->params_.n; ++to) {
-    if (!sim_->is_corrupt(to)) sim_->adversary_send(from, to, m, deliver_at);
+    if (!sim_->is_corrupt(to)) sim_->adversary_send(from, to, msg, deliver_at);
   }
 }
 
@@ -273,9 +305,7 @@ const crypto::KeyRegistry& AdversaryContext::registry() const {
 }
 
 TimerId AdversaryContext::set_timer_at_real(RealTime t) {
-  const TimerId id = sim_->arm_timer(0, std::max(t, sim_->now_));
-  sim_->adversary_timers_.insert(id);
-  return id;
+  return sim_->arm_timer(0, std::max(t, sim_->now_), Simulator::TimerState::kArmedAdversary);
 }
 
 Rng& AdversaryContext::rng() { return *sim_->adv_rng_; }

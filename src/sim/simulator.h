@@ -3,8 +3,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "clocks/hardware_clock.h"
@@ -34,6 +32,10 @@ struct SimParams {
   std::uint64_t seed = 1;
   /// Safety valve against runaway protocols.
   std::uint64_t max_events = 50'000'000;
+  /// Pre-sizing hint for the event queue: the expected number of events
+  /// resident at once. Zero derives the default from n — one full broadcast
+  /// round of deliveries plus per-node timers, n * (n + 2).
+  std::size_t queue_reserve = 0;
 };
 
 class Simulator {
@@ -81,6 +83,11 @@ class Simulator {
   [[nodiscard]] const MessageCounters& counters() const { return counters_; }
   [[nodiscard]] MessageCounters& counters() { return counters_; }
 
+  /// Total events dispatched so far (timers + deliveries, cancelled timer
+  /// pops included). Part of the determinism contract: for a fixed spec the
+  /// count is reproducible bit-for-bit, which the golden trace test pins.
+  [[nodiscard]] std::uint64_t events_dispatched() const { return events_dispatched_; }
+
   /// Called after every dispatched event; used by the skew tracker to sample
   /// at exactly the moments state can change.
   void set_post_event_hook(std::function<void(const Simulator&)> hook);
@@ -100,14 +107,31 @@ class Simulator {
     bool started = false;
   };
 
-  void start_pending(RealTime up_to);
+  /// Lifecycle of one timer id in the flat state table. Armed states encode
+  /// the dispatch target; a fired or cancel-consumed timer is retired to
+  /// kFired, so the table holds exactly one byte per timer ever armed and no
+  /// tombstone set can grow unboundedly.
+  enum class TimerState : std::uint8_t {
+    kArmedProcess,
+    kArmedStart,
+    kArmedAdversary,
+    kCancelled,
+    kFired,
+  };
+
   void dispatch(const Event& ev);
 
   // Context plumbing.
   void honest_send(NodeId from, NodeId to, const Message& m);
-  void adversary_send(NodeId from, NodeId to, const Message& m, RealTime deliver_at);
-  TimerId arm_timer(NodeId node, RealTime fire_at);
+  /// Pre-shared overload: Context::broadcast interns the message once and
+  /// fans the same immutable payload out to every recipient.
+  void honest_send(NodeId from, NodeId to, std::shared_ptr<const Message> msg);
+  void adversary_send(NodeId from, NodeId to, std::shared_ptr<const Message> msg,
+                      RealTime deliver_at);
+  TimerId arm_timer(NodeId node, RealTime fire_at,
+                    TimerState kind = TimerState::kArmedProcess);
   void cancel_timer(TimerId id);
+  [[nodiscard]] TimerState& timer_state(TimerId id);
 
   SimParams params_;
   std::vector<Node> nodes_;
@@ -119,15 +143,16 @@ class Simulator {
   std::unique_ptr<Adversary> adversary_;
   std::optional<AdversaryContext> adv_ctx_;
   std::optional<Rng> adv_rng_;
-  std::unordered_set<TimerId> adversary_timers_;
 
   EventQueue queue_;
   RealTime now_ = 0;
   bool started_ = false;
   std::uint64_t events_dispatched_ = 0;
   TimerId next_timer_id_ = 1;
-  std::unordered_set<TimerId> cancelled_timers_;
-  std::unordered_map<TimerId, NodeId> start_timers_;
+  /// Flat timer-state table, indexed by TimerId - 1 (ids are allocated
+  /// sequentially from 1); replaces the cancelled/start/adversary lookup
+  /// maps with one byte-per-timer array access.
+  std::vector<TimerState> timer_states_;
   std::optional<Rng> net_rng_;
 
   MessageCounters counters_;

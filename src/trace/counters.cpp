@@ -2,21 +2,21 @@
 
 namespace stclock {
 
-void MessageCounters::on_send(const std::string& kind, std::size_t bytes) {
-  ++total_sent_;
-  total_bytes_ += bytes;
-  auto& k = by_kind_[kind];
-  ++k.messages;
-  k.bytes += bytes;
+std::map<std::string, KindCount> MessageCounters::by_kind() const {
+  std::map<std::string, KindCount> out;
+  for (std::size_t i = 0; i < kinds_.size(); ++i) {
+    const KindCount& k = kinds_[i];
+    if (k.messages == 0 && k.bytes == 0) continue;
+    out.emplace(message_kind_name(static_cast<MessageKind>(i)), k);
+  }
+  return out;
 }
-
-void MessageCounters::on_deliver(const std::string&) { ++total_delivered_; }
 
 void MessageCounters::reset() {
   total_sent_ = 0;
   total_delivered_ = 0;
   total_bytes_ = 0;
-  by_kind_.clear();
+  kinds_.fill(KindCount{});
 }
 
 }  // namespace stclock

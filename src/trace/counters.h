@@ -1,11 +1,19 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 
+#include "sim/message.h"
+
 /// Message/byte accounting, maintained by the simulator and reported by the
 /// message-complexity experiment (F4).
+///
+/// The accounting sits on the per-send/per-deliver hot path, so counts are
+/// kept in a fixed array keyed by MessageKind — no hashing, no string
+/// allocation per event. The string-keyed view is materialized only at
+/// report time (by_kind()).
 namespace stclock {
 
 struct KindCount {
@@ -15,13 +23,25 @@ struct KindCount {
 
 class MessageCounters {
  public:
-  void on_send(const std::string& kind, std::size_t bytes);
-  void on_deliver(const std::string& kind);
+  void on_send(MessageKind kind, std::size_t bytes) {
+    ++total_sent_;
+    total_bytes_ += bytes;
+    KindCount& k = kinds_[static_cast<std::size_t>(kind)];
+    ++k.messages;
+    k.bytes += bytes;
+  }
+
+  void on_deliver(MessageKind /*kind*/) { ++total_delivered_; }
 
   [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
   [[nodiscard]] std::uint64_t total_delivered() const { return total_delivered_; }
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
-  [[nodiscard]] const std::map<std::string, KindCount>& by_kind() const { return by_kind_; }
+
+  /// Raw per-kind counts, indexed by MessageKind.
+  [[nodiscard]] const std::array<KindCount, kMessageKindCount>& kinds() const { return kinds_; }
+
+  /// Report-time view keyed by kind name; kinds with no traffic are omitted.
+  [[nodiscard]] std::map<std::string, KindCount> by_kind() const;
 
   void reset();
 
@@ -29,7 +49,7 @@ class MessageCounters {
   std::uint64_t total_sent_ = 0;
   std::uint64_t total_delivered_ = 0;
   std::uint64_t total_bytes_ = 0;
-  std::map<std::string, KindCount> by_kind_;
+  std::array<KindCount, kMessageKindCount> kinds_{};
 };
 
 }  // namespace stclock

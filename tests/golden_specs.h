@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiment/scenario.h"
+
+/// Scenario specs pinned by the golden trace-equivalence test
+/// (test_golden_trace.cpp). The expected metric values in that test were
+/// captured from these exact specs before the hot-path refactor (message
+/// interning, slab event queue, enum counters) landed; re-running them must
+/// reproduce every metric bit-for-bit. Regenerate with the recipe documented
+/// in test_golden_trace.cpp if a *deliberate* semantic change lands.
+namespace stclock::experiment::golden {
+
+inline std::vector<ScenarioSpec> specs() {
+  std::vector<ScenarioSpec> out;
+
+  auto base = [](const char* protocol, std::uint32_t f, std::uint64_t seed) {
+    ScenarioSpec spec;
+    spec.protocol = protocol;
+    spec.cfg.n = 7;
+    spec.cfg.f = f;
+    spec.cfg.rho = 1e-4;
+    spec.cfg.tdel = 0.01;
+    spec.cfg.period = 1.0;
+    spec.cfg.initial_sync = 0.005;
+    spec.seed = seed;
+    spec.horizon = 10.0;
+    spec.drift = DriftKind::kRandomWalk;
+    spec.delay = DelayKind::kUniform;
+    return spec;
+  };
+
+  // Authenticated variant under the spam-early flood, three seeds: the
+  // O(n^2) signature-relay path the interning change rewrites.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    ScenarioSpec spec = base("auth", 3, seed);
+    spec.attack = AttackKind::kSpamEarly;
+    out.push_back(spec);
+  }
+
+  // Echo variant under replay, two seeds: the signature-free primitive plus
+  // the adversary stash/delivery path.
+  for (const std::uint64_t seed : {1ULL, 4ULL}) {
+    ScenarioSpec spec = base("echo", 2, seed);
+    spec.attack = AttackKind::kReplay;
+    out.push_back(spec);
+  }
+
+  // A late joiner integrating mid-run: exercises start timers and the
+  // cancel/re-arm churn of the flat timer table.
+  {
+    ScenarioSpec spec = base("auth", 2, 5);
+    spec.attack = AttackKind::kEquivocate;
+    spec.joiners = 1;
+    spec.join_time = 4.0;
+    spec.horizon = 15.0;
+    out.push_back(spec);
+  }
+
+  // A baseline (no pulses, kBaseline engine mode) under its matched attack.
+  {
+    ScenarioSpec spec = base("lundelius_welch", 2, 6);
+    spec.attack = AttackKind::kLwPull;
+    out.push_back(spec);
+  }
+
+  return out;
+}
+
+}  // namespace stclock::experiment::golden

@@ -7,29 +7,48 @@ namespace {
 
 TEST(Counters, TracksTotalsAndKinds) {
   MessageCounters c;
-  c.on_send("round", 45);
-  c.on_send("round", 45);
-  c.on_send("echo", 9);
-  c.on_deliver("round");
+  c.on_send(MessageKind::kRound, 45);
+  c.on_send(MessageKind::kRound, 45);
+  c.on_send(MessageKind::kEcho, 9);
+  c.on_deliver(MessageKind::kRound);
 
   EXPECT_EQ(c.total_sent(), 3u);
   EXPECT_EQ(c.total_delivered(), 1u);
   EXPECT_EQ(c.total_bytes(), 99u);
-  ASSERT_TRUE(c.by_kind().contains("round"));
-  EXPECT_EQ(c.by_kind().at("round").messages, 2u);
-  EXPECT_EQ(c.by_kind().at("round").bytes, 90u);
-  EXPECT_EQ(c.by_kind().at("echo").messages, 1u);
+  EXPECT_EQ(c.kinds()[static_cast<std::size_t>(MessageKind::kRound)].messages, 2u);
+  EXPECT_EQ(c.kinds()[static_cast<std::size_t>(MessageKind::kRound)].bytes, 90u);
+  EXPECT_EQ(c.kinds()[static_cast<std::size_t>(MessageKind::kEcho)].messages, 1u);
+}
+
+TEST(Counters, ByKindConvertsToStringsAtReportTime) {
+  MessageCounters c;
+  c.on_send(MessageKind::kRound, 45);
+  c.on_send(MessageKind::kRound, 45);
+  c.on_send(MessageKind::kEcho, 9);
+
+  const auto by_kind = c.by_kind();
+  ASSERT_TRUE(by_kind.contains("round"));
+  EXPECT_EQ(by_kind.at("round").messages, 2u);
+  EXPECT_EQ(by_kind.at("round").bytes, 90u);
+  EXPECT_EQ(by_kind.at("echo").messages, 1u);
+  // Kinds with no traffic are omitted from the report.
+  EXPECT_EQ(by_kind.size(), 2u);
+  EXPECT_FALSE(by_kind.contains("init"));
 }
 
 TEST(Counters, ResetClearsEverything) {
   MessageCounters c;
-  c.on_send("x", 1);
-  c.on_deliver("x");
+  c.on_send(MessageKind::kInit, 1);
+  c.on_deliver(MessageKind::kInit);
   c.reset();
   EXPECT_EQ(c.total_sent(), 0u);
   EXPECT_EQ(c.total_delivered(), 0u);
   EXPECT_EQ(c.total_bytes(), 0u);
   EXPECT_TRUE(c.by_kind().empty());
+  for (const KindCount& k : c.kinds()) {
+    EXPECT_EQ(k.messages, 0u);
+    EXPECT_EQ(k.bytes, 0u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "golden_specs.h"
+
+/// Golden trace-equivalence test for the simulator hot path.
+///
+/// Every metric below was captured (at %.17g round-trip precision, so the
+/// comparison is bit-exact for doubles) from the scenarios in
+/// tests/golden_specs.h BEFORE the hot-path refactor landed — message
+/// interning in Context::broadcast / AdversaryContext::send_from_to_all, the
+/// slab-backed slim event queue, the flat timer-state table, and enum-keyed
+/// counters. Running them today must reproduce every value exactly: the
+/// refactor is a pure performance change with no observable behavior.
+///
+/// Regenerating (only after a DELIBERATE semantic change): run each spec
+/// from golden_specs() through run_scenario and print the Expected fields
+/// with printf("%.17g"/PRIu64); paste the rows below in order.
+namespace stclock::experiment {
+namespace {
+
+struct Expected {
+  double max_skew;
+  double steady_skew;
+  double pulse_spread;
+  double min_period;
+  double max_period;
+  std::uint64_t min_pulses;
+  std::uint64_t max_pulses;
+  bool live;
+  double envelope_min_rate;
+  double envelope_max_rate;
+  std::uint64_t messages_sent;
+  std::uint64_t bytes_sent;
+  std::uint64_t events_dispatched;
+  std::uint64_t rounds_completed;
+};
+
+// Captured at commit "PR 1" (pre-refactor), in golden_specs() order:
+// auth+spam_early seeds 1,2,3; echo+replay seeds 1,4; auth+joiner; LW baseline.
+constexpr Expected kExpected[] = {
+    {0.01123902034072799, 0.01123902034072799, 0.0012091023750455676, 0.9891038644601311,
+     0.99008140976091319, 10, 10, true, 1.0100784746402467, 1.0101815993153049, 755, 64215,
+     832, 10},
+    {0.013158159271966396, 0.012135114613062381, 0.0025895859557885093, 0.98850975663999252,
+     0.99007817999121706, 10, 10, true, 1.010093533422626, 1.0103922611619955, 706, 62010,
+     776, 10},
+    {0.01371718437232472, 0.011162237978668443, 0.0011612496921236115, 0.9894399122028541,
+     0.99007614983487979, 10, 10, true, 1.0101068509449915, 1.0102511697786023, 748, 63900,
+     824, 10},
+    {0.017454856432758126, 0.014218551121503609, 0.0082548374371105293, 0.98517874133324668,
+     0.99951185328134118, 10, 10, true, 1.0070963520399832, 1.0076728282686829, 6180, 55620,
+     6290, 10},
+    {0.016076320087703655, 0.015156587569736146, 0.008358284330585164, 0.9850398080763263,
+     1.0007802257922318, 10, 10, true, 1.006266248397963, 1.0072167965457299, 6160, 55440,
+     6270, 10},
+    {0.016727364724340887, 0.016727364724340887, 0.0067141557504672988, 0.98500448223381731,
+     0.995782581777795, 15, 15, true, 1.0100741426424302, 1.0119599633661818, 1200, 89784,
+     1351, 15},
+    {0.0074836537359008748, 0.0051657812043153228, 0, 0, 0, 0, 0, false, 1.0016072463274817,
+     1.0021873777992789, 1880, 16920, 2060, 0},
+};
+
+TEST(GoldenTrace, MetricsAreBitIdenticalAcrossHotPathRefactor) {
+  const std::vector<ScenarioSpec> specs = golden::specs();
+  ASSERT_EQ(specs.size(), std::size(kExpected));
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i) + " (" + specs[i].protocol + ", seed " +
+                 std::to_string(specs[i].seed) + ")");
+    const ScenarioResult r = run_scenario(specs[i]);
+    const Expected& e = kExpected[i];
+
+    EXPECT_EQ(r.max_skew, e.max_skew);
+    EXPECT_EQ(r.steady_skew, e.steady_skew);
+    EXPECT_EQ(r.pulse_spread, e.pulse_spread);
+    EXPECT_EQ(r.min_period, e.min_period);
+    EXPECT_EQ(r.max_period, e.max_period);
+    EXPECT_EQ(r.min_pulses, e.min_pulses);
+    EXPECT_EQ(r.max_pulses, e.max_pulses);
+    EXPECT_EQ(r.live, e.live);
+    EXPECT_EQ(r.envelope.min_rate, e.envelope_min_rate);
+    EXPECT_EQ(r.envelope.max_rate, e.envelope_max_rate);
+    EXPECT_EQ(r.messages_sent, e.messages_sent);
+    EXPECT_EQ(r.bytes_sent, e.bytes_sent);
+    EXPECT_EQ(r.events_dispatched, e.events_dispatched);
+    EXPECT_EQ(r.rounds_completed, e.rounds_completed);
+  }
+}
+
+TEST(GoldenTrace, RepeatRunsAreDeterministic) {
+  // The golden values above only pin the engine against history; this pins
+  // it against itself — two runs of one spec in one process must agree.
+  const std::vector<ScenarioSpec> specs = golden::specs();
+  const ScenarioResult a = run_scenario(specs.front());
+  const ScenarioResult b = run_scenario(specs.front());
+  EXPECT_EQ(a.max_skew, b.max_skew);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+}
+
+}  // namespace
+}  // namespace stclock::experiment

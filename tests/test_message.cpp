@@ -5,13 +5,24 @@
 namespace stclock {
 namespace {
 
+TEST(MessageTest, Kinds) {
+  EXPECT_EQ(message_kind(Message(RoundMsg{1, {}})), MessageKind::kRound);
+  EXPECT_EQ(message_kind(Message(InitMsg{1})), MessageKind::kInit);
+  EXPECT_EQ(message_kind(Message(EchoMsg{1})), MessageKind::kEcho);
+  EXPECT_EQ(message_kind(Message(CnvValueMsg{1, 0.5})), MessageKind::kCnv);
+  EXPECT_EQ(message_kind(Message(LwValueMsg{1})), MessageKind::kLw);
+  EXPECT_EQ(message_kind(Message(LeaderTimeMsg{1, 0.5})), MessageKind::kLeader);
+  EXPECT_EQ(message_kind(Message(LockstepMsg{1, 0})), MessageKind::kLockstep);
+}
+
 TEST(MessageTest, KindNames) {
-  EXPECT_EQ(message_kind(Message(RoundMsg{1, {}})), "round");
-  EXPECT_EQ(message_kind(Message(InitMsg{1})), "init");
-  EXPECT_EQ(message_kind(Message(EchoMsg{1})), "echo");
-  EXPECT_EQ(message_kind(Message(CnvValueMsg{1, 0.5})), "cnv");
-  EXPECT_EQ(message_kind(Message(LwValueMsg{1})), "lw");
-  EXPECT_EQ(message_kind(Message(LeaderTimeMsg{1, 0.5})), "leader");
+  EXPECT_STREQ(message_kind_name(MessageKind::kRound), "round");
+  EXPECT_STREQ(message_kind_name(MessageKind::kInit), "init");
+  EXPECT_STREQ(message_kind_name(MessageKind::kEcho), "echo");
+  EXPECT_STREQ(message_kind_name(MessageKind::kCnv), "cnv");
+  EXPECT_STREQ(message_kind_name(MessageKind::kLw), "lw");
+  EXPECT_STREQ(message_kind_name(MessageKind::kLeader), "leader");
+  EXPECT_STREQ(message_kind_name(MessageKind::kLockstep), "lockstep");
 }
 
 TEST(MessageTest, RoundExtraction) {

@@ -154,6 +154,37 @@ TEST(Simulator, CancelledTimerDoesNotFire) {
   EXPECT_EQ(p->fired_[0], p->keep_);
 }
 
+TEST(Simulator, CancelAfterFireIsANoOpAndUnknownIdsThrow) {
+  Simulator sim = make_sim(1, 0.01, 0.0);
+
+  class LateCancelProc final : public Process {
+   public:
+    void on_start(Context& ctx) override { first_ = ctx.set_timer_at_logical(1.0); }
+    void on_message(Context&, NodeId, const Message&) override {}
+    void on_timer(Context& ctx, TimerId id) override {
+      ++fired_;
+      if (id == first_) {
+        // The timer just fired; cancelling it now must be accepted quietly
+        // (the pre-refactor tombstone set leaked an entry here) ...
+        EXPECT_NO_THROW(ctx.cancel_timer(first_));
+        // ... and cancelling twice is equally harmless.
+        EXPECT_NO_THROW(ctx.cancel_timer(first_));
+        // A timer id never handed out is a caller bug.
+        EXPECT_THROW(ctx.cancel_timer(9999), std::logic_error);
+        (void)ctx.set_timer_at_logical(2.0);
+      }
+    }
+    TimerId first_ = 0;
+    int fired_ = 0;
+  };
+
+  auto proc = std::make_unique<LateCancelProc>();
+  LateCancelProc* p = proc.get();
+  sim.set_process(0, std::move(proc));
+  sim.run_until(5.0);
+  EXPECT_EQ(p->fired_, 2);  // the no-op cancels must not eat the second timer
+}
+
 TEST(Simulator, LateStartDropsEarlierMessages) {
   Simulator sim = make_sim(2, 0.01, 0.0);
   sim.set_process(0, std::make_unique<OneShotBroadcaster>());
