@@ -3,10 +3,14 @@
 # tree (src/, tests/, bench/, examples/) builds under -Wall -Wextra -Werror,
 # so any new warning in the hot-path files fails the gate.
 #
-# Usage: scripts/check.sh [--bench] [build-dir]   (default: build-check)
+# Usage: scripts/check.sh [--bench] [--scen] [build-dir]   (default: build-check)
 #   --bench  additionally smoke-run the tracked perf benchmarks (1 iteration,
 #            via scripts/bench.sh --smoke) so the bench binaries cannot
 #            bit-rot; BENCH_core.json is not modified.
+#   --scen   additionally smoke-run the scenario-file driver: scenrun on every
+#            checked-in example grid, then re-run each grid sharded in two
+#            halves (--cells) and verify scenmerge reassembles dumps
+#            byte-identical to the unsharded run.
 #
 # Uses a separate build directory so the strict flags never pollute an
 # incremental developer build.
@@ -14,10 +18,12 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 RUN_BENCH=0
+RUN_SCEN=0
 BUILD_DIR="build-check"
 for arg in "$@"; do
   case "$arg" in
     --bench) RUN_BENCH=1 ;;
+    --scen) RUN_SCEN=1 ;;
     -*) echo "check.sh: unknown option: $arg" >&2; exit 2 ;;
     *) BUILD_DIR="$arg" ;;
   esac
@@ -29,5 +35,33 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 if [[ "$RUN_BENCH" -eq 1 ]]; then
   scripts/bench.sh --smoke "$BUILD_DIR-bench"
+fi
+
+if [[ "$RUN_SCEN" -eq 1 ]]; then
+  SCEN_TMP="$(mktemp -d)"
+  trap 'rm -rf "$SCEN_TMP"' EXIT
+  for grid in examples/scenarios/*.json; do
+    name="$(basename "$grid" .json)"
+    total="$("$BUILD_DIR/scenrun" "$grid" --count)"
+    "$BUILD_DIR/scenrun" "$grid" --threads 4 \
+      --json "$SCEN_TMP/$name.full.json" --csv "$SCEN_TMP/$name.full.csv"
+    if (( total < 2 )); then
+      echo "check.sh: scen smoke OK: $name ($total cell, too small to shard)"
+      continue
+    fi
+    half=$((total / 2))
+    "$BUILD_DIR/scenrun" "$grid" --cells "0:$half" \
+      --json "$SCEN_TMP/$name.a.json" --csv "$SCEN_TMP/$name.a.csv"
+    "$BUILD_DIR/scenrun" "$grid" --cells "$half:$total" \
+      --json "$SCEN_TMP/$name.b.json" --csv "$SCEN_TMP/$name.b.csv"
+    # Merge out of order: scenmerge must reassemble by global cell index.
+    "$BUILD_DIR/scenmerge" -o "$SCEN_TMP/$name.merged.json" \
+      "$SCEN_TMP/$name.b.json" "$SCEN_TMP/$name.a.json"
+    "$BUILD_DIR/scenmerge" -o "$SCEN_TMP/$name.merged.csv" \
+      "$SCEN_TMP/$name.b.csv" "$SCEN_TMP/$name.a.csv"
+    diff "$SCEN_TMP/$name.full.json" "$SCEN_TMP/$name.merged.json"
+    diff "$SCEN_TMP/$name.full.csv" "$SCEN_TMP/$name.merged.csv"
+    echo "check.sh: scen smoke OK: $name ($total cells, shards byte-identical)"
+  done
 fi
 echo "check.sh: all green"

@@ -34,4 +34,21 @@ class AlternatingDelay final : public DelayPolicy {
   Duration interval_;
 };
 
+/// Partition-then-heal workload (dynamic networks, outside the ST model):
+/// during [start, end) every message crossing the cut between nodes
+/// [0, group_a) and [group_a, n) is dropped (kDropMessage); all other
+/// traffic — and all traffic once healed — is delegated to the base policy.
+class PartitionDelay final : public DelayPolicy {
+ public:
+  PartitionDelay(std::uint32_t group_a, RealTime start, RealTime end,
+                 std::unique_ptr<DelayPolicy> base);
+  [[nodiscard]] Duration delay(NodeId from, NodeId to, RealTime now, Duration tdel,
+                               Rng& rng) override;
+
+ private:
+  std::uint32_t group_a_;
+  RealTime start_, end_;
+  std::unique_ptr<DelayPolicy> base_;
+};
+
 }  // namespace stclock

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "adversary/delay_policies.h"
 #include "core/sync_protocol.h"
 #include "experiment/registry.h"
 #include "sim/simulator.h"
@@ -25,20 +26,27 @@ void collect_pulse_metrics(const ScenarioSpec& spec, const PulseLog& pulses,
                            const std::vector<SyncProtocol*>& protocols,
                            std::uint32_t honest_count, NodeId first_joiner,
                            ScenarioResult& result) {
+  // A node is "regular" if it is up for the whole run: not a late joiner and
+  // not scheduled to churn out. Only regular nodes anchor the liveness /
+  // period / pulse-count metrics; joiners and churners are judged by their
+  // integration metrics instead.
+  const auto regular = [&spec, first_joiner](NodeId id) {
+    return id >= spec.churn_nodes && id < first_joiner;
+  };
+
   // Pulse spread per round: only rounds every regular honest node completed.
   std::map<Round, std::pair<RealTime, RealTime>> round_window;  // min,max
   std::map<Round, std::uint32_t> round_count;
   std::uint64_t regular_nodes = 0;
   for (NodeId id = 0; id < honest_count; ++id) {
-    const bool joiner = id >= first_joiner;
-    if (!joiner) ++regular_nodes;
+    if (regular(id)) ++regular_nodes;
     for (const auto& [round, t] : pulses.by_node[id]) {
       auto [it, inserted] = round_window.try_emplace(round, t, t);
       if (!inserted) {
         it->second.first = std::min(it->second.first, t);
         it->second.second = std::max(it->second.second, t);
       }
-      if (!joiner) ++round_count[round];
+      if (regular(id)) ++round_count[round];
     }
   }
   for (const auto& [round, window] : round_window) {
@@ -47,12 +55,14 @@ void collect_pulse_metrics(const ScenarioSpec& spec, const PulseLog& pulses,
     }
   }
 
-  // Per-node periods and pulse counts.
+  // Per-node periods and pulse counts. A churned node's gap across its own
+  // downtime is not an inter-pulse period of a running clock, so period
+  // stats come from regular nodes only.
   result.min_period = kTimeInfinity;
   bool any_period = false;
   result.min_pulses = UINT64_MAX;
   for (NodeId id = 0; id < honest_count; ++id) {
-    const bool joiner = id >= first_joiner;
+    if (!regular(id)) continue;
     const auto& log = pulses.by_node[id];
     RealTime prev = -1;
     for (const auto& [round, t] : log) {
@@ -63,10 +73,8 @@ void collect_pulse_metrics(const ScenarioSpec& spec, const PulseLog& pulses,
       }
       prev = t;
     }
-    if (!joiner) {
-      result.min_pulses = std::min<std::uint64_t>(result.min_pulses, log.size());
-      result.max_pulses = std::max<std::uint64_t>(result.max_pulses, log.size());
-    }
+    result.min_pulses = std::min<std::uint64_t>(result.min_pulses, log.size());
+    result.max_pulses = std::max<std::uint64_t>(result.max_pulses, log.size());
   }
   if (!any_period) result.min_period = 0;
   if (result.min_pulses == UINT64_MAX) result.min_pulses = 0;
@@ -76,7 +84,7 @@ void collect_pulse_metrics(const ScenarioSpec& spec, const PulseLog& pulses,
   Round front = 0, back = UINT64_MAX;
   result.rounds_completed = UINT64_MAX;
   for (NodeId id = 0; id < honest_count; ++id) {
-    if (id >= first_joiner) continue;
+    if (!regular(id)) continue;
     const Round last = protocols[id]->last_round();
     front = std::max(front, last);
     back = std::min(back, last);
@@ -96,6 +104,38 @@ void collect_pulse_metrics(const ScenarioSpec& spec, const PulseLog& pulses,
     }
     result.live = result.live && result.joiners_integrated;
   }
+
+  if (spec.churn_nodes > 0) {
+    result.churned_rejoined = true;
+    for (NodeId id = 0; id < spec.churn_nodes; ++id) {
+      // protocols[id] points at the post-rejoin incarnation; it must have
+      // re-integrated and pulsed after the rejoin time.
+      RealTime first_back = -1;
+      for (const auto& [round, t] : pulses.by_node[id]) {
+        (void)round;
+        if (t >= spec.churn_rejoin) {
+          first_back = t;
+          break;
+        }
+      }
+      if (!protocols[id]->integrated() || first_back < 0) {
+        result.churned_rejoined = false;
+        continue;
+      }
+      result.rejoin_latency =
+          std::max(result.rejoin_latency, first_back - spec.churn_rejoin);
+    }
+    result.live = result.live && result.churned_rejoined;
+  }
+}
+
+/// How many nodes the adversary drives: none without an attack, the
+/// override when set, cfg.f otherwise. Shared by validate_spec and the
+/// engine so load-time validation can never drift from run-time sizing.
+std::uint32_t corrupt_count_for(const ScenarioSpec& spec) {
+  return spec.attack == AttackKind::kNone ? 0
+         : spec.corrupt_override > 0      ? spec.corrupt_override
+                                          : spec.cfg.f;
 }
 
 }  // namespace
@@ -115,6 +155,39 @@ ScenarioSpec resolved_spec(const ScenarioSpec& spec) {
   return adjusted;
 }
 
+void validate_spec(const ScenarioSpec& spec, EngineMode mode) {
+  const SyncConfig& cfg = spec.cfg;
+  if (mode == EngineMode::kSyncProtocol) {
+    cfg.validate();
+    ST_REQUIRE(spec.horizon > 0, "run_scenario: horizon must be positive");
+    ST_REQUIRE(spec.joiners + cfg.f < cfg.n,
+               "run_scenario: need at least one regular honest node");
+  } else {
+    ST_REQUIRE(cfg.n > cfg.f, "run_scenario: need at least one honest node");
+    ST_REQUIRE(spec.horizon > 0, "run_scenario: horizon must be positive");
+    ST_REQUIRE(spec.joiners == 0, "run_scenario: baselines do not support joiners");
+    ST_REQUIRE(spec.churn_nodes == 0, "run_scenario: baselines do not support churn");
+  }
+  if (spec.churn_nodes > 0) {
+    ST_REQUIRE(spec.churn_leave > 0, "run_scenario: churn_leave must be positive");
+    ST_REQUIRE(spec.churn_rejoin > spec.churn_leave,
+               "run_scenario: churn_rejoin must come after churn_leave");
+  }
+  if (spec.partition_group > 0) {
+    ST_REQUIRE(spec.partition_group < cfg.n,
+               "run_scenario: partition_group must leave both sides non-empty");
+    ST_REQUIRE(spec.partition_start >= 0 && spec.partition_end > spec.partition_start,
+               "run_scenario: need 0 <= partition_start < partition_end");
+  }
+
+  const std::uint32_t corrupt_count = corrupt_count_for(spec);
+  ST_REQUIRE(corrupt_count + spec.joiners < cfg.n,
+             "run_scenario: need at least one regular honest node");
+  const std::uint32_t honest_count = cfg.n - corrupt_count;
+  ST_REQUIRE(spec.churn_nodes < honest_count - spec.joiners,
+             "run_scenario: churn must leave at least one always-up honest node");
+}
+
 ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
                                  const ProcessFactory& factory) {
   const SyncConfig& cfg = spec.cfg;
@@ -123,16 +196,8 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
   ScenarioResult result;
   result.protocol = spec.protocol;
 
-  if (sync_mode) {
-    cfg.validate();
-    ST_REQUIRE(spec.horizon > 0, "run_scenario: horizon must be positive");
-    ST_REQUIRE(spec.joiners + cfg.f < cfg.n,
-               "run_scenario: need at least one regular honest node");
-    result.bounds = theory::derive_bounds(cfg);
-  } else {
-    ST_REQUIRE(cfg.n > cfg.f, "run_scenario: need at least one honest node");
-    ST_REQUIRE(spec.joiners == 0, "run_scenario: baselines do not support joiners");
-  }
+  validate_spec(spec, mode);
+  if (sync_mode) result.bounds = theory::derive_bounds(cfg);
 
   Rng rng(spec.seed);
   std::vector<HardwareClock> clocks = build_clock_fleet(
@@ -144,19 +209,22 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
   params.n = cfg.n;
   params.tdel = cfg.tdel;
   params.seed = rng.next_u64();
-  Simulator sim(params, std::move(clocks), build_delay_policy(spec.delay, cfg.n, cfg.period),
-                &registry);
+  std::unique_ptr<DelayPolicy> delay_policy =
+      build_delay_policy(spec.delay, cfg.n, cfg.period);
+  if (spec.partition_group > 0) {
+    delay_policy = std::make_unique<PartitionDelay>(
+        spec.partition_group, spec.partition_start, spec.partition_end,
+        std::move(delay_policy));
+  }
+  Simulator sim(params, std::move(clocks), std::move(delay_policy), &registry);
 
   // Corrupted nodes take the highest ids; joiners the highest honest ids.
-  const std::uint32_t corrupt_count =
-      spec.attack == AttackKind::kNone ? 0
-      : spec.corrupt_override > 0      ? spec.corrupt_override
-                                       : cfg.f;
-  ST_REQUIRE(corrupt_count + spec.joiners < cfg.n,
-             "run_scenario: need at least one regular honest node");
+  const std::uint32_t corrupt_count = corrupt_count_for(spec);
   std::vector<NodeId> corrupt;
   for (NodeId id = cfg.n - corrupt_count; id < cfg.n; ++id) corrupt.push_back(id);
   const std::uint32_t honest_count = cfg.n - corrupt_count;
+  // Churners take the lowest ids, joiners the highest honest ids; validate_spec
+  // guaranteed the groups are disjoint with a regular node in between.
   const NodeId first_joiner = honest_count - spec.joiners;
 
   AttackParams attack_params;
@@ -197,6 +265,27 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
       if (joining) sim.set_start_time(id, spec.join_time);
     }
     sim.set_process(id, std::move(process));
+  }
+
+  // Churn: the scheduled nodes crash at churn_leave and come back at
+  // churn_rejoin as passively integrating processes (the factory's joining
+  // path — exactly how a repaired process re-enters in the paper).
+  for (NodeId id = 0; id < spec.churn_nodes; ++id) {
+    sim.schedule_restart(
+        id, spec.churn_leave, spec.churn_rejoin,
+        [&spec, &factory, &protocols, &pulses, &sim, id]() -> std::unique_ptr<Process> {
+          std::unique_ptr<Process> process = factory(spec, id, /*joining=*/true);
+          ST_REQUIRE(process != nullptr, "run_scenario: factory returned no process");
+          auto* sync = dynamic_cast<SyncProtocol*>(process.get());
+          ST_REQUIRE(sync != nullptr,
+                     "run_scenario: churn factories must build SyncProtocol instances");
+          protocols[id] = sync;
+          sync->set_pulse_observer([&pulses, &sim](NodeId node, Round round) {
+            pulses.by_node[node][round] = sim.now();
+            if (pulses.first_pulse[node] < 0) pulses.first_pulse[node] = sim.now();
+          });
+          return process;
+        });
   }
 
   // Joiners only count toward skew once integrated (their pre-integration
@@ -246,6 +335,7 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
 
   result.messages_sent = sim.counters().total_sent();
   result.bytes_sent = sim.counters().total_bytes();
+  result.messages_dropped = sim.messages_dropped();
   result.events_dispatched = sim.events_dispatched();
   return result;
 }

@@ -65,6 +65,24 @@ struct ScenarioSpec {
   std::uint32_t joiners = 0;
   RealTime join_time = 10.0;
 
+  /// Churn workload (kSyncProtocol only): the first `churn_nodes` honest
+  /// nodes crash at `churn_leave` and reboot at `churn_rejoin` as fresh
+  /// passively integrating processes (the paper's repaired-process path).
+  /// Their pending timers die with them and messages to them are lost while
+  /// down. At least one honest node must stay up throughout.
+  std::uint32_t churn_nodes = 0;
+  RealTime churn_leave = 5.0;
+  RealTime churn_rejoin = 12.0;
+
+  /// Partition/heal workload (outside the ST delivery model): during
+  /// [partition_start, partition_end) every honest message crossing the cut
+  /// between nodes [0, partition_group) and the rest is dropped; the base
+  /// `delay` policy governs all other traffic and the healed network.
+  /// 0 disables the partition.
+  std::uint32_t partition_group = 0;
+  RealTime partition_start = 5.0;
+  RealTime partition_end = 10.0;
+
   /// If non-zero, the adversary controls this many nodes regardless of
   /// cfg.f (which the protocol still uses for its thresholds). Setting it
   /// above the variant's resilience bound demonstrates breakdown (T2).
@@ -107,9 +125,14 @@ struct ScenarioResult {
   double join_latency = -1;  ///< worst joiner: first pulse time - boot time
   bool joiners_integrated = false;
 
+  // Churn (when spec.churn_nodes > 0).
+  double rejoin_latency = -1;  ///< worst churned node: first post-rejoin pulse - rejoin time
+  bool churned_rejoined = false;  ///< every churned node re-integrated and pulsed again
+
   // Cost.
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_dropped = 0;  ///< sends lost to a partition window
   std::uint64_t events_dispatched = 0;  ///< simulator events (timers + deliveries)
   std::uint64_t rounds_completed = 0;  ///< min over honest nodes of last round
 };
@@ -123,6 +146,14 @@ using ProcessFactory =
 /// ProtocolRegistry. Throws std::out_of_range for unknown protocol names and
 /// std::logic_error for inconsistent specs.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Everything run_scenario_with would reject, checked WITHOUT running the
+/// scenario: model requirements (SyncConfig::validate) plus the engine's
+/// structural constraints (joiner / churn / partition / corruption counts).
+/// Throws std::logic_error naming the violated requirement. The scenario-file
+/// loader calls this per grid cell so a bad file fails at load time with the
+/// same rules the engine enforces at run time.
+void validate_spec(const ScenarioSpec& spec, EngineMode mode);
 
 /// The spec as the engine actually runs it: the registry entry's prepare
 /// hook applied (e.g. "leader_corrupt" forces attack = kLeaderLie and

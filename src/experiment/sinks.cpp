@@ -89,6 +89,12 @@ std::vector<Field> spec_fields(const ScenarioSpec& spec) {
       {"attack", attack_name(spec.attack)},
       {"joiners", std::to_string(spec.joiners)},
       {"corrupt_override", std::to_string(spec.corrupt_override)},
+      {"churn_nodes", std::to_string(spec.churn_nodes)},
+      {"churn_leave", fmt(spec.churn_leave)},
+      {"churn_rejoin", fmt(spec.churn_rejoin)},
+      {"partition_group", std::to_string(spec.partition_group)},
+      {"partition_start", fmt(spec.partition_start)},
+      {"partition_end", fmt(spec.partition_end)},
   };
 }
 
@@ -108,8 +114,11 @@ std::vector<Field> result_fields(const ScenarioResult& r) {
       {"rate_fit_tolerance", fmt(r.rate_fit_tolerance)},
       {"join_latency", fmt(r.join_latency)},
       {"joiners_integrated", r.joiners_integrated ? "1" : "0"},
+      {"rejoin_latency", fmt(r.rejoin_latency)},
+      {"churned_rejoined", r.churned_rejoined ? "1" : "0"},
       {"messages_sent", std::to_string(r.messages_sent)},
       {"bytes_sent", std::to_string(r.bytes_sent)},
+      {"messages_dropped", std::to_string(r.messages_dropped)},
       {"events_dispatched", std::to_string(r.events_dispatched)},
       {"rounds_completed", std::to_string(r.rounds_completed)},
   };

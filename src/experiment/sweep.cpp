@@ -19,6 +19,19 @@ std::uint64_t derive_cell_seed(std::uint64_t base_seed, std::uint64_t cell_index
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_cell_seed(std::uint64_t base_seed, std::string_view protocol,
+                               std::uint64_t cell_index) {
+  // FNV-1a over the protocol name folds it into the base seed. The index mix
+  // stays bijective per (base, protocol), so cells of one grid still never
+  // collide, and cells differing only in protocol get independent streams.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : protocol) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return derive_cell_seed(base_seed ^ h, cell_index);
+}
+
 SweepGrid& SweepGrid::axis(std::string name, std::vector<Value> values) {
   ST_REQUIRE(!values.empty(), "SweepGrid: axis needs at least one value");
   axes_.push_back(Axis{std::move(name), std::move(values)});
@@ -52,7 +65,7 @@ std::vector<SweepCell> SweepGrid::cells() const {
       cell.labels.emplace_back(axis.name, label);
       if (mutate) mutate(cell.spec);
     }
-    if (reseed_) cell.spec.seed = derive_cell_seed(base_.seed, index);
+    if (reseed_) cell.spec.seed = derive_cell_seed(base_.seed, cell.spec.protocol, index);
     cells.push_back(std::move(cell));
   }
   return cells;

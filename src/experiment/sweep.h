@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -22,6 +23,16 @@ namespace stclock::experiment {
 /// cell index. Distinct indices give statistically independent streams, and
 /// the mapping is stable across runs, grids, and thread counts.
 [[nodiscard]] std::uint64_t derive_cell_seed(std::uint64_t base_seed, std::uint64_t cell_index);
+
+/// Protocol-aware variant, used by SweepGrid::reseed_per_cell: the cell's
+/// protocol name is hashed into the base seed before mixing, so two cells —
+/// or two single-protocol grids — that differ only in protocol never share a
+/// seed. Without this, running the "same" grid once per protocol (the common
+/// sharding layout for scenario files) would feed every protocol an
+/// identical random stream and silently correlate their results.
+[[nodiscard]] std::uint64_t derive_cell_seed(std::uint64_t base_seed,
+                                             std::string_view protocol,
+                                             std::uint64_t cell_index);
 
 /// One grid cell: the fully resolved spec plus (axis, value) labels for
 /// reporting.
@@ -46,8 +57,9 @@ class SweepGrid {
   /// Convenience axis over registered protocol names.
   SweepGrid& protocols(const std::vector<std::string>& names);
 
-  /// Re-seed every cell with derive_cell_seed(base.seed, index) instead of
-  /// letting all cells share the base seed.
+  /// Re-seed every cell with derive_cell_seed(base.seed, protocol, index)
+  /// instead of letting all cells share the base seed. Applied after all
+  /// axis mutators, so it intentionally overrides any "seed" axis.
   SweepGrid& reseed_per_cell(bool on = true) {
     reseed_ = on;
     return *this;

@@ -13,12 +13,19 @@
 /// contract violation caught in debug checks).
 namespace stclock {
 
+/// Sentinel a DelayPolicy may return instead of a delay: the message is lost.
+/// This steps OUTSIDE the Srikanth–Toueg model (which guarantees delivery
+/// within tdel between correct processes); it exists for the dynamic-network
+/// workloads — partitions that later heal — where the paper's liveness
+/// guarantees are deliberately suspended for a window.
+inline constexpr Duration kDropMessage = -1.0;
+
 class DelayPolicy {
  public:
   virtual ~DelayPolicy() = default;
 
   /// Delay for a message from honest `from` to honest `to` sent at `now`.
-  /// Must lie in [0, tdel].
+  /// Must lie in [0, tdel], or be exactly kDropMessage to lose the message.
   [[nodiscard]] virtual Duration delay(NodeId from, NodeId to, RealTime now, Duration tdel,
                                        Rng& rng) = 0;
 };

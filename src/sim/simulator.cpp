@@ -22,6 +22,7 @@ Simulator::Simulator(SimParams params, std::vector<HardwareClock> clocks,
                      ? params_.queue_reserve
                      : static_cast<std::size_t>(params_.n) * (params_.n + 2));
   timer_states_.reserve(static_cast<std::size_t>(params_.n) * 4);
+  timer_owners_.reserve(static_cast<std::size_t>(params_.n) * 4);
 
   // nodes_ is sized exactly once; LogicalClock instances hold pointers into
   // their own Node's HardwareClock, so the vector must never reallocate.
@@ -75,6 +76,21 @@ void Simulator::set_start_time(NodeId id, RealTime t) {
   nodes_[id].start_time = t;
 }
 
+void Simulator::schedule_restart(NodeId id, RealTime down_at, RealTime up_at,
+                                 ProcessBuilder rebuild) {
+  ST_REQUIRE(id < params_.n, "schedule_restart: node id out of range");
+  ST_REQUIRE(!started_, "schedule_restart: simulation already started");
+  ST_REQUIRE(!nodes_[id].corrupt, "schedule_restart: node is corrupted");
+  ST_REQUIRE(down_at > nodes_[id].start_time,
+             "schedule_restart: node must go down after it boots");
+  ST_REQUIRE(up_at > down_at, "schedule_restart: rejoin must come after the crash");
+  ST_REQUIRE(rebuild != nullptr, "schedule_restart: rebuild callback required");
+  for (const Restart& r : restarts_) {
+    ST_REQUIRE(r.node != id, "schedule_restart: node already has a restart scheduled");
+  }
+  restarts_.push_back(Restart{id, down_at, up_at, std::move(rebuild), 0});
+}
+
 bool Simulator::is_corrupt(NodeId id) const {
   ST_REQUIRE(id < params_.n, "is_corrupt: node id out of range");
   return nodes_[id].corrupt;
@@ -116,6 +132,11 @@ void Simulator::run_until(RealTime horizon) {
       if (node.corrupt || node.process == nullptr) continue;
       (void)arm_timer(id, node.start_time, TimerState::kArmedStart);
     }
+    for (Restart& restart : restarts_) {
+      ST_REQUIRE(nodes_[restart.node].process != nullptr,
+                 "schedule_restart: node has no process installed");
+      restart.stop_timer = arm_timer(restart.node, restart.down_at, TimerState::kArmedStop);
+    }
     if (adversary_ != nullptr) adversary_->on_start(*adv_ctx_);
   }
 
@@ -144,6 +165,29 @@ void Simulator::dispatch(const Event& ev) {
         Node& node = nodes_[ev.timer.node];
         node.started = true;
         node.process->on_start(*node.ctx);
+        return;
+      }
+      case TimerState::kArmedStop: {
+        // Churn: the node crashes. Its pending timers die with it, messages
+        // addressed to it are lost while it is down (the `started` check in
+        // the delivery path), and a fresh process — built now, booted at the
+        // rejoin time through the ordinary start path — takes its place.
+        Restart* restart = nullptr;
+        for (Restart& r : restarts_) {
+          if (r.stop_timer == id) restart = &r;
+        }
+        ST_ASSERT(restart != nullptr, "Simulator: stop timer without a restart entry");
+        Node& node = nodes_[restart->node];
+        node.started = false;
+        for (TimerId t = 1; t < next_timer_id_; ++t) {
+          if (timer_states_[t - 1] == TimerState::kArmedProcess &&
+              timer_owners_[t - 1] == restart->node) {
+            timer_states_[t - 1] = TimerState::kCancelled;
+          }
+        }
+        node.process = restart->rebuild();
+        ST_REQUIRE(node.process != nullptr, "schedule_restart: rebuild returned no process");
+        (void)arm_timer(restart->node, restart->up_at, TimerState::kArmedStart);
         return;
       }
       case TimerState::kArmedAdversary:
@@ -183,6 +227,11 @@ void Simulator::honest_send(NodeId from, NodeId to, std::shared_ptr<const Messag
   Duration delay = 0;
   if (to != from && !nodes_[to].corrupt) {
     delay = delays_->delay(from, to, now_, params_.tdel, *net_rng_);
+    if (delay == kDropMessage) {
+      // The policy partitioned this link: the message is lost in transit.
+      ++messages_dropped_;
+      return;
+    }
     ST_ASSERT(delay >= 0 && delay <= params_.tdel,
               "DelayPolicy returned a delay outside [0, tdel]");
   }
@@ -204,13 +253,15 @@ void Simulator::adversary_send(NodeId from, NodeId to, std::shared_ptr<const Mes
 TimerId Simulator::arm_timer(NodeId node, RealTime fire_at, TimerState kind) {
   const TimerId id = next_timer_id_++;
   timer_states_.push_back(kind);
+  timer_owners_.push_back(node);
   queue_.push_timer(std::max(fire_at, now_), TimerEvent{node, id});
   return id;
 }
 
 void Simulator::cancel_timer(TimerId id) {
   TimerState& state = timer_state(id);
-  ST_REQUIRE(state != TimerState::kArmedStart, "cancel_timer: start timers are internal");
+  ST_REQUIRE(state != TimerState::kArmedStart && state != TimerState::kArmedStop,
+             "cancel_timer: start/stop timers are internal");
   // Cancelling a timer that already fired (or was already cancelled) is a
   // harmless no-op — and leaves no tombstone behind.
   if (state == TimerState::kArmedProcess || state == TimerState::kArmedAdversary) {

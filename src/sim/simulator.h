@@ -61,6 +61,17 @@ class Simulator {
   /// that boots late and must integrate — see core/joiner.h).
   void set_start_time(NodeId id, RealTime t);
 
+  /// Builds the replacement process for a node rejoining after churn.
+  using ProcessBuilder = std::function<std::unique_ptr<Process>()>;
+
+  /// Schedules honest node `id` to crash at `down_at` and reboot at `up_at`
+  /// as a fresh process built by `rebuild` (typically a passively integrating
+  /// joiner — see core/joiner.h). While down, the node's pending timers are
+  /// cancelled and deliveries to it are lost; the rebuilt process gets
+  /// on_start at `up_at`. Call before start(); at most once per node.
+  void schedule_restart(NodeId id, RealTime down_at, RealTime up_at,
+                        ProcessBuilder rebuild);
+
   /// Dispatches on_start for every installed process and the adversary, then
   /// runs events until `horizon` (inclusive). May be called repeatedly with
   /// increasing horizons.
@@ -88,6 +99,9 @@ class Simulator {
   /// count is reproducible bit-for-bit, which the golden trace test pins.
   [[nodiscard]] std::uint64_t events_dispatched() const { return events_dispatched_; }
 
+  /// Honest sends the delay policy chose to lose (kDropMessage — partitions).
+  [[nodiscard]] std::uint64_t messages_dropped() const { return messages_dropped_; }
+
   /// Called after every dispatched event; used by the skew tracker to sample
   /// at exactly the moments state can change.
   void set_post_event_hook(std::function<void(const Simulator&)> hook);
@@ -114,9 +128,19 @@ class Simulator {
   enum class TimerState : std::uint8_t {
     kArmedProcess,
     kArmedStart,
+    kArmedStop,  // churn: node goes down, replacement armed for the rejoin
     kArmedAdversary,
     kCancelled,
     kFired,
+  };
+
+  /// One scheduled churn restart (schedule_restart).
+  struct Restart {
+    NodeId node = 0;
+    RealTime down_at = 0;
+    RealTime up_at = 0;
+    ProcessBuilder rebuild;
+    TimerId stop_timer = 0;  // assigned when the simulation starts
   };
 
   void dispatch(const Event& ev);
@@ -148,11 +172,16 @@ class Simulator {
   RealTime now_ = 0;
   bool started_ = false;
   std::uint64_t events_dispatched_ = 0;
+  std::uint64_t messages_dropped_ = 0;
   TimerId next_timer_id_ = 1;
   /// Flat timer-state table, indexed by TimerId - 1 (ids are allocated
   /// sequentially from 1); replaces the cancelled/start/adversary lookup
   /// maps with one byte-per-timer array access.
   std::vector<TimerState> timer_states_;
+  /// Owner of each armed timer (parallel to timer_states_): lets a churn
+  /// stop event cancel exactly the departing node's pending process timers.
+  std::vector<NodeId> timer_owners_;
+  std::vector<Restart> restarts_;
   std::optional<Rng> net_rng_;
 
   MessageCounters counters_;

@@ -66,6 +66,30 @@ inline std::vector<ScenarioSpec> specs() {
     out.push_back(spec);
   }
 
+  // Churn: two nodes crash mid-run and reintegrate through the joiner path
+  // (PR-3 workload). Pins the stop-timer path, per-node timer cancellation,
+  // and the rebuilt process's passive integration.
+  {
+    ScenarioSpec spec = base("auth", 2, 7);
+    spec.attack = AttackKind::kCrash;
+    spec.churn_nodes = 2;
+    spec.churn_leave = 3.0;
+    spec.churn_rejoin = 6.0;
+    spec.horizon = 12.0;
+    out.push_back(spec);
+  }
+
+  // Partition/heal: nodes {0, 1} cut off for two periods, then healed (PR-3
+  // workload). Pins the drop path in honest_send and the healed re-sync.
+  {
+    ScenarioSpec spec = base("echo", 2, 8);
+    spec.partition_group = 2;
+    spec.partition_start = 4.0;
+    spec.partition_end = 6.0;
+    spec.horizon = 12.0;
+    out.push_back(spec);
+  }
+
   return out;
 }
 

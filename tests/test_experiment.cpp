@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -159,10 +160,39 @@ TEST(SweepGrid, PerCellReseedingIsDeterministicAndDistinct) {
   const std::vector<SweepCell> twice = grid.cells();
   for (std::size_t i = 0; i < once.size(); ++i) {
     EXPECT_EQ(once[i].spec.seed, twice[i].spec.seed);
-    EXPECT_EQ(once[i].spec.seed, derive_cell_seed(3, i));
+    EXPECT_EQ(once[i].spec.seed, derive_cell_seed(3, once[i].spec.protocol, i));
     for (std::size_t j = i + 1; j < once.size(); ++j) {
       EXPECT_NE(once[i].spec.seed, once[j].spec.seed);
     }
+  }
+}
+
+TEST(SweepGrid, CellSeedsDistinctAcrossEveryAxisIncludingProtocol) {
+  // Regression for a latent seed-collision risk: the per-cell seed used to
+  // depend only on (base seed, cell index), so two grids differing only in a
+  // protocol axis value fed every protocol an identical random stream. An
+  // 8x8 grid over all registered protocols must produce pairwise-distinct
+  // seeds, and two single-protocol grids must produce disjoint seed sets.
+  const std::vector<std::string> protocols = ProtocolRegistry::global().names();
+  ASSERT_GE(protocols.size(), 8u);
+
+  SweepGrid grid(small_spec("auth"));
+  grid.protocols(std::vector<std::string>(protocols.begin(), protocols.begin() + 8));
+  std::vector<SweepGrid::Value> reps;
+  for (int r = 0; r < 8; ++r) reps.emplace_back("r" + std::to_string(r), nullptr);
+  grid.axis("rep", std::move(reps));
+  grid.reseed_per_cell();
+
+  const std::vector<SweepCell> cells = grid.cells();
+  ASSERT_EQ(cells.size(), 64u);
+  std::set<std::uint64_t> seeds;
+  for (const SweepCell& cell : cells) seeds.insert(cell.spec.seed);
+  EXPECT_EQ(seeds.size(), cells.size());
+
+  // Same grid shape, same base seed, different base protocol: no overlap.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_NE(derive_cell_seed(3, "auth", i), derive_cell_seed(3, "echo", i))
+        << "cells differing only in protocol collided at index " << i;
   }
 }
 

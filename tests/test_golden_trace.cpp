@@ -33,10 +33,16 @@ struct Expected {
   std::uint64_t bytes_sent;
   std::uint64_t events_dispatched;
   std::uint64_t rounds_completed;
+  // PR-3 workload metrics; rows predating them keep the defaults.
+  std::uint64_t messages_dropped = 0;
+  double rejoin_latency = -1;
+  bool churned_rejoined = false;
 };
 
 // Captured at commit "PR 1" (pre-refactor), in golden_specs() order:
-// auth+spam_early seeds 1,2,3; echo+replay seeds 1,4; auth+joiner; LW baseline.
+// auth+spam_early seeds 1,2,3; echo+replay seeds 1,4; auth+joiner; LW
+// baseline. The last two rows (auth+churn, echo+partition) were captured
+// when the PR-3 dynamic-network workloads landed.
 constexpr Expected kExpected[] = {
     {0.01123902034072799, 0.01123902034072799, 0.0012091023750455676, 0.9891038644601311,
      0.99008140976091319, 10, 10, true, 1.0100784746402467, 1.0101815993153049, 755, 64215,
@@ -58,6 +64,12 @@ constexpr Expected kExpected[] = {
      1351, 15},
     {0.0074836537359008748, 0.0051657812043153228, 0, 0, 0, 0, 0, false, 1.0016072463274817,
      1.0021873777992789, 1880, 16920, 2060, 0},
+    {0.011755068739271124, 0.011755068739271124, 0.0061539553240770317, 0.9887020559207258,
+     0.99992503103077102, 12, 12, true, 1.0054558126167632, 1.0062000375436042, 721, 59661,
+     828, 12, 0, 0.96862062064054566, true},
+    {0.033081797726873141, 0.033081797726873141, 0.0066855862152257473, 0.98208627469343313,
+     2.9719787595449709, 10, 12, true, 1.010835667183057, 1.0115390447457415, 1134, 10206,
+     1236, 12, 60, -1, false},
 };
 
 TEST(GoldenTrace, MetricsAreBitIdenticalAcrossHotPathRefactor) {
@@ -84,6 +96,9 @@ TEST(GoldenTrace, MetricsAreBitIdenticalAcrossHotPathRefactor) {
     EXPECT_EQ(r.bytes_sent, e.bytes_sent);
     EXPECT_EQ(r.events_dispatched, e.events_dispatched);
     EXPECT_EQ(r.rounds_completed, e.rounds_completed);
+    EXPECT_EQ(r.messages_dropped, e.messages_dropped);
+    EXPECT_EQ(r.rejoin_latency, e.rejoin_latency);
+    EXPECT_EQ(r.churned_rejoined, e.churned_rejoined);
   }
 }
 

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "experiment/registry.h"
+#include "scenfile/scenfile.h"
+
+/// Property-based invariant suite over randomly drawn valid ScenarioSpecs
+/// (bounded n <= 12, short horizons), across every protocol in the registry:
+///
+///   - worst skew is non-negative and bounds steady skew,
+///   - the simulator dispatched events (the engine actually ran),
+///   - for the Srikanth-Toueg variants with f within the resilience bound,
+///     the measured skew sits inside the paper's theoretical envelope,
+///   - spec -> JSON -> spec -> run_scenario reproduces the ScenarioResult
+///     bit for bit (round-trip determinism of the scenario-file layer).
+///
+/// Draws are seeded deterministically, so failures reproduce.
+namespace stclock::experiment {
+namespace {
+
+struct Draw {
+  ScenarioSpec spec;
+  bool sync = false;  // auth / echo: assert the theoretical envelope too
+};
+
+Draw draw_spec(const std::string& protocol, std::uint64_t salt) {
+  std::mt19937_64 rng(0x5ce9a410ull ^ salt);
+  const auto pick_u32 = [&rng](std::uint32_t lo, std::uint32_t hi) {
+    return static_cast<std::uint32_t>(lo + rng() % (hi - lo + 1));
+  };
+
+  Draw draw;
+  ScenarioSpec& spec = draw.spec;
+  spec.protocol = protocol;
+  spec.cfg.rho = 1e-4;
+  spec.cfg.tdel = 0.01;
+  spec.cfg.period = 1.0;
+  spec.cfg.initial_sync = 0.005;
+  spec.seed = rng();
+  spec.horizon = 6.0;
+
+  const DriftKind drifts[] = {DriftKind::kNone, DriftKind::kRandomConstant,
+                              DriftKind::kRandomWalk, DriftKind::kExtremal};
+  const DelayKind delays[] = {DelayKind::kZero,    DelayKind::kHalf,
+                              DelayKind::kMax,     DelayKind::kUniform,
+                              DelayKind::kSplit,   DelayKind::kAlternating};
+  spec.drift = drifts[rng() % std::size(drifts)];
+  spec.delay = delays[rng() % std::size(delays)];
+
+  if (protocol == "auth" || protocol == "echo") {
+    draw.sync = true;
+    const bool echo = protocol == "echo";
+    spec.cfg.n = pick_u32(echo ? 4 : 3, 12);
+    // f within the variant's resilience bound (the property being tested).
+    const std::uint32_t f_max = echo ? (spec.cfg.n - 1) / 3 : (spec.cfg.n - 1) / 2;
+    spec.cfg.f = pick_u32(0, f_max);
+    const AttackKind auth_attacks[] = {AttackKind::kNone, AttackKind::kCrash,
+                                       AttackKind::kSpamEarly, AttackKind::kEquivocate};
+    const AttackKind echo_attacks[] = {AttackKind::kNone, AttackKind::kCrash,
+                                       AttackKind::kSpamEarly};
+    spec.attack = echo ? echo_attacks[rng() % std::size(echo_attacks)]
+                       : auth_attacks[rng() % std::size(auth_attacks)];
+  } else {
+    // Baselines: modest fault budgets, matched or benign attacks only.
+    spec.cfg.n = pick_u32(4, 12);
+    spec.cfg.f = pick_u32(0, (spec.cfg.n - 1) / 3);
+    const AttackKind attacks[] = {AttackKind::kNone, AttackKind::kCrash};
+    spec.attack = attacks[rng() % std::size(attacks)];
+  }
+  return draw;
+}
+
+void assert_invariants(const Draw& draw, const ScenarioResult& r) {
+  EXPECT_GE(r.max_skew, 0.0);
+  EXPECT_GE(r.steady_skew, 0.0);
+  EXPECT_LE(r.steady_skew, r.max_skew);
+  EXPECT_GT(r.events_dispatched, 0u);
+  EXPECT_FALSE(r.skew_series.empty());
+  if (draw.sync) {
+    EXPECT_GT(r.bounds.precision, 0.0);
+    EXPECT_TRUE(r.live);
+    EXPECT_LE(r.steady_skew, r.bounds.precision);
+    EXPECT_LE(r.pulse_spread, r.bounds.pulse_spread + 1e-9);
+  }
+}
+
+void assert_bit_identical(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.max_skew, b.max_skew);
+  EXPECT_EQ(a.steady_skew, b.steady_skew);
+  EXPECT_EQ(a.pulse_spread, b.pulse_spread);
+  EXPECT_EQ(a.min_period, b.min_period);
+  EXPECT_EQ(a.max_period, b.max_period);
+  EXPECT_EQ(a.min_pulses, b.min_pulses);
+  EXPECT_EQ(a.max_pulses, b.max_pulses);
+  EXPECT_EQ(a.live, b.live);
+  EXPECT_EQ(a.envelope.min_rate, b.envelope.min_rate);
+  EXPECT_EQ(a.envelope.max_rate, b.envelope.max_rate);
+  EXPECT_EQ(a.join_latency, b.join_latency);
+  EXPECT_EQ(a.joiners_integrated, b.joiners_integrated);
+  EXPECT_EQ(a.rejoin_latency, b.rejoin_latency);
+  EXPECT_EQ(a.churned_rejoined, b.churned_rejoined);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.rounds_completed, b.rounds_completed);
+  EXPECT_EQ(a.skew_series, b.skew_series);
+}
+
+TEST(ScenarioProperties, InvariantsHoldForRandomSpecsAcrossEveryProtocol) {
+  for (const std::string& protocol : ProtocolRegistry::global().names()) {
+    for (std::uint64_t salt = 0; salt < 3; ++salt) {
+      const Draw draw = draw_spec(protocol, salt);
+      SCOPED_TRACE(protocol + " salt " + std::to_string(salt) + " n=" +
+                   std::to_string(draw.spec.cfg.n) + " f=" +
+                   std::to_string(draw.spec.cfg.f) + " seed=" +
+                   std::to_string(draw.spec.seed));
+      assert_invariants(draw, run_scenario(draw.spec));
+    }
+  }
+}
+
+TEST(ScenarioProperties, JsonRoundTripReproducesResultsBitForBit) {
+  // spec -> JSON -> spec -> run must equal running the original spec: the
+  // scenario-file layer may not perturb a single bit of any metric.
+  for (const std::string& protocol : ProtocolRegistry::global().names()) {
+    const Draw draw = draw_spec(protocol, 7);
+    SCOPED_TRACE(protocol);
+    const ScenarioResult direct = run_scenario(draw.spec);
+    const ScenarioResult via_json =
+        run_scenario(scenfile::parse_spec(scenfile::spec_to_json(draw.spec)));
+    assert_bit_identical(direct, via_json);
+  }
+}
+
+TEST(ScenarioProperties, ChurnSpecsKeepInvariantsAndRoundTrip) {
+  for (const char* protocol : {"auth", "echo"}) {
+    Draw draw = draw_spec(protocol, 11);
+    ScenarioSpec& spec = draw.spec;
+    // Leave enough honest nodes up: churn one node out of a fleet that keeps
+    // quorum through the window (f counts both corrupt and absent nodes).
+    spec.cfg.n = 7;
+    spec.cfg.f = 2;
+    spec.attack = AttackKind::kCrash;
+    spec.churn_nodes = 1;
+    spec.churn_leave = 2.0;
+    spec.churn_rejoin = 3.5;
+    spec.horizon = 8.0;
+    SCOPED_TRACE(protocol);
+
+    const ScenarioResult r = run_scenario(spec);
+    assert_invariants(draw, r);
+    EXPECT_TRUE(r.churned_rejoined);
+    EXPECT_GE(r.rejoin_latency, 0.0);
+
+    const ScenarioResult via_json =
+        run_scenario(scenfile::parse_spec(scenfile::spec_to_json(spec)));
+    assert_bit_identical(r, via_json);
+  }
+}
+
+TEST(ScenarioProperties, PartitionSpecsDropTrafficDeterministically) {
+  Draw draw = draw_spec("auth", 13);
+  ScenarioSpec& spec = draw.spec;
+  spec.cfg.n = 7;
+  spec.cfg.f = 2;
+  spec.attack = AttackKind::kNone;
+  spec.delay = DelayKind::kUniform;
+  spec.partition_group = 3;
+  spec.partition_start = 2.0;
+  spec.partition_end = 4.0;
+  spec.horizon = 8.0;
+
+  const ScenarioResult r = run_scenario(spec);
+  // A partition suspends the paper's delivery model: liveness and the skew
+  // envelope are off the table for the cut-off window, but the run must
+  // still be meaningful and bit-reproducible.
+  EXPECT_GE(r.max_skew, 0.0);
+  EXPECT_GT(r.events_dispatched, 0u);
+  EXPECT_GT(r.messages_dropped, 0u);
+
+  const ScenarioResult again = run_scenario(spec);
+  assert_bit_identical(r, again);
+  const ScenarioResult via_json =
+      run_scenario(scenfile::parse_spec(scenfile::spec_to_json(spec)));
+  assert_bit_identical(r, via_json);
+}
+
+}  // namespace
+}  // namespace stclock::experiment

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiment/sinks.h"
+#include "experiment/sweep.h"
+#include "scenfile/scenfile.h"
+
+/// Positive-path tests for the scenario-file layer: a JSON grid must be
+/// exactly equivalent to the same grid written in C++ — same cells, same
+/// labels, same sink bytes — and sharding a grid with --cells semantics then
+/// merging the dumps must reproduce the unsharded dump byte for byte.
+namespace stclock::scenfile {
+namespace {
+
+using experiment::ScenarioResult;
+using experiment::ScenarioSpec;
+using experiment::SweepCell;
+using experiment::SweepGrid;
+using experiment::SweepRunner;
+
+constexpr const char* kGridText = R"({
+  "base": {
+    "protocol": "auth",
+    "n": 5,
+    "f": 1,
+    "rho": 0.0001,
+    "tdel": 0.01,
+    "period": 1.0,
+    "initial_sync": 0.005,
+    "seed": 3,
+    "horizon": 6.0,
+    "drift": "rand-const",
+    "delay": "uniform"
+  },
+  "axes": [
+    {"name": "protocol", "values": ["auth", "unsynchronized"]},
+    {"name": "seed", "values": [1, 2, 3]}
+  ]
+})";
+
+ScenarioSpec compiled_base() {
+  ScenarioSpec spec;
+  spec.protocol = "auth";
+  spec.cfg.n = 5;
+  spec.cfg.f = 1;
+  spec.cfg.rho = 0.0001;
+  spec.cfg.tdel = 0.01;
+  spec.cfg.period = 1.0;
+  spec.cfg.initial_sync = 0.005;
+  spec.seed = 3;
+  spec.horizon = 6.0;
+  spec.drift = DriftKind::kRandomConstant;
+  spec.delay = DelayKind::kUniform;
+  return spec;
+}
+
+SweepGrid compiled_grid() {
+  SweepGrid grid(compiled_base());
+  grid.protocols({"auth", "unsynchronized"});
+  std::vector<SweepGrid::Value> seeds;
+  for (const std::uint64_t s : {1, 2, 3}) {
+    seeds.emplace_back(std::to_string(s),
+                       [s](ScenarioSpec& spec) { spec.seed = s; });
+  }
+  grid.axis("seed", std::move(seeds));
+  return grid;
+}
+
+TEST(ScenfileGrid, CellsMatchTheEquivalentCompiledGrid) {
+  const std::vector<SweepCell> parsed = parse_grid(kGridText).cells();
+  const std::vector<SweepCell> compiled = compiled_grid().cells();
+  ASSERT_EQ(parsed.size(), compiled.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    EXPECT_EQ(parsed[i].index, compiled[i].index);
+    EXPECT_EQ(parsed[i].labels, compiled[i].labels);
+    EXPECT_EQ(parsed[i].spec.protocol, compiled[i].spec.protocol);
+    EXPECT_EQ(parsed[i].spec.seed, compiled[i].spec.seed);
+    EXPECT_EQ(parsed[i].spec.cfg.n, compiled[i].spec.cfg.n);
+    EXPECT_EQ(parsed[i].spec.drift, compiled[i].spec.drift);
+  }
+}
+
+TEST(ScenfileGrid, SinkDumpsMatchTheEquivalentCompiledGridByteForByte) {
+  // The acceptance bar of the scenario-file layer: running a file-defined
+  // grid must reproduce the compiled-in grid's CSV and JSON exactly.
+  const std::vector<SweepCell> parsed = parse_grid(kGridText).cells();
+  const std::vector<SweepCell> compiled = compiled_grid().cells();
+  const std::vector<ScenarioResult> parsed_results = SweepRunner(2).run(parsed);
+  const std::vector<ScenarioResult> compiled_results = SweepRunner(1).run(compiled);
+
+  std::ostringstream json_a, json_b, csv_a, csv_b;
+  experiment::write_json(json_a, parsed, parsed_results);
+  experiment::write_json(json_b, compiled, compiled_results);
+  experiment::write_csv(csv_a, parsed, parsed_results);
+  experiment::write_csv(csv_b, compiled, compiled_results);
+  EXPECT_EQ(json_a.str(), json_b.str());
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+}
+
+TEST(ScenfileGrid, ShardedRunsMergeByteIdenticalToUnsharded) {
+  const std::vector<SweepCell> cells = parse_grid(kGridText).cells();
+  ASSERT_EQ(cells.size(), 6u);
+  const std::vector<ScenarioResult> results = SweepRunner(2).run(cells);
+
+  std::ostringstream full_json, full_csv;
+  experiment::write_json(full_json, cells, results);
+  experiment::write_csv(full_csv, cells, results);
+
+  // Shard as scenrun --cells does: slice the cell list, keep global indices.
+  const auto dump_shard = [&cells, &results](std::size_t lo, std::size_t hi, bool json) {
+    const std::vector<SweepCell> shard_cells(cells.begin() + static_cast<std::ptrdiff_t>(lo),
+                                             cells.begin() + static_cast<std::ptrdiff_t>(hi));
+    const std::vector<ScenarioResult> shard_results(
+        results.begin() + static_cast<std::ptrdiff_t>(lo),
+        results.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::ostringstream os;
+    if (json) {
+      experiment::write_json(os, shard_cells, shard_results);
+    } else {
+      experiment::write_csv(os, shard_cells, shard_results);
+    }
+    return os.str();
+  };
+
+  // Merge out of order to prove the merge sorts by global cell index.
+  EXPECT_EQ(merge_json_sinks({dump_shard(4, 6, true), dump_shard(0, 4, true)}),
+            full_json.str());
+  EXPECT_EQ(merge_csv_sinks({dump_shard(4, 6, false), dump_shard(0, 4, false)}),
+            full_csv.str());
+}
+
+TEST(ScenfileGrid, MergeRejectsDuplicateCells) {
+  const std::vector<SweepCell> cells = parse_grid(kGridText).cells();
+  const std::vector<ScenarioResult> results = SweepRunner(2).run(cells);
+  std::ostringstream os;
+  experiment::write_json(os, cells, results);
+  EXPECT_THROW((void)merge_json_sinks({os.str(), os.str()}), ScenarioFileError);
+}
+
+TEST(ScenfileSpec, JsonRoundTripPreservesEveryField) {
+  ScenarioSpec spec;
+  spec.protocol = "echo";
+  spec.cfg.n = 10;
+  spec.cfg.f = 3;
+  spec.cfg.rho = 1.25e-3;
+  spec.cfg.tdel = 0.0125;
+  spec.cfg.period = 1.5;
+  spec.cfg.alpha = 0.04;
+  spec.cfg.initial_sync = 0.006;
+  spec.cfg.allow_unsynchronized_start = true;
+  spec.cfg.adjust = AdjustMode::kAmortized;
+  spec.cfg.amortize_window = 0.25;
+  spec.delta = 0.075;
+  spec.seed = 0xDEADBEEFCAFEBABEULL;  // needs all 64 bits to survive
+  spec.horizon = 17.5;
+  spec.drift = DriftKind::kExtremal;
+  spec.delay = DelayKind::kAlternating;
+  spec.attack = AttackKind::kSleeper;
+  spec.joiners = 2;
+  spec.join_time = 7.25;
+  spec.corrupt_override = 1;
+  spec.churn_nodes = 1;
+  spec.churn_leave = 3.125;
+  spec.churn_rejoin = 9.875;
+  spec.partition_group = 4;
+  spec.partition_start = 2.5;
+  spec.partition_end = 5.5;
+  spec.skew_series_interval = 0.025;
+  spec.envelope_interval = 0.125;
+
+  const ScenarioSpec back = parse_spec(spec_to_json(spec));
+  EXPECT_EQ(back.protocol, spec.protocol);
+  EXPECT_EQ(back.cfg.n, spec.cfg.n);
+  EXPECT_EQ(back.cfg.f, spec.cfg.f);
+  EXPECT_EQ(back.cfg.rho, spec.cfg.rho);
+  EXPECT_EQ(back.cfg.tdel, spec.cfg.tdel);
+  EXPECT_EQ(back.cfg.period, spec.cfg.period);
+  EXPECT_EQ(back.cfg.alpha, spec.cfg.alpha);
+  EXPECT_EQ(back.cfg.initial_sync, spec.cfg.initial_sync);
+  EXPECT_EQ(back.cfg.allow_unsynchronized_start, spec.cfg.allow_unsynchronized_start);
+  EXPECT_EQ(back.cfg.adjust, spec.cfg.adjust);
+  EXPECT_EQ(back.cfg.amortize_window, spec.cfg.amortize_window);
+  EXPECT_EQ(back.delta, spec.delta);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.horizon, spec.horizon);
+  EXPECT_EQ(back.drift, spec.drift);
+  EXPECT_EQ(back.delay, spec.delay);
+  EXPECT_EQ(back.attack, spec.attack);
+  EXPECT_EQ(back.joiners, spec.joiners);
+  EXPECT_EQ(back.join_time, spec.join_time);
+  EXPECT_EQ(back.corrupt_override, spec.corrupt_override);
+  EXPECT_EQ(back.churn_nodes, spec.churn_nodes);
+  EXPECT_EQ(back.churn_leave, spec.churn_leave);
+  EXPECT_EQ(back.churn_rejoin, spec.churn_rejoin);
+  EXPECT_EQ(back.partition_group, spec.partition_group);
+  EXPECT_EQ(back.partition_start, spec.partition_start);
+  EXPECT_EQ(back.partition_end, spec.partition_end);
+  EXPECT_EQ(back.skew_series_interval, spec.skew_series_interval);
+  EXPECT_EQ(back.envelope_interval, spec.envelope_interval);
+}
+
+TEST(ScenfileCellRange, ParsesHalfOpenGlobalRanges) {
+  EXPECT_EQ(parse_cell_range("0:4", 8), (std::pair<std::size_t, std::size_t>{0, 4}));
+  EXPECT_EQ(parse_cell_range("4:8", 8), (std::pair<std::size_t, std::size_t>{4, 8}));
+  EXPECT_THROW((void)parse_cell_range("4:4", 8), ScenarioFileError);   // empty
+  EXPECT_THROW((void)parse_cell_range("5:3", 8), ScenarioFileError);   // reversed
+  EXPECT_THROW((void)parse_cell_range("0:9", 8), ScenarioFileError);   // past the end
+  EXPECT_THROW((void)parse_cell_range("0-4", 8), ScenarioFileError);   // wrong separator
+  EXPECT_THROW((void)parse_cell_range("a:b", 8), ScenarioFileError);   // not numbers
+}
+
+TEST(ScenfileExamples, CheckedInGridsLoadAndDescribeTheNewWorkloads) {
+  const std::string dir = std::string(STCLOCK_SOURCE_DIR) + "/examples/scenarios/";
+
+  const std::vector<SweepCell> churn = load_grid_file(dir + "churn_grid.json").cells();
+  ASSERT_EQ(churn.size(), 6u);
+  for (const SweepCell& cell : churn) {
+    EXPECT_EQ(cell.spec.churn_nodes, 2u);
+    EXPECT_LT(cell.spec.churn_leave, cell.spec.churn_rejoin);
+  }
+
+  const std::vector<SweepCell> partition =
+      load_grid_file(dir + "partition_heal_grid.json").cells();
+  ASSERT_EQ(partition.size(), 12u);
+  for (const SweepCell& cell : partition) {
+    EXPECT_GT(cell.spec.partition_group, 0u);
+    EXPECT_LT(cell.spec.partition_start, cell.spec.partition_end);
+  }
+}
+
+TEST(ScenfileExamples, ChurnGridCellRunsAndReintegrates) {
+  const std::string dir = std::string(STCLOCK_SOURCE_DIR) + "/examples/scenarios/";
+  const std::vector<SweepCell> cells = load_grid_file(dir + "churn_grid.json").cells();
+  const ScenarioResult r = experiment::run_scenario(cells.front().spec);
+  EXPECT_TRUE(r.churned_rejoined);
+  EXPECT_GE(r.rejoin_latency, 0.0);
+  EXPECT_TRUE(r.live);
+}
+
+TEST(ScenfileExamples, PartitionGridCellRunsAndDropsCrossCutTraffic) {
+  const std::string dir = std::string(STCLOCK_SOURCE_DIR) + "/examples/scenarios/";
+  const std::vector<SweepCell> cells = load_grid_file(dir + "partition_heal_grid.json").cells();
+  const ScenarioResult r = experiment::run_scenario(cells.front().spec);
+  EXPECT_GT(r.messages_dropped, 0u);
+  EXPECT_GT(r.events_dispatched, 0u);
+}
+
+}  // namespace
+}  // namespace stclock::scenfile

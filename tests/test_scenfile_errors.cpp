@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scenfile/scenfile.h"
+
+/// Negative and fuzz coverage for the scenario-file parser: every entry in
+/// the malformed corpus must fail with a DISTINCT error that names the
+/// offending field (no crashes, no silent defaults), and no truncation or
+/// byte mutation of a valid document may escape ScenarioFileError.
+namespace stclock::scenfile {
+namespace {
+
+struct BadCase {
+  const char* name;
+  const char* text;
+  /// Every case's error must contain this field-naming fragment.
+  const char* expect;
+};
+
+const BadCase kCorpus[] = {
+    {"truncated_json", R"({"base": {"n": 7)", "unexpected end of input"},
+    {"trailing_garbage", R"({"base": {"n": 7}} extra)", "trailing characters"},
+    {"duplicate_json_key", R"({"base": {"n": 7, "n": 9}})", "duplicate key \"n\""},
+    {"wrong_type_n", R"({"base": {"n": "seven"}})", "base.n: expected number, got string"},
+    {"negative_n", R"({"base": {"n": -3}})", "base.n: expected a non-negative integer"},
+    {"fractional_seed", R"({"base": {"seed": 1.5}})",
+     "base.seed: expected a non-negative integer"},
+    {"negative_duration", R"({"base": {"tdel": -0.01}})", "base.tdel: must be positive"},
+    {"negative_rho", R"({"base": {"rho": -1e-4}})", "base.rho: must be non-negative"},
+    {"unknown_base_field", R"({"base": {"frobnicate": 1}})",
+     "base.frobnicate: unknown field"},
+    {"unknown_top_level_key", R"({"bass": {}})", "bass: unknown key"},
+    {"unregistered_protocol", R"({"base": {"protocol": "ntp"}})",
+     "base.protocol: unregistered protocol \"ntp\""},
+    {"unknown_drift", R"({"base": {"drift": "warp"}})", "unknown drift kind \"warp\""},
+    {"unknown_attack", R"({"base": {"attack": "ddos"}})", "unknown attack kind \"ddos\""},
+    {"auth_overcommitted_f", R"({"base": {"protocol": "auth", "n": 4, "f": 2}})",
+     "resilience bound"},
+    {"duplicate_axis",
+     R"({"axes": [{"name": "seed", "values": [1]}, {"name": "seed", "values": [2]}]})",
+     "duplicate axis \"seed\""},
+    {"empty_axis_values", R"({"axes": [{"name": "seed", "values": []}]})",
+     "axis needs at least one value"},
+    {"unknown_axis_field", R"({"axes": [{"name": "color", "values": [1]}]})",
+     "unknown axis field \"color\""},
+    {"non_scalar_axis_value", R"({"axes": [{"name": "seed", "values": [[1]]}]})",
+     "axis values must be scalars"},
+    {"axis_missing_values", R"({"axes": [{"name": "seed"}]})", "missing \"values\""},
+    {"churn_window_reversed",
+     R"({"base": {"churn_nodes": 1, "churn_leave": 9.0, "churn_rejoin": 3.0}})",
+     "churn_rejoin must come after churn_leave"},
+    {"partition_covers_everyone", R"({"base": {"n": 5, "partition_group": 5}})",
+     "partition_group must leave both sides non-empty"},
+    {"baseline_with_joiners", R"({"base": {"protocol": "hssd", "joiners": 1}})",
+     "baselines do not support joiners"},
+    {"baseline_with_churn", R"({"base": {"protocol": "lundelius_welch", "churn_nodes": 1}})",
+     "baselines do not support churn"},
+    {"churn_eats_every_regular_node",
+     R"({"base": {"protocol": "auth", "n": 3, "f": 1, "attack": "crash",
+                  "churn_nodes": 2}})",
+     "churn must leave at least one always-up honest node"},
+};
+
+TEST(ScenfileErrors, EveryMalformedFileFailsWithADistinctFieldNamingError) {
+  std::set<std::string> messages;
+  for (const BadCase& bad : kCorpus) {
+    SCOPED_TRACE(bad.name);
+    std::string message;
+    try {
+      (void)parse_grid(bad.text, bad.name);
+      FAIL() << "expected ScenarioFileError";
+    } catch (const ScenarioFileError& e) {
+      message = e.what();
+    }
+    EXPECT_NE(message.find(bad.expect), std::string::npos)
+        << "error was: " << message;
+    // Distinct errors: no two corpus entries may collapse into one message.
+    EXPECT_TRUE(messages.insert(message).second) << "duplicate error: " << message;
+  }
+}
+
+TEST(ScenfileErrors, ErrorsCarrySourceNameAndLine) {
+  const char* text = "{\n  \"base\": {\n    \"tdel\": -1\n  }\n}";
+  try {
+    (void)parse_grid(text, "grid.json");
+    FAIL() << "expected ScenarioFileError";
+  } catch (const ScenarioFileError& e) {
+    EXPECT_NE(std::string(e.what()).find("grid.json:3: base.tdel"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenfileErrors, ValidationErrorsNameTheOffendingCell) {
+  // f=3 is fine for auth at n=7 but over the echo bound: only the echo cells
+  // may fail, and the error must say which cell.
+  const char* text = R"({
+    "base": {"n": 7, "f": 3},
+    "axes": [{"name": "protocol", "values": ["auth", "echo"]}]
+  })";
+  try {
+    (void)parse_grid(text, "grid.json");
+    FAIL() << "expected ScenarioFileError";
+  } catch (const ScenarioFileError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("cell 1 (protocol=echo)"), std::string::npos) << message;
+    EXPECT_NE(message.find("resilience"), std::string::npos) << message;
+  }
+}
+
+const char* valid_document() {
+  return R"({
+  "base": {
+    "protocol": "auth",
+    "n": 7,
+    "f": 2,
+    "rho": 0.0001,
+    "tdel": 0.01,
+    "seed": 42,
+    "horizon": 12.0,
+    "drift": "extremal",
+    "delay": "split",
+    "attack": "spam-early",
+    "churn_nodes": 1,
+    "churn_leave": 4.0,
+    "churn_rejoin": 8.0
+  },
+  "axes": [
+    {"name": "protocol", "values": ["auth", "echo"]},
+    {"name": "seed", "values": [1, 2, 3]}
+  ],
+  "reseed_per_cell": true
+})";
+}
+
+TEST(ScenfileFuzz, EveryTruncationEitherParsesOrThrowsScenarioFileError) {
+  const std::string valid = valid_document();
+  ASSERT_NO_THROW((void)parse_grid(valid, "fuzz"));
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    try {
+      (void)parse_grid(valid.substr(0, len), "fuzz");
+    } catch (const ScenarioFileError&) {
+      // expected for almost every prefix
+    } catch (...) {
+      FAIL() << "truncation at " << len << " escaped ScenarioFileError";
+    }
+  }
+}
+
+TEST(ScenfileFuzz, SingleByteMutationsNeverCrashOrEscape) {
+  const std::string valid = valid_document();
+  // Deterministic byte substitutions at every position: structural characters
+  // and digits are the interesting corruptions for a JSON grammar.
+  const char replacements[] = {'{', '}', '[', ']', '"', ':', ',', '0', '9',
+                               '-', '.', 'x', '\\', ' ', '\n', '\0'};
+  for (std::size_t pos = 0; pos < valid.size(); ++pos) {
+    for (const char replacement : replacements) {
+      std::string mutated = valid;
+      mutated[pos] = replacement;
+      try {
+        (void)parse_grid(mutated, "fuzz");
+      } catch (const ScenarioFileError&) {
+        // fine: strict rejection
+      } catch (...) {
+        FAIL() << "mutation at " << pos << " ('" << replacement
+               << "') escaped ScenarioFileError";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stclock::scenfile

@@ -1,0 +1,75 @@
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenfile/scenfile.h"
+
+/// scenmerge — deterministically reassemble sharded scenrun dumps.
+///
+///   scenmerge [-o OUT] SHARD [SHARD...]
+///
+/// Shards are JSON or CSV sink dumps (auto-detected; all shards must agree).
+/// Records are re-ordered by their global cell index, so merging the
+/// `--cells` shards of one grid reproduces the unsharded dump byte for byte.
+/// Duplicate cell indices across shards are errors.
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: scenmerge [-o OUT] SHARD [SHARD...]\n"
+        "  -o OUT   write the merged dump to OUT instead of stdout\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> shard_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if ((arg == "-o" || arg == "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "scenmerge: unknown option: " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      shard_paths.push_back(arg);
+    }
+  }
+  if (shard_paths.empty()) {
+    std::cerr << "scenmerge: no shard files given\n";
+    return usage(std::cerr, 2);
+  }
+
+  try {
+    std::vector<std::string> shards;
+    shards.reserve(shard_paths.size());
+    for (const std::string& path : shard_paths) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) throw std::runtime_error("cannot open shard: " + path);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      shards.push_back(buffer.str());
+    }
+
+    const bool json = !shards[0].empty() && shards[0][0] == '[';
+    const std::string merged = json ? stclock::scenfile::merge_json_sinks(shards)
+                                    : stclock::scenfile::merge_csv_sinks(shards);
+
+    if (out_path.empty() || out_path == "-") {
+      std::cout << merged;
+    } else {
+      std::ofstream out(out_path, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot open output file: " + out_path);
+      out << merged;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "scenmerge: " << e.what() << "\n";
+    return 1;
+  }
+}
