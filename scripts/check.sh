@@ -3,7 +3,8 @@
 # tree (src/, tests/, bench/, examples/) builds under -Wall -Wextra -Werror,
 # so any new warning in the hot-path files fails the gate.
 #
-# Usage: scripts/check.sh [--bench] [--scen] [build-dir]   (default: build-check)
+# Usage: scripts/check.sh [--bench] [--scen] [--asan] [build-dir]
+#                         (default build-dir: build-check)
 #   --bench  additionally smoke-run the tracked perf benchmarks (1 iteration,
 #            via scripts/bench.sh --smoke) so the bench binaries cannot
 #            bit-rot; BENCH_core.json is not modified.
@@ -11,6 +12,9 @@
 #            checked-in example grid, then re-run each grid sharded in two
 #            halves (--cells) and verify scenmerge reassembles dumps
 #            byte-identical to the unsharded run.
+#   --asan   additionally build the tree under ASan+UBSan (its own build
+#            directory, <build-dir>-asan) and run the tier-1 ctest suite in
+#            it; any sanitizer report fails the gate.
 #
 # Uses a separate build directory so the strict flags never pollute an
 # incremental developer build.
@@ -19,12 +23,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 RUN_BENCH=0
 RUN_SCEN=0
+RUN_ASAN=0
 BUILD_DIR="build-check"
 for arg in "$@"; do
   case "$arg" in
+    -h|--help) sed -n 's/^# \{0,1\}//p' "$0" | sed -n '2,19p'; exit 0 ;;
     --bench) RUN_BENCH=1 ;;
     --scen) RUN_SCEN=1 ;;
-    -*) echo "check.sh: unknown option: $arg" >&2; exit 2 ;;
+    --asan) RUN_ASAN=1 ;;
+    -*) echo "check.sh: unknown option: $arg (see --help)" >&2; exit 2 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
@@ -63,5 +70,18 @@ if [[ "$RUN_SCEN" -eq 1 ]]; then
     diff "$SCEN_TMP/$name.full.csv" "$SCEN_TMP/$name.merged.csv"
     echo "check.sh: scen smoke OK: $name ($total cells, shards byte-identical)"
   done
+fi
+
+if [[ "$RUN_ASAN" -eq 1 ]]; then
+  # -O1 keeps the sanitized suite quick; -fno-sanitize-recover turns every
+  # UBSan finding into a hard test failure instead of a log line.
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1 -fno-omit-frame-pointer"
+  cmake -B "$BUILD_DIR-asan" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build "$BUILD_DIR-asan" -j
+  ctest --test-dir "$BUILD_DIR-asan" --output-on-failure -j "$(nproc)"
+  echo "check.sh: asan suite OK"
 fi
 echo "check.sh: all green"

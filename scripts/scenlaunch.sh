@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# scenlaunch — process-level shard launcher for scenario-file grids.
+#
+# Splits a grid's global cell range into contiguous --cells A:B shards, runs
+# one scenrun worker process per shard (all local, up to --workers at once),
+# then scenmerges the per-shard dumps into the final CSV/JSON — byte-identical
+# to an unsharded run, which `scripts/check.sh --scen` verifies for the
+# checked-in grids. This is the single-machine instance of the distributed
+# pattern: point the same A:B ranges at remote machines and feed the collected
+# dumps to scenmerge to go multi-host.
+#
+# Usage: scripts/scenlaunch.sh GRID.json --workers N [options]
+#   --workers N     worker processes (required, >= 1)
+#   --csv FILE      merged CSV output
+#   --json FILE     merged JSON output        (at least one of --csv/--json)
+#   --threads N     threads per worker (scenrun --threads; default 1)
+#   --build-dir DIR directory holding scenrun/scenmerge (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+usage() {
+  sed -n 's/^# \{0,1\}//p' "$0" | sed -n '2,16p'
+}
+
+GRID=""
+WORKERS=0
+CSV_OUT=""
+JSON_OUT=""
+THREADS=1
+BUILD_DIR="build"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -h|--help) usage; exit 0 ;;
+    --workers) WORKERS="$2"; shift 2 ;;
+    --csv) CSV_OUT="$2"; shift 2 ;;
+    --json) JSON_OUT="$2"; shift 2 ;;
+    --threads) THREADS="$2"; shift 2 ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    -*) echo "scenlaunch: unknown option: $1" >&2; usage >&2; exit 2 ;;
+    *)
+      [[ -z "$GRID" ]] || { echo "scenlaunch: more than one grid file" >&2; exit 2; }
+      GRID="$1"; shift ;;
+  esac
+done
+
+[[ -n "$GRID" ]] || { echo "scenlaunch: no grid file given" >&2; usage >&2; exit 2; }
+[[ "$WORKERS" =~ ^[0-9]+$ && "$WORKERS" -ge 1 ]] \
+  || { echo "scenlaunch: --workers must be a positive integer" >&2; exit 2; }
+[[ -n "$CSV_OUT" || -n "$JSON_OUT" ]] \
+  || { echo "scenlaunch: need --csv and/or --json output" >&2; exit 2; }
+SCENRUN="$BUILD_DIR/scenrun"
+SCENMERGE="$BUILD_DIR/scenmerge"
+[[ -x "$SCENRUN" && -x "$SCENMERGE" ]] \
+  || { echo "scenlaunch: $SCENRUN / $SCENMERGE not built (cmake --build $BUILD_DIR)" >&2; exit 1; }
+
+TOTAL="$("$SCENRUN" "$GRID" --count)"
+if (( WORKERS > TOTAL )); then
+  WORKERS="$TOTAL"
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Contiguous near-even split: the first (TOTAL % WORKERS) shards get one
+# extra cell, covering [0, TOTAL) exactly.
+PIDS=()
+RANGES=()
+lo=0
+for (( w = 0; w < WORKERS; w++ )); do
+  size=$(( TOTAL / WORKERS + (w < TOTAL % WORKERS ? 1 : 0) ))
+  hi=$(( lo + size ))
+  range="$lo:$hi"
+  RANGES+=("$range")
+  args=("$GRID" --cells "$range" --threads "$THREADS")
+  [[ -z "$CSV_OUT" ]] || args+=(--csv "$TMP/shard$w.csv")
+  [[ -z "$JSON_OUT" ]] || args+=(--json "$TMP/shard$w.json")
+  "$SCENRUN" "${args[@]}" &
+  PIDS+=($!)
+  lo=$hi
+done
+
+FAILED=0
+for (( w = 0; w < WORKERS; w++ )); do
+  if ! wait "${PIDS[$w]}"; then
+    echo "scenlaunch: shard ${RANGES[$w]} failed" >&2
+    FAILED=1
+  fi
+done
+(( FAILED == 0 )) || exit 1
+
+if [[ -n "$CSV_OUT" ]]; then
+  "$SCENMERGE" -o "$CSV_OUT" "$TMP"/shard*.csv
+fi
+if [[ -n "$JSON_OUT" ]]; then
+  "$SCENMERGE" -o "$JSON_OUT" "$TMP"/shard*.json
+fi
+echo "scenlaunch: $TOTAL cells across $WORKERS worker(s) -> ${CSV_OUT:-}${CSV_OUT:+ }${JSON_OUT:-}"

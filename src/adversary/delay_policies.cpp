@@ -28,19 +28,26 @@ Duration AlternatingDelay::delay(NodeId /*from*/, NodeId to, RealTime now, Durat
   return (to_odd == odd_slow) ? tdel : 0.0;
 }
 
-PartitionDelay::PartitionDelay(std::uint32_t group_a, RealTime start, RealTime end,
-                               std::unique_ptr<DelayPolicy> base)
-    : group_a_(group_a), start_(start), end_(end), base_(std::move(base)) {
-  ST_REQUIRE(group_a > 0, "PartitionDelay: group A must be non-empty");
-  ST_REQUIRE(start >= 0 && end > start, "PartitionDelay: need 0 <= start < end");
-  ST_REQUIRE(base_ != nullptr, "PartitionDelay: base policy required");
+CutDelay::CutDelay(std::vector<bool> in_side_a, RealTime start, RealTime end,
+                   std::unique_ptr<DelayPolicy> base)
+    : in_a_(std::move(in_side_a)), start_(start), end_(end), base_(std::move(base)) {
+  bool any = false;
+  for (const bool member : in_a_) any = any || member;
+  ST_REQUIRE(any, "CutDelay: side A must be non-empty");
+  ST_REQUIRE(start >= 0 && end > start, "CutDelay: need 0 <= start < end");
+  ST_REQUIRE(base_ != nullptr, "CutDelay: base policy required");
 }
 
-Duration PartitionDelay::delay(NodeId from, NodeId to, RealTime now, Duration tdel,
-                               Rng& rng) {
-  const bool crosses_cut = (from < group_a_) != (to < group_a_);
+Duration CutDelay::delay(NodeId from, NodeId to, RealTime now, Duration tdel, Rng& rng) {
+  const bool crosses_cut = in_a(from) != in_a(to);
   if (crosses_cut && now >= start_ && now < end_) return kDropMessage;
   return base_->delay(from, to, now, tdel, rng);
 }
+
+void CutDelay::on_topology(const Topology& topo) { base_->on_topology(topo); }
+
+PartitionDelay::PartitionDelay(std::uint32_t group_a, RealTime start, RealTime end,
+                               std::unique_ptr<DelayPolicy> base)
+    : CutDelay(std::vector<bool>(group_a, true), start, end, std::move(base)) {}
 
 }  // namespace stclock

@@ -34,21 +34,36 @@ class AlternatingDelay final : public DelayPolicy {
   Duration interval_;
 };
 
-/// Partition-then-heal workload (dynamic networks, outside the ST model):
-/// during [start, end) every message crossing the cut between nodes
-/// [0, group_a) and [group_a, n) is dropped (kDropMessage); all other
-/// traffic — and all traffic once healed — is delegated to the base policy.
-class PartitionDelay final : public DelayPolicy {
+/// Windowed topology cut (dynamic networks, outside the ST model): during
+/// [start, end) every message crossing the cut between the member set
+/// (`in_side_a[id]` true) and its complement is dropped (kDropMessage); all
+/// other traffic — and all traffic once the cut heals — is delegated to the
+/// base policy. Nodes beyond the membership vector are on side B, so any
+/// node-set cut of any topology is expressible.
+class CutDelay : public DelayPolicy {
+ public:
+  CutDelay(std::vector<bool> in_side_a, RealTime start, RealTime end,
+           std::unique_ptr<DelayPolicy> base);
+  [[nodiscard]] Duration delay(NodeId from, NodeId to, RealTime now, Duration tdel,
+                               Rng& rng) override;
+  void on_topology(const Topology& topo) override;  // forwarded to the base policy
+
+ private:
+  [[nodiscard]] bool in_a(NodeId id) const {
+    return id < in_a_.size() && in_a_[id];
+  }
+
+  std::vector<bool> in_a_;
+  RealTime start_, end_;
+  std::unique_ptr<DelayPolicy> base_;
+};
+
+/// The PR-3 partition/heal workload, now a special case of a topology cut:
+/// side A is the contiguous prefix [0, group_a).
+class PartitionDelay final : public CutDelay {
  public:
   PartitionDelay(std::uint32_t group_a, RealTime start, RealTime end,
                  std::unique_ptr<DelayPolicy> base);
-  [[nodiscard]] Duration delay(NodeId from, NodeId to, RealTime now, Duration tdel,
-                               Rng& rng) override;
-
- private:
-  std::uint32_t group_a_;
-  RealTime start_, end_;
-  std::unique_ptr<DelayPolicy> base_;
 };
 
 }  // namespace stclock

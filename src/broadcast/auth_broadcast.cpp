@@ -34,8 +34,7 @@ const Bytes& AuthBroadcast::payload_for(Round k, RoundState& state) {
   return state.payload;
 }
 
-void AuthBroadcast::add_signatures(Context& ctx, Round k,
-                                   const std::vector<crypto::Signature>& sigs) {
+void AuthBroadcast::add_signatures(Context& ctx, Round k, const SigBundle& sigs) {
   RoundState& state = rounds_[k];
   if (state.accepted) return;
 
@@ -57,8 +56,7 @@ void AuthBroadcast::maybe_accept(Context& ctx, Round k, RoundState& state) {
 
   // Relay first (the paper's rule): forward an accepting bundle so every
   // correct process accepts within one further message delay.
-  std::vector<crypto::Signature> bundle(state.sigs.begin(),
-                                        state.sigs.begin() + quorum());
+  SigBundle bundle(state.sigs.begin(), state.sigs.begin() + quorum());
   ctx.broadcast(Message(RoundMsg{k, std::move(bundle)}));
 
   deliver_accept(ctx, k);

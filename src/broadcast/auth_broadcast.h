@@ -34,7 +34,7 @@ class AuthBroadcast final : public BroadcastPrimitive {
  private:
   struct RoundState {
     std::set<NodeId> signers;
-    std::vector<crypto::Signature> sigs;
+    SigBundle sigs;
     /// Cached round_signing_payload(k), serialized at most once per round
     /// instead of once per incoming signature batch.
     Bytes payload;
@@ -45,7 +45,7 @@ class AuthBroadcast final : public BroadcastPrimitive {
   /// The canonical signing payload for round `k`, cached in `state`.
   static const Bytes& payload_for(Round k, RoundState& state);
 
-  void add_signatures(Context& ctx, Round k, const std::vector<crypto::Signature>& sigs);
+  void add_signatures(Context& ctx, Round k, const SigBundle& sigs);
   void maybe_accept(Context& ctx, Round k, RoundState& state);
 
   std::uint32_t n_;

@@ -26,6 +26,7 @@ const char* delay_name(DelayKind kind) {
     case DelayKind::kUniform: return "uniform";
     case DelayKind::kSplit: return "split";
     case DelayKind::kAlternating: return "alternating";
+    case DelayKind::kPerLink: return "per-link";
   }
   return "unknown";
 }
@@ -65,7 +66,7 @@ std::vector<HardwareClock> build_clock_fleet(DriftKind kind, std::uint32_t n, do
 }
 
 std::unique_ptr<DelayPolicy> build_delay_policy(DelayKind kind, std::uint32_t n,
-                                                Duration period) {
+                                                Duration period, std::uint64_t link_seed) {
   switch (kind) {
     case DelayKind::kZero: return std::make_unique<FixedDelay>(0.0);
     case DelayKind::kHalf: return std::make_unique<FixedDelay>(0.5);
@@ -77,8 +78,24 @@ std::unique_ptr<DelayPolicy> build_delay_policy(DelayKind kind, std::uint32_t n,
       return std::make_unique<SplitDelay>(std::move(slow));
     }
     case DelayKind::kAlternating: return std::make_unique<AlternatingDelay>(period);
+    case DelayKind::kPerLink: return std::make_unique<LinkDelay>(0.0, 1.0, link_seed);
   }
   ST_ASSERT(false, "build_delay_policy: unhandled delay kind");
+  return nullptr;
+}
+
+std::shared_ptr<const Topology> build_topology(TopologyKind kind, std::uint32_t n,
+                                               double gnp_p, std::uint64_t seed) {
+  switch (kind) {
+    case TopologyKind::kComplete: return std::make_shared<const Topology>(Topology::complete(n));
+    case TopologyKind::kRing: return std::make_shared<const Topology>(Topology::ring(n));
+    case TopologyKind::kTorus: return std::make_shared<const Topology>(Topology::torus(n));
+    case TopologyKind::kStar: return std::make_shared<const Topology>(Topology::star(n));
+    case TopologyKind::kGnp:
+      return std::make_shared<const Topology>(Topology::gnp(n, gnp_p, seed));
+    case TopologyKind::kCustom: break;  // not a generator family
+  }
+  ST_ASSERT(false, "build_topology: unhandled topology kind");
   return nullptr;
 }
 

@@ -6,6 +6,7 @@
 
 #include "clocks/hardware_clock.h"
 #include "sim/network.h"
+#include "sim/topology.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -32,6 +33,7 @@ enum class DelayKind {
   kUniform,      ///< uniform in [0, tdel]
   kSplit,        ///< odd-indexed nodes always lag by tdel (worst-case spread)
   kAlternating,  ///< the lagging half flips every period
+  kPerLink,      ///< each directed link gets its own stable hashed latency
 };
 
 [[nodiscard]] const char* drift_name(DriftKind kind);
@@ -48,8 +50,16 @@ namespace experiment {
                                                            Rng& rng);
 
 /// Builds the delay policy assigning honest-to-honest message delays.
+/// `link_seed` only feeds the per-link kind (stable per-link latencies).
 [[nodiscard]] std::unique_ptr<DelayPolicy> build_delay_policy(DelayKind kind, std::uint32_t n,
-                                                              Duration period);
+                                                              Duration period,
+                                                              std::uint64_t link_seed = 1);
+
+/// Builds the network graph for one scenario. `gnp_p` and `seed` only feed
+/// the G(n, p) kind. Shape errors (e.g. a 2-node ring) throw std::logic_error.
+[[nodiscard]] std::shared_ptr<const Topology> build_topology(TopologyKind kind,
+                                                             std::uint32_t n, double gnp_p,
+                                                             std::uint64_t seed);
 
 }  // namespace experiment
 }  // namespace stclock

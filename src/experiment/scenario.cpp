@@ -138,24 +138,27 @@ std::uint32_t corrupt_count_for(const ScenarioSpec& spec) {
                                           : spec.cfg.f;
 }
 
-}  // namespace
-
-ScenarioResult run_scenario(const ScenarioSpec& spec) {
-  const ProtocolRegistry::Entry& entry = ProtocolRegistry::global().at(spec.protocol);
-  ScenarioResult result = run_scenario_with(resolved_spec(spec), entry.mode, entry.factory);
-  result.protocol = spec.protocol;
-  return result;
+/// Validates the topology block and returns the built graph: shape errors
+/// (e.g. a 2-node ring) surface from the generator, a sampled G(n, p) must
+/// come out connected, or liveness claims are vacuous. Shared by
+/// validate_spec (scenario files fail at load time) and the engine, which
+/// reuses the returned instance instead of building the graph twice.
+std::shared_ptr<const Topology> checked_topology(const ScenarioSpec& spec) {
+  if (spec.topology == TopologyKind::kGnp) {
+    ST_REQUIRE(spec.gnp_p > 0 && spec.gnp_p <= 1, "run_scenario: gnp_p must lie in (0, 1]");
+  }
+  std::shared_ptr<const Topology> topo =
+      build_topology(spec.topology, spec.cfg.n, spec.gnp_p, spec.topology_seed);
+  if (!topo->is_complete()) {
+    ST_REQUIRE(topo->is_connected(),
+               "run_scenario: topology is disconnected (raise gnp_p or change topology_seed)");
+  }
+  return topo;
 }
 
-ScenarioSpec resolved_spec(const ScenarioSpec& spec) {
-  const ProtocolRegistry::Entry* entry = ProtocolRegistry::global().find(spec.protocol);
-  if (entry == nullptr || !entry->prepare) return spec;
-  ScenarioSpec adjusted = spec;
-  entry->prepare(adjusted);
-  return adjusted;
-}
-
-void validate_spec(const ScenarioSpec& spec, EngineMode mode) {
+/// Everything validate_spec checks EXCEPT the topology block, so the engine
+/// can run these and keep the topology instance from checked_topology.
+void validate_spec_structure(const ScenarioSpec& spec, EngineMode mode) {
   const SyncConfig& cfg = spec.cfg;
   if (mode == EngineMode::kSyncProtocol) {
     cfg.validate();
@@ -174,18 +177,41 @@ void validate_spec(const ScenarioSpec& spec, EngineMode mode) {
                "run_scenario: churn_rejoin must come after churn_leave");
   }
   if (spec.partition_group > 0) {
+    ST_REQUIRE(spec.partition_group <= cfg.n,
+               "run_scenario: partition_group names nodes outside [0, n)");
     ST_REQUIRE(spec.partition_group < cfg.n,
                "run_scenario: partition_group must leave both sides non-empty");
     ST_REQUIRE(spec.partition_start >= 0 && spec.partition_end > spec.partition_start,
                "run_scenario: need 0 <= partition_start < partition_end");
   }
-
   const std::uint32_t corrupt_count = corrupt_count_for(spec);
   ST_REQUIRE(corrupt_count + spec.joiners < cfg.n,
              "run_scenario: need at least one regular honest node");
   const std::uint32_t honest_count = cfg.n - corrupt_count;
   ST_REQUIRE(spec.churn_nodes < honest_count - spec.joiners,
              "run_scenario: churn must leave at least one always-up honest node");
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  const ProtocolRegistry::Entry& entry = ProtocolRegistry::global().at(spec.protocol);
+  ScenarioResult result = run_scenario_with(resolved_spec(spec), entry.mode, entry.factory);
+  result.protocol = spec.protocol;
+  return result;
+}
+
+ScenarioSpec resolved_spec(const ScenarioSpec& spec) {
+  const ProtocolRegistry::Entry* entry = ProtocolRegistry::global().find(spec.protocol);
+  if (entry == nullptr || !entry->prepare) return spec;
+  ScenarioSpec adjusted = spec;
+  entry->prepare(adjusted);
+  return adjusted;
+}
+
+void validate_spec(const ScenarioSpec& spec, EngineMode mode) {
+  validate_spec_structure(spec, mode);
+  (void)checked_topology(spec);
 }
 
 ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
@@ -196,7 +222,11 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
   ScenarioResult result;
   result.protocol = spec.protocol;
 
-  validate_spec(spec, mode);
+  validate_spec_structure(spec, mode);
+  // Always installed, including the (default) complete graph: the complete
+  // fast paths in the simulator are pinned bit-identical to the legacy
+  // topology-free engine by the golden trace suite.
+  const std::shared_ptr<const Topology> topology = checked_topology(spec);
   if (sync_mode) result.bounds = theory::derive_bounds(cfg);
 
   Rng rng(spec.seed);
@@ -209,8 +239,9 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
   params.n = cfg.n;
   params.tdel = cfg.tdel;
   params.seed = rng.next_u64();
+  params.topology = topology;
   std::unique_ptr<DelayPolicy> delay_policy =
-      build_delay_policy(spec.delay, cfg.n, cfg.period);
+      build_delay_policy(spec.delay, cfg.n, cfg.period, spec.seed);
   if (spec.partition_group > 0) {
     delay_policy = std::make_unique<PartitionDelay>(
         spec.partition_group, spec.partition_start, spec.partition_end,
@@ -294,7 +325,8 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
                    sync_mode ? std::function<bool(NodeId)>([&protocols](NodeId id) {
                      return protocols[id] == nullptr || protocols[id]->integrated();
                    })
-                             : nullptr);
+                             : nullptr,
+                   sim.topology());
   skew.set_steady_start(sync_mode ? 2 * result.bounds.max_period : 3 * cfg.period);
   EnvelopeTracker envelope(spec.envelope_interval);
   sim.set_post_event_hook([&skew, &envelope](const Simulator& s) {
@@ -315,6 +347,8 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
   // --- Collect metrics ---
   result.max_skew = skew.max_skew();
   result.steady_skew = skew.steady_max_skew();
+  result.local_skew = skew.local_skew();
+  result.steady_local_skew = skew.steady_local_skew();
   result.skew_series = skew.series();
 
   if (sync_mode) {

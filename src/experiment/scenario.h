@@ -60,6 +60,15 @@ struct ScenarioSpec {
   DelayKind delay = DelayKind::kUniform;
   AttackKind attack = AttackKind::kNone;
 
+  /// Network graph the fleet runs on. The default complete graph is the
+  /// paper's implicit topology and reproduces the legacy (pre-topology)
+  /// engine bit for bit; any other kind restricts broadcasts to neighbors.
+  /// `gnp_p` and `topology_seed` only feed the "gnp" kind, which is
+  /// connectivity-checked at validation time.
+  TopologyKind topology = TopologyKind::kComplete;
+  double gnp_p = 0.5;
+  std::uint64_t topology_seed = 1;
+
   /// The last `joiners` honest nodes boot at `join_time` and integrate
   /// passively instead of starting at time 0 (kSyncProtocol only).
   std::uint32_t joiners = 0;
@@ -104,6 +113,11 @@ struct ScenarioResult {
   // Precision.
   double max_skew = 0;     ///< sup spread of honest logical clocks, whole run
   double steady_skew = 0;  ///< same, after the convergence prefix
+  /// Local skew (Kuhn/Lenzen/Locher/Oshman): sup over *adjacent* pairs of
+  /// the clock difference. Equals the global spread on a complete topology;
+  /// on sparse graphs it is the gradient property's figure of merit.
+  double local_skew = 0;
+  double steady_local_skew = 0;  ///< same, after the convergence prefix
   std::vector<std::pair<RealTime, double>> skew_series;
 
   // Pulses (acceptance events; kSyncProtocol only).

@@ -87,6 +87,9 @@ std::vector<Field> spec_fields(const ScenarioSpec& spec) {
       {"drift", drift_name(spec.drift)},
       {"delay", delay_name(spec.delay)},
       {"attack", attack_name(spec.attack)},
+      {"topology", topology_kind_name(spec.topology)},
+      {"gnp_p", fmt(spec.gnp_p)},
+      {"topology_seed", std::to_string(spec.topology_seed)},
       {"joiners", std::to_string(spec.joiners)},
       {"corrupt_override", std::to_string(spec.corrupt_override)},
       {"churn_nodes", std::to_string(spec.churn_nodes)},
@@ -102,6 +105,8 @@ std::vector<Field> result_fields(const ScenarioResult& r) {
   return {
       {"max_skew", fmt(r.max_skew)},
       {"steady_skew", fmt(r.steady_skew)},
+      {"local_skew", fmt(r.local_skew)},
+      {"steady_local_skew", fmt(r.steady_local_skew)},
       {"precision_bound", fmt(r.bounds.precision)},
       {"pulse_spread", fmt(r.pulse_spread)},
       {"min_period", fmt(r.min_period)},

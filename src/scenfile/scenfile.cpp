@@ -112,6 +112,7 @@ const std::vector<std::pair<const char*, DelayKind>>& delay_table() {
       {"zero", DelayKind::kZero},           {"half", DelayKind::kHalf},
       {"max", DelayKind::kMax},             {"uniform", DelayKind::kUniform},
       {"split", DelayKind::kSplit},         {"alternating", DelayKind::kAlternating},
+      {"per-link", DelayKind::kPerLink},
   };
   return table;
 }
@@ -124,6 +125,15 @@ const std::vector<std::pair<const char*, AttackKind>>& attack_table() {
       {"cnv-pull", AttackKind::kCnvPull},    {"lw-pull", AttackKind::kLwPull},
       {"leader-lie", AttackKind::kLeaderLie}, {"hssd-early", AttackKind::kHssdEarly},
       {"sleeper", AttackKind::kSleeper},
+  };
+  return table;
+}
+
+const std::vector<std::pair<const char*, TopologyKind>>& topology_table() {
+  static const std::vector<std::pair<const char*, TopologyKind>> table = {
+      {"complete", TopologyKind::kComplete}, {"ring", TopologyKind::kRing},
+      {"torus", TopologyKind::kTorus},       {"star", TopologyKind::kStar},
+      {"gnp", TopologyKind::kGnp},
   };
   return table;
 }
@@ -187,6 +197,15 @@ bool apply_field(ScenarioSpec& spec, const std::string& field, const JsonValue& 
     spec.delay = enum_from_name(v, delay_table(), "delay kind", source, path);
   } else if (field == "attack") {
     spec.attack = enum_from_name(v, attack_table(), "attack kind", source, path);
+  } else if (field == "topology") {
+    spec.topology = enum_from_name(v, topology_table(), "topology kind", source, path);
+  } else if (field == "gnp_p") {
+    spec.gnp_p = as_double(v, source, path);
+    if (!(spec.gnp_p > 0 && spec.gnp_p <= 1)) {
+      fail_at(source, v.line, path, "edge probability must lie in (0, 1], got " + v.raw);
+    }
+  } else if (field == "topology_seed") {
+    spec.topology_seed = as_u64(v, source, path);
   } else if (field == "joiners") {
     spec.joiners = as_u32(v, source, path);
   } else if (field == "join_time") {
@@ -218,9 +237,9 @@ bool apply_field(ScenarioSpec& spec, const std::string& field, const JsonValue& 
 constexpr const char* kKnownFields =
     "protocol, n, f, rho, tdel, period, alpha, initial_sync, "
     "allow_unsynchronized_start, adjust, amortize_window, delta, seed, horizon, "
-    "drift, delay, attack, joiners, join_time, corrupt_override, churn_nodes, "
-    "churn_leave, churn_rejoin, partition_group, partition_start, partition_end, "
-    "skew_series_interval, envelope_interval";
+    "drift, delay, attack, topology, gnp_p, topology_seed, joiners, join_time, "
+    "corrupt_override, churn_nodes, churn_leave, churn_rejoin, partition_group, "
+    "partition_start, partition_end, skew_series_interval, envelope_interval";
 
 /// The display label an axis value contributes to its cell: the literal
 /// token for scalars, so the label in sinks matches the file text.
@@ -323,6 +342,9 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   str("drift", drift_name(spec.drift));
   str("delay", delay_name(spec.delay));
   str("attack", attack_name(spec.attack));
+  str("topology", topology_kind_name(spec.topology));
+  num("gnp_p", fmt_double(spec.gnp_p));
+  num("topology_seed", std::to_string(spec.topology_seed));
   num("joiners", std::to_string(spec.joiners));
   num("join_time", fmt_double(spec.join_time));
   num("corrupt_override", std::to_string(spec.corrupt_override));

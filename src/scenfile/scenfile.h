@@ -22,8 +22,10 @@
 ///   }
 ///
 /// "base" accepts every ScenarioSpec field under the same flat names the
-/// sinks emit (n, f, rho, tdel, period, drift, delay, attack, churn_nodes,
-/// partition_group, ...); an axis may range over any of those fields. The
+/// sinks emit (n, f, rho, tdel, period, drift, delay, attack, topology,
+/// gnp_p, churn_nodes, partition_group, ...); an axis may range over any of
+/// those fields — including the topology block, so one grid can sweep
+/// complete vs ring vs gnp, or a gnp_p density axis. The
 /// loader is strict: unknown keys, wrong types, out-of-range values,
 /// unregistered protocols, and duplicate axes are hard errors that name the
 /// offending field and source line (ScenarioFileError), and every

@@ -11,7 +11,14 @@
 /// message gets is adversarial. A DelayPolicy encodes one such strategy.
 /// Policies returning values outside [0, tdel] are clamped (and this is a
 /// contract violation caught in debug checks).
+///
+/// Policies are *link-keyed*: delay() receives the directed link (from, to),
+/// so a policy may treat every link independently (see LinkDelay). Policies
+/// that need the network graph itself override on_topology(), which the
+/// simulator calls once before any traffic flows.
 namespace stclock {
+
+class Topology;
 
 /// Sentinel a DelayPolicy may return instead of a delay: the message is lost.
 /// This steps OUTSIDE the Srikanth–Toueg model (which guarantees delivery
@@ -24,10 +31,17 @@ class DelayPolicy {
  public:
   virtual ~DelayPolicy() = default;
 
-  /// Delay for a message from honest `from` to honest `to` sent at `now`.
-  /// Must lie in [0, tdel], or be exactly kDropMessage to lose the message.
+  /// Delay for a message on the directed link from honest `from` to honest
+  /// `to`, sent at `now`. Must lie in [0, tdel], or be exactly kDropMessage
+  /// to lose the message.
   [[nodiscard]] virtual Duration delay(NodeId from, NodeId to, RealTime now, Duration tdel,
                                        Rng& rng) = 0;
+
+  /// Called once by the simulator, before any delay() call, when the run has
+  /// an explicit topology. The default keeps node-keyed policies working
+  /// bit-exactly as before; override to size per-link state or key decisions
+  /// on the graph. `topo` outlives the simulation.
+  virtual void on_topology(const Topology& topo) { (void)topo; }
 };
 
 /// Every message takes exactly `fraction * tdel`.
@@ -48,6 +62,22 @@ class UniformDelay final : public DelayPolicy {
 
  private:
   double lo_, hi_;
+};
+
+/// Heterogeneous per-link latency: each *directed* link (from, to) gets its
+/// own fixed fraction of tdel, drawn once by hashing (seed, from, to) into
+/// [lo_fraction, hi_fraction]. Models a WAN where every link has a stable
+/// but different latency — the simplest genuinely link-keyed policy, and
+/// stateless: no table, so it works for any n and any topology.
+class LinkDelay final : public DelayPolicy {
+ public:
+  LinkDelay(double lo_fraction, double hi_fraction, std::uint64_t seed);
+  [[nodiscard]] Duration delay(NodeId from, NodeId to, RealTime, Duration tdel,
+                               Rng&) override;
+
+ private:
+  double lo_, hi_;
+  std::uint64_t seed_;
 };
 
 }  // namespace stclock

@@ -40,10 +40,13 @@ class Context {
   /// Mutable logical clock (protocols apply corrections through this).
   [[nodiscard]] LogicalClock& logical();
 
-  /// Sends to every node (including self; self-delivery is immediate).
-  /// Delays to other correct nodes are chosen by the network's delay policy
-  /// within [0, tdel].
+  /// Sends to every reachable node: all of them on the (default) complete
+  /// topology, self plus neighbors on a general graph. Self-delivery is
+  /// immediate; delays to other correct nodes are chosen by the network's
+  /// delay policy within [0, tdel].
   void broadcast(const Message& m);
+  /// Point-to-point send. On a general topology a unicast to a non-neighbor
+  /// is lost in transit (no link can carry it) and counted as dropped.
   void send(NodeId to, const Message& m);
 
   /// Arms a timer that fires when this node's *logical* clock reads

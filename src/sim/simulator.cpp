@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "util/arena.h"
 #include "util/contracts.h"
 
 namespace stclock {
+
+namespace {
+
+/// One interned, immutable Message per fan-out — allocated from the
+/// thread-local arena, like the signature bundle it carries, so a broadcast
+/// round costs zero general-purpose allocations once the free lists warm up.
+std::shared_ptr<const Message> intern_message(const Message& m) {
+  return std::allocate_shared<const Message>(util::ArenaAllocator<Message>{}, m);
+}
+
+}  // namespace
 
 Simulator::Simulator(SimParams params, std::vector<HardwareClock> clocks,
                      std::unique_ptr<DelayPolicy> delays, const crypto::KeyRegistry* registry)
@@ -13,6 +25,10 @@ Simulator::Simulator(SimParams params, std::vector<HardwareClock> clocks,
   ST_REQUIRE(clocks.size() == params_.n, "Simulator: clock count must equal n");
   ST_REQUIRE(params_.tdel > 0, "Simulator: tdel must be positive");
   ST_REQUIRE(delays_ != nullptr, "Simulator: delay policy required");
+  if (params_.topology != nullptr) {
+    ST_REQUIRE(params_.topology->n() == params_.n, "Simulator: topology size must equal n");
+    delays_->on_topology(*params_.topology);
+  }
 
   Rng root(params_.seed);
   net_rng_.emplace(root.fork());
@@ -218,7 +234,18 @@ void Simulator::dispatch(const Event& ev) {
 }
 
 void Simulator::honest_send(NodeId from, NodeId to, const Message& m) {
-  honest_send(from, to, std::make_shared<const Message>(m));
+  // This overload is the unicast entry point (Context::send), so the link
+  // check lives here: a send off the graph physically cannot be carried and
+  // is lost like partitioned traffic. Broadcast traffic never needs the
+  // check — its fan-out loop only visits neighbors — which keeps the
+  // per-recipient hot path below free of it.
+  const Topology* topo = params_.topology.get();
+  if (to != from && topo != nullptr && !topo->adjacent(from, to)) {
+    counters_.on_send(message_kind(m), message_size_bytes(m));
+    ++messages_dropped_;
+    return;
+  }
+  honest_send(from, to, intern_message(m));
 }
 
 void Simulator::honest_send(NodeId from, NodeId to, std::shared_ptr<const Message> msg) {
@@ -247,6 +274,13 @@ void Simulator::adversary_send(NodeId from, NodeId to, std::shared_ptr<const Mes
   ST_REQUIRE(deliver_at >= now_, "adversary_send: cannot deliver in the past");
   ST_REQUIRE(to < params_.n, "adversary_send: recipient out of range");
   counters_.on_send(message_kind(*msg), message_size_bytes(*msg));
+  const Topology* topo = params_.topology.get();
+  if (to != from && topo != nullptr && !topo->adjacent(from, to)) {
+    // Even an omniscient adversary is bound by the graph: a corrupted node
+    // can only inject traffic on links it actually has.
+    ++messages_dropped_;
+    return;
+  }
   queue_.push_delivery(deliver_at, DeliveryEvent{to, from, std::move(msg), now_});
 }
 
@@ -287,8 +321,33 @@ LogicalClock& Context::logical() { return *sim_->nodes_[id_].logical; }
 void Context::broadcast(const Message& m) {
   // Intern the payload once for the whole fan-out: n refcount bumps instead
   // of n deep copies (a RoundMsg relay bundle carries Theta(n) signatures).
-  const auto msg = std::make_shared<const Message>(m);
-  for (NodeId to = 0; to < sim_->params_.n; ++to) sim_->honest_send(id_, to, msg);
+  const auto msg = intern_message(m);
+  const Topology* topo = sim_->params_.topology.get();
+  if (topo == nullptr || topo->is_complete()) {
+    for (NodeId to = 0; to < sim_->params_.n; ++to) sim_->honest_send(id_, to, msg);
+    return;
+  }
+  sim_->sparse_fan_out(id_, *topo, msg);
+}
+
+// Kept out of line on purpose: honest_send inlines into its caller's fan-out
+// loop, and letting the three sparse call sites inline it too doubles the
+// size of Context::broadcast and measurably slows the complete-graph loop
+// (the tracked BM_Broadcast benches) through worse code layout.
+__attribute__((noinline)) void Simulator::sparse_fan_out(
+    NodeId from, const Topology& topo, const std::shared_ptr<const Message>& msg) {
+  // The broadcast reaches self plus neighbors, in the same ascending order
+  // the complete loop would visit them, so same-time delivery ties keep
+  // breaking by the same insertion order.
+  bool self_sent = false;
+  for (const NodeId to : topo.neighbors(from)) {
+    if (!self_sent && to > from) {
+      honest_send(from, from, msg);
+      self_sent = true;
+    }
+    honest_send(from, to, msg);
+  }
+  if (!self_sent) honest_send(from, from, msg);
 }
 
 void Context::send(NodeId to, const Message& m) { sim_->honest_send(id_, to, m); }
@@ -333,12 +392,20 @@ const Simulator& AdversaryContext::observe() const { return *sim_; }
 
 void AdversaryContext::send_from(NodeId from, NodeId to, const Message& m,
                                  RealTime deliver_at) {
-  sim_->adversary_send(from, to, std::make_shared<const Message>(m), deliver_at);
+  sim_->adversary_send(from, to, intern_message(m), deliver_at);
 }
 
 void AdversaryContext::send_from_to_all(NodeId from, const Message& m, RealTime deliver_at) {
-  const auto msg = std::make_shared<const Message>(m);
-  for (NodeId to = 0; to < sim_->params_.n; ++to) {
+  const auto msg = intern_message(m);
+  const Topology* topo = sim_->params_.topology.get();
+  if (topo == nullptr || topo->is_complete()) {
+    for (NodeId to = 0; to < sim_->params_.n; ++to) {
+      if (!sim_->is_corrupt(to)) sim_->adversary_send(from, to, msg, deliver_at);
+    }
+    return;
+  }
+  // The corrupted node's flood reaches only its honest neighbors.
+  for (const NodeId to : topo->neighbors(from)) {
     if (!sim_->is_corrupt(to)) sim_->adversary_send(from, to, msg, deliver_at);
   }
 }

@@ -11,6 +11,7 @@
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/process.h"
+#include "sim/topology.h"
 #include "trace/counters.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -36,6 +37,11 @@ struct SimParams {
   /// resident at once. Zero derives the default from n — one full broadcast
   /// round of deliveries plus per-node timers, n * (n + 2).
   std::size_t queue_reserve = 0;
+  /// Network graph. Null means the paper's implicit complete graph (the
+  /// legacy behavior, bit-for-bit); an explicit complete topology takes the
+  /// same code path. Any other graph restricts broadcasts to neighbors and
+  /// drops sends on missing links.
+  std::shared_ptr<const Topology> topology;
 };
 
 class Simulator {
@@ -87,6 +93,9 @@ class Simulator {
   /// True once node `id` has been started (relevant for late joiners).
   [[nodiscard]] bool is_started(NodeId id) const;
 
+  /// The network graph, or null for the implicit complete graph.
+  [[nodiscard]] const Topology* topology() const { return params_.topology.get(); }
+
   [[nodiscard]] const HardwareClock& hardware(NodeId id) const;
   [[nodiscard]] const LogicalClock& logical(NodeId id) const;
   [[nodiscard]] LogicalClock& logical(NodeId id);
@@ -99,7 +108,8 @@ class Simulator {
   /// count is reproducible bit-for-bit, which the golden trace test pins.
   [[nodiscard]] std::uint64_t events_dispatched() const { return events_dispatched_; }
 
-  /// Honest sends the delay policy chose to lose (kDropMessage — partitions).
+  /// Sends lost in transit: the delay policy chose kDropMessage (partitions)
+  /// or the sender has no link to the recipient in the topology.
   [[nodiscard]] std::uint64_t messages_dropped() const { return messages_dropped_; }
 
   /// Called after every dispatched event; used by the skew tracker to sample
@@ -146,10 +156,16 @@ class Simulator {
   void dispatch(const Event& ev);
 
   // Context plumbing.
+  /// Unicast entry point: checks the topology link (off-graph sends drop).
   void honest_send(NodeId from, NodeId to, const Message& m);
   /// Pre-shared overload: Context::broadcast interns the message once and
-  /// fans the same immutable payload out to every recipient.
+  /// fans the same immutable payload out to every recipient. Trusts the
+  /// caller to respect the topology (the fan-out loop visits neighbors
+  /// only), keeping the per-recipient path free of adjacency checks.
   void honest_send(NodeId from, NodeId to, std::shared_ptr<const Message> msg);
+  /// Broadcast fan-out on a non-complete topology: self plus neighbors.
+  void sparse_fan_out(NodeId from, const Topology& topo,
+                      const std::shared_ptr<const Message>& msg);
   void adversary_send(NodeId from, NodeId to, std::shared_ptr<const Message> msg,
                       RealTime deliver_at);
   TimerId arm_timer(NodeId node, RealTime fire_at,

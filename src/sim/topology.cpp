@@ -1,0 +1,161 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace stclock {
+
+const char* topology_kind_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kComplete: return "complete";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kTorus: return "torus";
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kGnp: return "gnp";
+    case TopologyKind::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+Topology::Topology(TopologyKind kind, std::uint32_t n) : kind_(kind), n_(n) {
+  ST_REQUIRE(n > 0, "Topology: need at least one node");
+  adj_.resize(n);
+}
+
+void Topology::add_edge(NodeId a, NodeId b) {
+  ST_REQUIRE(a < n_ && b < n_, "Topology: edge endpoint out of range");
+  ST_REQUIRE(a != b, "Topology: self-loops are not links");
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++edge_count_;
+}
+
+void Topology::finalize() {
+  for (NodeId id = 0; id < n_; ++id) {
+    std::vector<NodeId>& nbrs = adj_[id];
+    std::sort(nbrs.begin(), nbrs.end());
+    ST_REQUIRE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end(),
+               "Topology: duplicate edge");
+  }
+  if (kind_ == TopologyKind::kComplete) return;  // adjacent() answers a != b
+  const std::size_t cells = static_cast<std::size_t>(n_) * n_;
+  bits_.assign((cells + 63) / 64, 0);
+  for (NodeId a = 0; a < n_; ++a) {
+    for (const NodeId b : adj_[a]) {
+      const std::size_t bit = static_cast<std::size_t>(a) * n_ + b;
+      bits_[bit / 64] |= std::uint64_t{1} << (bit % 64);
+    }
+  }
+}
+
+bool Topology::adjacent(NodeId a, NodeId b) const {
+  ST_REQUIRE(a < n_ && b < n_, "Topology::adjacent: node id out of range");
+  if (kind_ == TopologyKind::kComplete) return a != b;
+  const std::size_t bit = static_cast<std::size_t>(a) * n_ + b;
+  return (bits_[bit / 64] >> (bit % 64)) & 1;
+}
+
+const std::vector<NodeId>& Topology::neighbors(NodeId id) const {
+  ST_REQUIRE(id < n_, "Topology::neighbors: node id out of range");
+  return adj_[id];
+}
+
+bool Topology::is_connected() const {
+  std::vector<bool> seen(n_, false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::uint32_t reached = 1;
+  while (!stack.empty()) {
+    const NodeId at = stack.back();
+    stack.pop_back();
+    for (const NodeId next : adj_[at]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        ++reached;
+        stack.push_back(next);
+      }
+    }
+  }
+  return reached == n_;
+}
+
+Topology Topology::complete(std::uint32_t n) {
+  Topology topo(TopologyKind::kComplete, n);
+  for (NodeId a = 0; a < n; ++a) {
+    topo.adj_[a].reserve(n - 1);
+    for (NodeId b = 0; b < n; ++b) {
+      if (b != a) topo.adj_[a].push_back(b);
+    }
+  }
+  topo.edge_count_ = static_cast<std::size_t>(n) * (n - 1) / 2;
+  topo.finalize();
+  return topo;
+}
+
+Topology Topology::ring(std::uint32_t n) {
+  ST_REQUIRE(n >= 3, "Topology::ring: need n >= 3 (use complete for smaller fleets)");
+  Topology topo(TopologyKind::kRing, n);
+  for (NodeId a = 0; a < n; ++a) topo.add_edge(a, (a + 1) % n);
+  topo.finalize();
+  return topo;
+}
+
+Topology Topology::torus(std::uint32_t rows, std::uint32_t cols) {
+  ST_REQUIRE(rows >= 1 && cols >= 1, "Topology::torus: need positive dimensions");
+  const std::uint32_t n = rows * cols;
+  ST_REQUIRE(n >= 3, "Topology::torus: need at least 3 nodes");
+  Topology topo(TopologyKind::kTorus, n);
+  const auto at = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      // Right and down wraparound links cover every edge exactly once;
+      // dimensions of size <= 2 would duplicate them, so guard each.
+      if (cols > 2 || c + 1 < cols) topo.add_edge(at(r, c), at(r, (c + 1) % cols));
+      if (rows > 2 || r + 1 < rows) topo.add_edge(at(r, c), at((r + 1) % rows, c));
+    }
+  }
+  topo.finalize();
+  return topo;
+}
+
+Topology Topology::torus(std::uint32_t n) {
+  std::uint32_t rows = 1;
+  for (std::uint32_t d = 1; static_cast<std::uint64_t>(d) * d <= n; ++d) {
+    if (n % d == 0) rows = d;
+  }
+  return torus(rows, n / rows);
+}
+
+Topology Topology::star(std::uint32_t n) {
+  ST_REQUIRE(n >= 2, "Topology::star: need a hub and at least one spoke");
+  Topology topo(TopologyKind::kStar, n);
+  for (NodeId spoke = 1; spoke < n; ++spoke) topo.add_edge(0, spoke);
+  topo.finalize();
+  return topo;
+}
+
+Topology Topology::gnp(std::uint32_t n, double p, std::uint64_t seed) {
+  ST_REQUIRE(p > 0 && p <= 1, "Topology::gnp: need edge probability in (0, 1]");
+  Topology topo(TopologyKind::kGnp, n);
+  Rng rng(seed);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (rng.bernoulli(p)) topo.add_edge(a, b);
+    }
+  }
+  topo.finalize();
+  return topo;
+}
+
+Topology Topology::from_edges(std::uint32_t n,
+                              const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  Topology topo(TopologyKind::kCustom, n);
+  for (const auto& [a, b] : edges) topo.add_edge(a, b);
+  topo.finalize();  // rejects duplicates
+  return topo;
+}
+
+}  // namespace stclock

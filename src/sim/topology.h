@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+/// Network topology: which pairs of nodes share a link.
+///
+/// The paper's model is an implicit complete graph — every process hears
+/// every broadcast directly. The most-cited follow-on work (gradient clock
+/// synchronization on dynamic networks, ad hoc timepiece networks) studies
+/// synchronization on *general* graphs, where a broadcast reaches only the
+/// sender's neighbors and the figure of merit becomes the *local* skew
+/// between adjacent nodes. A `Topology` makes the graph first-class: the
+/// simulator fans broadcasts out over neighbors, delay policies may key on
+/// links, and the trace layer measures skew over adjacent pairs.
+///
+/// Graphs are undirected and simple (no self-loops, no parallel edges);
+/// neighbor lists are sorted ascending, so iteration order — and therefore
+/// the event-queue insertion order that breaks delivery ties — is
+/// deterministic. A complete topology is marked specially so the message
+/// hot path can keep the legacy all-pairs loop bit-for-bit.
+namespace stclock {
+
+class Rng;
+
+/// Built-in generator families (scenario files select these by name).
+enum class TopologyKind : std::uint8_t {
+  kComplete,  ///< every pair linked (the paper's implicit topology)
+  kRing,      ///< cycle 0-1-...-n-1-0
+  kTorus,     ///< near-square rows x cols grid with wraparound
+  kStar,      ///< hub node 0 linked to every spoke
+  kGnp,       ///< Erdos-Renyi G(n, p), seeded; may be disconnected
+  kCustom,    ///< arbitrary edge list (from_edges); not a scenario-file kind
+};
+
+[[nodiscard]] const char* topology_kind_name(TopologyKind kind);
+
+class Topology {
+ public:
+  /// Every pair of distinct nodes linked. Stores no adjacency — the message
+  /// path detects this kind and keeps the legacy all-pairs fan-out.
+  [[nodiscard]] static Topology complete(std::uint32_t n);
+
+  /// Cycle: node i linked to (i±1) mod n. Requires n >= 3 (a 2-ring would
+  /// need a parallel edge; use complete(2) instead).
+  [[nodiscard]] static Topology ring(std::uint32_t n);
+
+  /// rows x cols grid with wraparound in both dimensions, nodes numbered
+  /// row-major. Degenerate 1 x n and 2 x n shapes collapse to a ring /
+  /// ladder without parallel edges. Requires rows * cols == n.
+  [[nodiscard]] static Topology torus(std::uint32_t rows, std::uint32_t cols);
+
+  /// Near-square torus: rows = the largest divisor of n that is <= sqrt(n)
+  /// (prime n therefore degenerates to a 1 x n ring).
+  [[nodiscard]] static Topology torus(std::uint32_t n);
+
+  /// Hub-and-spoke: node 0 linked to every other node.
+  [[nodiscard]] static Topology star(std::uint32_t n);
+
+  /// Erdos-Renyi G(n, p): each pair {i, j} linked independently with
+  /// probability p, drawn from a generator seeded with `seed` (the draw
+  /// order is fixed, so the graph is a pure function of (n, p, seed)).
+  /// May be disconnected — callers that need liveness should check
+  /// is_connected() (the scenario validator does).
+  [[nodiscard]] static Topology gnp(std::uint32_t n, double p, std::uint64_t seed);
+
+  /// Arbitrary undirected edge list (tests and custom scenarios). Rejects
+  /// out-of-range endpoints, self-loops, and duplicate edges.
+  [[nodiscard]] static Topology from_edges(std::uint32_t n,
+                                           const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  [[nodiscard]] std::uint32_t n() const { return n_; }
+  [[nodiscard]] TopologyKind kind() const { return kind_; }
+  [[nodiscard]] const char* name() const { return topology_kind_name(kind_); }
+
+  /// True for the complete family: the hot path uses this to skip adjacency
+  /// lookups entirely and keep the legacy broadcast loop.
+  [[nodiscard]] bool is_complete() const { return kind_ == TopologyKind::kComplete; }
+
+  /// O(1). False for a == b (no self-loops).
+  [[nodiscard]] bool adjacent(NodeId a, NodeId b) const;
+
+  /// Sorted ascending. Valid for every kind, including complete.
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId id) const;
+
+  [[nodiscard]] std::size_t degree(NodeId id) const { return neighbors(id).size(); }
+
+  /// Undirected edge count.
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  /// BFS from node 0; a single node counts as connected.
+  [[nodiscard]] bool is_connected() const;
+
+ private:
+  Topology(TopologyKind kind, std::uint32_t n);
+
+  void add_edge(NodeId a, NodeId b);
+  /// Sorts neighbor lists and builds the adjacency bitset.
+  void finalize();
+
+  TopologyKind kind_ = TopologyKind::kComplete;
+  std::uint32_t n_ = 0;
+  std::size_t edge_count_ = 0;
+  std::vector<std::vector<NodeId>> adj_;
+  /// Row-major n x n bitset for O(1) adjacent(); empty for complete.
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace stclock

@@ -1,20 +1,35 @@
 #include "trace/skew_tracker.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace stclock {
 
-SkewTracker::SkewTracker(Duration series_interval, std::function<bool(NodeId)> include)
-    : series_interval_(series_interval), include_(std::move(include)) {}
+SkewTracker::SkewTracker(Duration series_interval, std::function<bool(NodeId)> include,
+                         const Topology* topology)
+    : series_interval_(series_interval), include_(std::move(include)), topology_(topology) {}
 
 void SkewTracker::sample(const Simulator& sim) {
   const RealTime t = sim.now();
+  // Adjacent-pair skew only needs the per-node readings when the graph is
+  // sparse; on a complete topology every pair is adjacent, so the local
+  // skew IS the spread and the O(E) pass is skipped.
+  const bool sparse = topology_ != nullptr && !topology_->is_complete();
+  if (sparse) {
+    values_.resize(sim.n());
+    sampled_.assign(sim.n(), 0);
+  }
+
   double lo = 0, hi = 0;
   bool first = true;
   for (NodeId id : sim.honest_ids()) {
     if (!sim.is_started(id)) continue;
     if (include_ && !include_(id)) continue;
     const double c = sim.logical(id).read(t);
+    if (sparse) {
+      values_[id] = c;
+      sampled_[id] = 1;
+    }
     if (first) {
       lo = hi = c;
       first = false;
@@ -31,6 +46,21 @@ void SkewTracker::sample(const Simulator& sim) {
     max_skew_time_ = t;
   }
   if (t >= steady_start_) steady_max_skew_ = std::max(steady_max_skew_, spread);
+
+  double local = spread;
+  if (sparse) {
+    local = 0;
+    for (NodeId a : sim.honest_ids()) {
+      if (!sampled_[a]) continue;
+      for (const NodeId b : topology_->neighbors(a)) {
+        if (b > a && sampled_[b]) {
+          local = std::max(local, std::abs(values_[a] - values_[b]));
+        }
+      }
+    }
+  }
+  local_skew_ = std::max(local_skew_, local);
+  if (t >= steady_start_) steady_local_skew_ = std::max(steady_local_skew_, local);
 
   if (last_series_sample_ < 0 || t - last_series_sample_ >= series_interval_) {
     series_.emplace_back(t, spread);

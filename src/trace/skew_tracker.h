@@ -14,14 +14,23 @@
 /// events clocks advance linearly, so event-time sampling bounds the true
 /// supremum to within gamma * (inter-event gap) — negligible at the event
 /// densities of these protocols.
+///
+/// Besides the global spread, the tracker measures *local skew* — the max
+/// clock difference over pairs of topology-adjacent nodes, the figure of
+/// merit of gradient clock synchronization (Kuhn/Lenzen/Locher/Oshman). On
+/// the complete topology (or with no topology) local skew equals the global
+/// spread, at no extra cost.
 namespace stclock {
 
 class SkewTracker {
  public:
   /// `include` filters which nodes count (e.g. to exclude a joiner until it
-  /// has integrated); null means "all honest started nodes".
+  /// has integrated); null means "all honest started nodes". `topology`
+  /// scopes the local-skew metric; it must outlive the tracker (the runner
+  /// passes the simulation's own graph). Null means complete.
   explicit SkewTracker(Duration series_interval = 0.05,
-                       std::function<bool(NodeId)> include = nullptr);
+                       std::function<bool(NodeId)> include = nullptr,
+                       const Topology* topology = nullptr);
 
   /// Samples the current spread; called from the post-event hook.
   void sample(const Simulator& sim);
@@ -33,6 +42,9 @@ class SkewTracker {
   [[nodiscard]] double max_skew() const { return max_skew_; }
   [[nodiscard]] double steady_max_skew() const { return steady_max_skew_; }
   [[nodiscard]] RealTime max_skew_time() const { return max_skew_time_; }
+  /// Max skew over topology-adjacent pairs (== max_skew when complete).
+  [[nodiscard]] double local_skew() const { return local_skew_; }
+  [[nodiscard]] double steady_local_skew() const { return steady_local_skew_; }
 
   /// Decimated (time, spread) series for the skew-trace figure.
   [[nodiscard]] const std::vector<std::pair<RealTime, double>>& series() const {
@@ -42,13 +54,19 @@ class SkewTracker {
  private:
   Duration series_interval_;
   std::function<bool(NodeId)> include_;
+  const Topology* topology_;
   RealTime steady_start_ = 0;
 
   double max_skew_ = 0;
   double steady_max_skew_ = 0;
+  double local_skew_ = 0;
+  double steady_local_skew_ = 0;
   RealTime max_skew_time_ = 0;
   RealTime last_series_sample_ = -1;
   std::vector<std::pair<RealTime, double>> series_;
+  /// Per-node sample scratch for the sparse local-skew pass (reused).
+  std::vector<double> values_;
+  std::vector<char> sampled_;
 };
 
 }  // namespace stclock

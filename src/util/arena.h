@@ -1,0 +1,130 @@
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <new>
+
+/// Thread-local free-list arena for hot-path allocations.
+///
+/// The discrete-event core allocates two things per broadcast fan-out: the
+/// interned Message node and (for the authenticated variant) the RoundMsg
+/// signature-bundle buffer. Both are short-lived — they die when the last
+/// delivery is dispatched — and come in a handful of recurring sizes, which
+/// is exactly the pattern a size-classed free list serves: after the first
+/// few rounds every allocation is a pop and every free a push, with no trips
+/// to the general-purpose allocator.
+///
+/// Blocks are grouped into power-of-two size classes and cached per thread
+/// as intrusive singly-linked lists (the link lives inside the freed block,
+/// so the cache itself never allocates). Each SweepRunner worker simulates
+/// whole scenarios, so alloc and free meet on the same thread; a block freed
+/// elsewhere simply migrates to the freeing thread's cache. Caches are
+/// bounded per class — peak retention is a few hundred KiB per thread — and
+/// drained at thread exit, so leak checkers stay quiet. Oversized requests
+/// fall through to operator new untouched.
+namespace stclock::util {
+
+class FreeListArena {
+ public:
+  /// Smallest pooled block; sub-64-byte requests share one class.
+  static constexpr std::size_t kMinBlock = 64;
+  /// Largest pooled block; bigger requests go straight to operator new.
+  static constexpr std::size_t kMaxBlock = std::size_t{1} << 18;
+  /// Per-class cap on cached blocks (beyond it, frees really free).
+  static constexpr std::size_t kMaxCached = 256;
+
+  [[nodiscard]] static void* allocate(std::size_t bytes) {
+    if (bytes > kMaxBlock) return ::operator new(bytes);
+    const std::size_t cls = size_class(bytes);
+    ClassList& list = cache().lists[cls];
+    if (list.head != nullptr) {
+      void* block = list.head;
+      list.head = next_of(block);
+      --list.count;
+      return block;
+    }
+    return ::operator new(kMinBlock << cls);
+  }
+
+  static void deallocate(void* p, std::size_t bytes) noexcept {
+    if (bytes > kMaxBlock) {
+      ::operator delete(p);
+      return;
+    }
+    ClassList& list = cache().lists[size_class(bytes)];
+    if (list.count < kMaxCached) {
+      next_of(p) = list.head;
+      list.head = p;
+      ++list.count;
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+  /// Blocks currently cached on this thread (test introspection).
+  [[nodiscard]] static std::size_t cached_blocks() {
+    std::size_t total = 0;
+    for (const ClassList& list : cache().lists) total += list.count;
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kClasses = 13;  // 64 B .. 256 KiB
+
+  struct ClassList {
+    void* head = nullptr;
+    std::size_t count = 0;
+  };
+
+  struct Cache {
+    ClassList lists[kClasses];
+    ~Cache() {  // drain at thread exit so cached blocks are not leaked
+      for (ClassList& list : lists) {
+        while (list.head != nullptr) {
+          void* block = list.head;
+          list.head = next_of(block);
+          ::operator delete(block);
+        }
+      }
+    }
+  };
+
+  /// The intrusive link: a freed block's first word points at the next one.
+  [[nodiscard]] static void*& next_of(void* block) { return *static_cast<void**>(block); }
+
+  /// Index of the smallest class holding `bytes` (<= kMaxBlock).
+  [[nodiscard]] static std::size_t size_class(std::size_t bytes) {
+    return bytes <= kMinBlock ? 0 : std::bit_width(bytes - 1) - 6;
+  }
+
+  [[nodiscard]] static Cache& cache() {
+    thread_local Cache lists;
+    return lists;
+  }
+};
+
+/// Minimal std::allocator drop-in over the arena. Stateless: all instances
+/// are interchangeable, so containers swap and move freely.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() noexcept = default;
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(FreeListArena::allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    FreeListArena::deallocate(p, n * sizeof(T));
+  }
+};
+
+template <typename T, typename U>
+bool operator==(const ArenaAllocator<T>&, const ArenaAllocator<U>&) {
+  return true;
+}
+
+}  // namespace stclock::util

@@ -90,6 +90,32 @@ inline std::vector<ScenarioSpec> specs() {
     out.push_back(spec);
   }
 
+  // Ring topology (PR-4 workload): broadcasts reach only the two ring
+  // neighbors, so the authenticated variant synchronizes by relay-flooding
+  // and local skew becomes a distinct metric. No faults — resilience bounds
+  // on sparse graphs are outside the paper's model.
+  for (const char* protocol : {"auth", "echo"}) {
+    ScenarioSpec spec = base(protocol, 0, 9);
+    spec.cfg.n = 8;
+    spec.topology = TopologyKind::kRing;
+    spec.horizon = 8.0;
+    out.push_back(spec);
+  }
+
+  // Seeded G(n, p) topology (PR-4 workload): a connected random graph with
+  // a crash-faulty node, pinning the gnp generator, the neighbor fan-out,
+  // and the adversary's neighbor-restricted flood.
+  for (const char* protocol : {"auth", "echo"}) {
+    ScenarioSpec spec = base(protocol, 1, 10);
+    spec.cfg.n = 9;
+    spec.topology = TopologyKind::kGnp;
+    spec.gnp_p = 0.75;
+    spec.topology_seed = 5;
+    spec.attack = AttackKind::kCrash;
+    spec.horizon = 8.0;
+    out.push_back(spec);
+  }
+
   return out;
 }
 

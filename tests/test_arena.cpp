@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/message.h"
+#include "util/arena.h"
+
+/// The thread-local free-list arena behind hot-path Message interning and
+/// RoundMsg signature bundles.
+namespace stclock::util {
+namespace {
+
+TEST(Arena, RecyclesBlocksWithinASizeClass) {
+  void* first = FreeListArena::allocate(100);
+  std::memset(first, 0xAB, 100);
+  FreeListArena::deallocate(first, 100);
+
+  const std::size_t cached = FreeListArena::cached_blocks();
+  EXPECT_GE(cached, 1u);
+
+  // Same size class (64 < n <= 128): the freed block comes straight back.
+  void* second = FreeListArena::allocate(128);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(FreeListArena::cached_blocks(), cached - 1);
+  FreeListArena::deallocate(second, 128);
+}
+
+TEST(Arena, OversizedBlocksBypassTheCache) {
+  const std::size_t cached = FreeListArena::cached_blocks();
+  void* big = FreeListArena::allocate(FreeListArena::kMaxBlock + 1);
+  ASSERT_NE(big, nullptr);
+  FreeListArena::deallocate(big, FreeListArena::kMaxBlock + 1);
+  EXPECT_EQ(FreeListArena::cached_blocks(), cached);
+}
+
+TEST(Arena, SigBundlesDrawFromTheArena) {
+  // Warm the class once, then a fresh bundle of the same size must hit the
+  // cache instead of the general-purpose allocator.
+  {
+    SigBundle warm(8);
+    EXPECT_EQ(warm.size(), 8u);
+  }
+  const std::size_t cached = FreeListArena::cached_blocks();
+  EXPECT_GE(cached, 1u);
+  {
+    SigBundle bundle(8);
+    EXPECT_LT(FreeListArena::cached_blocks(), cached);
+  }
+  EXPECT_EQ(FreeListArena::cached_blocks(), cached);
+}
+
+TEST(Arena, BundleCopiesAndComparisonsBehaveLikePlainVectors) {
+  SigBundle a(3);
+  a[0].signer = 7;
+  SigBundle b = a;
+  EXPECT_EQ(a, b);
+  b.push_back({});
+  EXPECT_NE(a, b);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0].signer, 7u);
+}
+
+}  // namespace
+}  // namespace stclock::util

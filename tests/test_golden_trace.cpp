@@ -37,6 +37,11 @@ struct Expected {
   std::uint64_t messages_dropped = 0;
   double rejoin_latency = -1;
   bool churned_rejoined = false;
+  // PR-4 topology metrics. On the complete topology local skew IS the
+  // global spread, so rows predating the topology layer keep the -1
+  // sentinel and are checked against max_skew / steady_skew instead.
+  double local_skew = -1;
+  double steady_local_skew = -1;
 };
 
 // Captured at commit "PR 1" (pre-refactor), in golden_specs() order:
@@ -70,6 +75,20 @@ constexpr Expected kExpected[] = {
     {0.033081797726873141, 0.033081797726873141, 0.0066855862152257473, 0.98208627469343313,
      2.9719787595449709, 10, 12, true, 1.010835667183057, 1.0115390447457415, 1134, 10206,
      1236, 12, 60, -1, false},
+    // PR-4 topology rows: ring x {auth, echo}, gnp x {auth, echo}. Captured
+    // when the topology layer landed; local skew is now a distinct metric.
+    {0.014380101625396158, 0.014038740247466208, 0.0040524120741145531, 0.98713344837244743,
+     0.99009748830299282, 8, 8, true, 1.0100738650743086, 1.010532407398119, 360, 16200,
+     480, 8, 0, -1, false, 0.013897451823208118, 0.013559554786396699},
+    {0.024381101625396306, 0.024041407074483878, 0.0040519801122878008, 0.97713330393571685,
+     0.98009549337116131, 8, 8, true, 1.0199236988332299, 1.0203822221658654, 357, 3213,
+     477, 8, 0, -1, false, 0.023898451823208267, 0.023561629357466529},
+    {0.012311027307200462, 0.012311027307200462, 0.0038856628953949368, 0.98881777368769797,
+     0.9941229688586013, 8, 8, true, 1.0085718962342123, 1.009100908384067, 859, 54783,
+     983, 8, 0, -1, false, 0.012311027307200462, 0.012311027307200462},
+    {0.023780192229139629, 0.023780192229139629, 0.0086071105073468601, 0.979314198636553,
+     0.98944499735917057, 8, 8, true, 1.0150487870756677, 1.0160928340105337, 890, 8010,
+     1018, 8, 0, -1, false, 0.023780192229139629, 0.023780192229139629},
 };
 
 TEST(GoldenTrace, MetricsAreBitIdenticalAcrossHotPathRefactor) {
@@ -99,6 +118,15 @@ TEST(GoldenTrace, MetricsAreBitIdenticalAcrossHotPathRefactor) {
     EXPECT_EQ(r.messages_dropped, e.messages_dropped);
     EXPECT_EQ(r.rejoin_latency, e.rejoin_latency);
     EXPECT_EQ(r.churned_rejoined, e.churned_rejoined);
+    if (e.local_skew < 0) {
+      // Complete topology: the local-skew metric must degenerate to the
+      // global spread exactly (every pair is adjacent).
+      EXPECT_EQ(r.local_skew, r.max_skew);
+      EXPECT_EQ(r.steady_local_skew, r.steady_skew);
+    } else {
+      EXPECT_EQ(r.local_skew, e.local_skew);
+      EXPECT_EQ(r.steady_local_skew, e.steady_local_skew);
+    }
   }
 }
 

@@ -63,7 +63,8 @@ TEST(Hmac, ExactlyBlockSizedKeyUsedVerbatim) {
   // Must differ from the digest under the hashed version of the same key —
   // i.e. the <= blocksize path must not hash.
   const Digest direct = hmac_sha256(key64, msg);
-  const Digest hashed_key = hmac_sha256(Bytes(sha256(key64).begin(), sha256(key64).end()), msg);
+  const Digest key_digest = sha256(key64);
+  const Digest hashed_key = hmac_sha256(Bytes(key_digest.begin(), key_digest.end()), msg);
   EXPECT_NE(direct, hashed_key);
 }
 

@@ -34,7 +34,7 @@ TEST(MessageTest, RoundExtraction) {
 
 TEST(MessageTest, SizeGrowsWithSignatures) {
   RoundMsg small{1, {}};
-  RoundMsg big{1, std::vector<crypto::Signature>(5)};
+  RoundMsg big{1, SigBundle(5)};
   EXPECT_LT(message_size_bytes(Message(small)), message_size_bytes(Message(big)));
   // Each signature adds signer id + MAC.
   EXPECT_EQ(message_size_bytes(Message(big)) - message_size_bytes(Message(small)),

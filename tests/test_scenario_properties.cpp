@@ -91,6 +91,8 @@ void assert_invariants(const Draw& draw, const ScenarioResult& r) {
 void assert_bit_identical(const ScenarioResult& a, const ScenarioResult& b) {
   EXPECT_EQ(a.max_skew, b.max_skew);
   EXPECT_EQ(a.steady_skew, b.steady_skew);
+  EXPECT_EQ(a.local_skew, b.local_skew);
+  EXPECT_EQ(a.steady_local_skew, b.steady_local_skew);
   EXPECT_EQ(a.pulse_spread, b.pulse_spread);
   EXPECT_EQ(a.min_period, b.min_period);
   EXPECT_EQ(a.max_period, b.max_period);
@@ -134,6 +136,65 @@ TEST(ScenarioProperties, JsonRoundTripReproducesResultsBitForBit) {
     const ScenarioResult via_json =
         run_scenario(scenfile::parse_spec(scenfile::spec_to_json(draw.spec)));
     assert_bit_identical(direct, via_json);
+  }
+}
+
+TEST(ScenarioProperties, ExplicitCompleteTopologyIsBitIdenticalToLegacySpecs) {
+  // The topology refactor's acceptance bar, across the whole registry: a
+  // spec that never mentions a topology (the legacy shape) and one that
+  // spells out "topology": "complete" must produce identical results bit
+  // for bit — and on a complete graph the new local-skew metric must
+  // degenerate to the global spread exactly.
+  for (const std::string& protocol : ProtocolRegistry::global().names()) {
+    const Draw draw = draw_spec(protocol, 17);
+    SCOPED_TRACE(protocol);
+    const ScenarioResult legacy = run_scenario(draw.spec);
+
+    ScenarioSpec explicit_spec = draw.spec;
+    explicit_spec.topology = TopologyKind::kComplete;
+    const std::string json = scenfile::spec_to_json(explicit_spec);
+    EXPECT_NE(json.find("\"topology\": \"complete\""), std::string::npos);
+    const ScenarioResult explicit_complete = run_scenario(scenfile::parse_spec(json));
+
+    assert_bit_identical(legacy, explicit_complete);
+    EXPECT_EQ(legacy.local_skew, legacy.max_skew);
+    EXPECT_EQ(legacy.steady_local_skew, legacy.steady_skew);
+  }
+}
+
+TEST(ScenarioProperties, SparseTopologiesKeepInvariantsAndRoundTrip) {
+  // Ring / torus / star / gnp scenarios run, report a local skew bounded by
+  // the global spread, and round-trip through the scenario-file layer bit
+  // for bit (the paper's envelope claims are complete-graph-only, so only
+  // the generic invariants apply).
+  const TopologyKind kinds[] = {TopologyKind::kRing, TopologyKind::kTorus,
+                                TopologyKind::kStar, TopologyKind::kGnp};
+  for (const char* protocol : {"auth", "echo"}) {
+    for (const TopologyKind kind : kinds) {
+      Draw draw = draw_spec(protocol, 19);
+      ScenarioSpec& spec = draw.spec;
+      spec.cfg.n = 9;
+      spec.cfg.f = 0;
+      spec.attack = AttackKind::kNone;
+      // Pair the link-keyed delay policy with the graphs it was built for:
+      // every directed link gets its own stable hashed latency.
+      spec.delay = DelayKind::kPerLink;
+      spec.topology = kind;
+      spec.gnp_p = 0.8;
+      spec.topology_seed = 3;
+      spec.horizon = 6.0;
+      SCOPED_TRACE(std::string(protocol) + " on " + topology_kind_name(kind));
+
+      const ScenarioResult r = run_scenario(spec);
+      EXPECT_GE(r.local_skew, 0.0);
+      EXPECT_LE(r.local_skew, r.max_skew);
+      EXPECT_LE(r.steady_local_skew, r.local_skew);
+      EXPECT_GT(r.events_dispatched, 0u);
+
+      const ScenarioResult via_json =
+          run_scenario(scenfile::parse_spec(scenfile::spec_to_json(spec)));
+      assert_bit_identical(r, via_json);
+    }
   }
 }
 

@@ -161,6 +161,9 @@ TEST(ScenfileSpec, JsonRoundTripPreservesEveryField) {
   spec.drift = DriftKind::kExtremal;
   spec.delay = DelayKind::kAlternating;
   spec.attack = AttackKind::kSleeper;
+  spec.topology = TopologyKind::kGnp;
+  spec.gnp_p = 0.8125;
+  spec.topology_seed = 0xFEEDFACE12345678ULL;
   spec.joiners = 2;
   spec.join_time = 7.25;
   spec.corrupt_override = 1;
@@ -191,6 +194,9 @@ TEST(ScenfileSpec, JsonRoundTripPreservesEveryField) {
   EXPECT_EQ(back.drift, spec.drift);
   EXPECT_EQ(back.delay, spec.delay);
   EXPECT_EQ(back.attack, spec.attack);
+  EXPECT_EQ(back.topology, spec.topology);
+  EXPECT_EQ(back.gnp_p, spec.gnp_p);
+  EXPECT_EQ(back.topology_seed, spec.topology_seed);
   EXPECT_EQ(back.joiners, spec.joiners);
   EXPECT_EQ(back.join_time, spec.join_time);
   EXPECT_EQ(back.corrupt_override, spec.corrupt_override);
@@ -231,6 +237,33 @@ TEST(ScenfileExamples, CheckedInGridsLoadAndDescribeTheNewWorkloads) {
     EXPECT_GT(cell.spec.partition_group, 0u);
     EXPECT_LT(cell.spec.partition_start, cell.spec.partition_end);
   }
+
+  const std::vector<SweepCell> topo =
+      load_grid_file(dir + "ring_vs_complete_grid.json").cells();
+  ASSERT_EQ(topo.size(), 8u);
+  EXPECT_EQ(topo.front().spec.topology, TopologyKind::kComplete);
+  EXPECT_EQ(topo.back().spec.topology, TopologyKind::kGnp);
+}
+
+TEST(ScenfileExamples, TopologyGridCellReportsLocalSkew) {
+  const std::string dir = std::string(STCLOCK_SOURCE_DIR) + "/examples/scenarios/";
+  const std::vector<SweepCell> cells =
+      load_grid_file(dir + "ring_vs_complete_grid.json").cells();
+  // A ring cell: local skew is a genuine (<=) refinement of the global
+  // spread, and it lands in the sink columns.
+  const SweepCell* ring = nullptr;
+  for (const SweepCell& cell : cells) {
+    if (cell.spec.topology == TopologyKind::kRing) ring = &cell;
+  }
+  ASSERT_NE(ring, nullptr);
+  const ScenarioResult r = experiment::run_scenario(ring->spec);
+  EXPECT_GT(r.local_skew, 0.0);
+  EXPECT_LE(r.local_skew, r.max_skew);
+
+  std::ostringstream csv;
+  experiment::write_csv(csv, {*ring}, {r});
+  EXPECT_NE(csv.str().find("local_skew"), std::string::npos);
+  EXPECT_NE(csv.str().find(",ring,"), std::string::npos);
 }
 
 TEST(ScenfileExamples, ChurnGridCellRunsAndReintegrates) {

@@ -62,6 +62,16 @@ const BadCase kCorpus[] = {
      R"({"base": {"protocol": "auth", "n": 3, "f": 1, "attack": "crash",
                   "churn_nodes": 2}})",
      "churn must leave at least one always-up honest node"},
+    {"partition_names_missing_nodes", R"({"base": {"n": 5, "partition_group": 9}})",
+     "partition_group names nodes outside [0, n)"},
+    {"unknown_topology", R"({"base": {"topology": "mobius"}})",
+     "unknown topology kind \"mobius\""},
+    {"gnp_p_out_of_range", R"({"base": {"topology": "gnp", "gnp_p": 1.5}})",
+     "edge probability must lie in (0, 1]"},
+    {"disconnected_gnp",
+     R"({"base": {"n": 10, "f": 1, "topology": "gnp", "gnp_p": 0.02,
+                  "topology_seed": 7}})",
+     "topology is disconnected"},
 };
 
 TEST(ScenfileErrors, EveryMalformedFileFailsWithADistinctFieldNamingError) {

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/topology.h"
+
+/// The Topology abstraction: generator shapes, adjacency/connectivity
+/// queries, determinism of seeded graphs — and the bit-identity contract of
+/// the message path: a simulator given an explicit complete topology must
+/// behave exactly like the legacy topology-free simulator, while sparse
+/// graphs restrict broadcast fan-out to neighbors.
+namespace stclock {
+namespace {
+
+TEST(Topology, CompleteLinksEveryDistinctPair) {
+  const Topology topo = Topology::complete(5);
+  EXPECT_TRUE(topo.is_complete());
+  EXPECT_EQ(topo.edge_count(), 10u);
+  for (NodeId a = 0; a < 5; ++a) {
+    EXPECT_FALSE(topo.adjacent(a, a));
+    EXPECT_EQ(topo.degree(a), 4u);
+    for (NodeId b = 0; b < 5; ++b) {
+      EXPECT_EQ(topo.adjacent(a, b), a != b);
+    }
+  }
+  EXPECT_TRUE(topo.is_connected());
+}
+
+TEST(Topology, RingIsTwoRegularAndConnected) {
+  const Topology topo = Topology::ring(6);
+  EXPECT_FALSE(topo.is_complete());
+  EXPECT_EQ(topo.edge_count(), 6u);
+  for (NodeId id = 0; id < 6; ++id) {
+    EXPECT_EQ(topo.degree(id), 2u);
+    EXPECT_TRUE(topo.adjacent(id, (id + 1) % 6));
+    EXPECT_FALSE(topo.adjacent(id, (id + 3) % 6));
+  }
+  EXPECT_TRUE(topo.is_connected());
+  EXPECT_THROW((void)Topology::ring(2), std::logic_error);
+}
+
+TEST(Topology, TorusIsFourRegularWhenBothDimensionsWrap) {
+  const Topology topo = Topology::torus(3, 4);
+  EXPECT_EQ(topo.n(), 12u);
+  for (NodeId id = 0; id < 12; ++id) EXPECT_EQ(topo.degree(id), 4u);
+  EXPECT_EQ(topo.edge_count(), 24u);
+  EXPECT_TRUE(topo.is_connected());
+
+  // Near-square auto-factorization: 12 -> 3 x 4; a prime collapses to 1 x n.
+  EXPECT_EQ(Topology::torus(12).edge_count(), 24u);
+  const Topology line = Topology::torus(7);
+  EXPECT_TRUE(line.is_connected());
+  for (NodeId id = 0; id < 7; ++id) EXPECT_EQ(line.degree(id), 2u);
+}
+
+TEST(Topology, StarRoutesEverythingThroughTheHub) {
+  const Topology topo = Topology::star(6);
+  EXPECT_EQ(topo.degree(0), 5u);
+  for (NodeId spoke = 1; spoke < 6; ++spoke) {
+    EXPECT_EQ(topo.degree(spoke), 1u);
+    EXPECT_TRUE(topo.adjacent(0, spoke));
+    EXPECT_FALSE(topo.adjacent(spoke, spoke % 5 + 1));
+  }
+  EXPECT_TRUE(topo.is_connected());
+}
+
+TEST(Topology, GnpIsAPureFunctionOfItsSeed) {
+  const Topology a = Topology::gnp(16, 0.4, 9);
+  const Topology b = Topology::gnp(16, 0.4, 9);
+  const Topology c = Topology::gnp(16, 0.4, 10);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId id = 0; id < 16; ++id) EXPECT_EQ(a.neighbors(id), b.neighbors(id));
+  // A different seed draws a different graph (16 choose 2 coin flips at
+  // p = 0.4 colliding entirely would be astronomically unlikely).
+  bool differs = c.edge_count() != a.edge_count();
+  for (NodeId id = 0; !differs && id < 16; ++id) {
+    differs = a.neighbors(id) != c.neighbors(id);
+  }
+  EXPECT_TRUE(differs);
+  EXPECT_THROW((void)Topology::gnp(8, 0.0, 1), std::logic_error);
+  EXPECT_THROW((void)Topology::gnp(8, 1.5, 1), std::logic_error);
+}
+
+TEST(Topology, FromEdgesValidatesAndDetectsDisconnection) {
+  const Topology path = Topology::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(path.is_connected());
+  EXPECT_EQ(path.degree(1), 2u);
+
+  const Topology split = Topology::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(split.is_connected());
+
+  EXPECT_THROW((void)Topology::from_edges(3, {{0, 3}}), std::logic_error);  // range
+  EXPECT_THROW((void)Topology::from_edges(3, {{1, 1}}), std::logic_error);  // loop
+  EXPECT_THROW((void)Topology::from_edges(3, {{0, 1}, {1, 0}}), std::logic_error);  // dup
+}
+
+// --- Message-path behavior -------------------------------------------------
+
+/// Broadcasts one message at t=1 and records everything it receives.
+class PingProcess final : public Process {
+ public:
+  void on_start(Context& ctx) override { (void)ctx.set_timer_at_hardware(1.0); }
+  void on_timer(Context& ctx, TimerId) override { ctx.broadcast(Message(InitMsg{1})); }
+  void on_message(Context&, NodeId from, const Message&) override {
+    heard_from.push_back(from);
+  }
+
+  std::vector<NodeId> heard_from;
+};
+
+struct Fleet {
+  std::unique_ptr<Simulator> sim;
+  std::vector<PingProcess*> procs;
+};
+
+Fleet build_fleet(std::uint32_t n, std::shared_ptr<const Topology> topo, std::uint64_t seed) {
+  SimParams params;
+  params.n = n;
+  params.tdel = 0.01;
+  params.seed = seed;
+  params.topology = std::move(topo);
+  std::vector<HardwareClock> clocks;
+  for (std::uint32_t i = 0; i < n; ++i) clocks.emplace_back(0.0, 1.0);
+  Fleet fleet;
+  fleet.sim = std::make_unique<Simulator>(params, std::move(clocks),
+                                          std::make_unique<UniformDelay>(0.0, 1.0), nullptr);
+  for (NodeId id = 0; id < n; ++id) {
+    auto proc = std::make_unique<PingProcess>();
+    fleet.procs.push_back(proc.get());
+    fleet.sim->set_process(id, std::move(proc));
+  }
+  return fleet;
+}
+
+TEST(TopologySimulator, NullAndExplicitCompleteTopologyAreBitIdentical) {
+  // The refactor's core contract: installing the (default) complete graph
+  // explicitly takes the same code path — same RNG draws, same event order,
+  // same counters — as the legacy topology-free simulator.
+  Fleet legacy = build_fleet(6, nullptr, 42);
+  Fleet complete = build_fleet(6, std::make_shared<const Topology>(Topology::complete(6)), 42);
+  legacy.sim->run_until(2.0);
+  complete.sim->run_until(2.0);
+
+  EXPECT_EQ(legacy.sim->events_dispatched(), complete.sim->events_dispatched());
+  EXPECT_EQ(legacy.sim->counters().total_sent(), complete.sim->counters().total_sent());
+  EXPECT_EQ(legacy.sim->counters().total_bytes(), complete.sim->counters().total_bytes());
+  for (NodeId id = 0; id < 6; ++id) {
+    EXPECT_EQ(legacy.procs[id]->heard_from, complete.procs[id]->heard_from);
+  }
+}
+
+TEST(TopologySimulator, BroadcastReachesExactlySelfPlusNeighbors) {
+  const auto topo = std::make_shared<const Topology>(Topology::ring(5));
+  Fleet fleet = build_fleet(5, topo, 7);
+  fleet.sim->run_until(2.0);
+
+  for (NodeId id = 0; id < 5; ++id) {
+    // Everyone broadcast once; node `id` hears itself plus its two ring
+    // neighbors, and nobody else.
+    std::set<NodeId> heard(fleet.procs[id]->heard_from.begin(),
+                           fleet.procs[id]->heard_from.end());
+    const std::set<NodeId> expected = {id, (id + 1) % 5, (id + 4) % 5};
+    EXPECT_EQ(heard, expected) << "node " << id;
+  }
+  EXPECT_EQ(fleet.sim->messages_dropped(), 0u);
+}
+
+TEST(TopologySimulator, OffGraphUnicastIsDroppedAndCounted) {
+  /// Unicasts to the opposite corner of a ring have no link to ride.
+  class UnicastProcess final : public Process {
+   public:
+    void on_start(Context& ctx) override { (void)ctx.set_timer_at_hardware(1.0); }
+    void on_timer(Context& ctx, TimerId) override { ctx.send(2, Message(InitMsg{1})); }
+    void on_message(Context&, NodeId, const Message& m) override {
+      received += std::holds_alternative<InitMsg>(m) ? 1 : 0;
+    }
+    int received = 0;
+  };
+
+  SimParams params;
+  params.n = 4;
+  params.tdel = 0.01;
+  params.seed = 1;
+  params.topology = std::make_shared<const Topology>(Topology::ring(4));
+  std::vector<HardwareClock> clocks;
+  for (int i = 0; i < 4; ++i) clocks.emplace_back(0.0, 1.0);
+  Simulator sim(params, std::move(clocks), std::make_unique<FixedDelay>(0.5), nullptr);
+  std::vector<UnicastProcess*> procs;
+  for (NodeId id = 0; id < 4; ++id) {
+    auto proc = std::make_unique<UnicastProcess>();
+    procs.push_back(proc.get());
+    sim.set_process(id, std::move(proc));
+  }
+  sim.run_until(2.0);
+
+  // Senders 1 and 3 are ring-adjacent to node 2; senders 0 and 2 are not
+  // (node 2's unicast to itself is local and always delivered).
+  EXPECT_EQ(procs[2]->received, 3);
+  EXPECT_EQ(sim.messages_dropped(), 1u);  // node 0's send had no link
+}
+
+TEST(TopologySimulator, TopologySizeMustMatchFleetSize) {
+  SimParams params;
+  params.n = 4;
+  params.tdel = 0.01;
+  params.topology = std::make_shared<const Topology>(Topology::ring(5));
+  std::vector<HardwareClock> clocks;
+  for (int i = 0; i < 4; ++i) clocks.emplace_back(0.0, 1.0);
+  EXPECT_THROW(Simulator(params, std::move(clocks), std::make_unique<FixedDelay>(0.5), nullptr),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace stclock

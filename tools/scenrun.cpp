@@ -133,6 +133,7 @@ int main(int argc, char** argv) {
         }
         std::cout << ": max_skew=" << results[i].max_skew
                   << " steady_skew=" << results[i].steady_skew
+                  << " local_skew=" << results[i].local_skew
                   << " live=" << (results[i].live ? 1 : 0)
                   << " messages=" << results[i].messages_sent
                   << " dropped=" << results[i].messages_dropped << "\n";
