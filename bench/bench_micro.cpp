@@ -133,6 +133,49 @@ BENCHMARK(BM_Broadcast_N64);
 void BM_Broadcast_N256(benchmark::State& state) { run_broadcast_bench(state, 256); }
 BENCHMARK(BM_Broadcast_N256);
 
+void BM_TopoSwitch_Epochs(benchmark::State& state) {
+  // The dynamic-topology path end-to-end: one iteration runs a 16-node ring
+  // for 32 simulated seconds during which the {0, 8} chord flaps every half
+  // second — 64 epoch switches — while every node broadcasts once per
+  // second through the sparse fan-out. Tracks the cost of the epoch
+  // machinery itself; the static-path overhead is pinned separately by
+  // BM_Broadcast_* staying flat across the schedule refactor.
+  constexpr std::uint32_t kN = 16;
+  constexpr int kEpochs = 64;
+  const auto ring = std::make_shared<const Topology>(Topology::ring(kN));
+  TopologySchedule schedule;
+  for (int e = 0; e < kEpochs; ++e) {
+    const RealTime at = 0.5 * (e + 1);
+    if (e % 2 == 0) {
+      schedule.add_edge(at, 0, kN / 2);
+    } else {
+      schedule.remove_edge(at, 0, kN / 2);
+    }
+  }
+  const auto compiled =
+      std::make_shared<const CompiledTopologySchedule>(schedule.compile(ring));
+
+  for (auto _ : state) {
+    SimParams params;
+    params.n = kN;
+    params.tdel = 0.01;
+    params.seed = 1;
+    params.topology = ring;
+    params.schedule = compiled;
+    params.max_events = std::numeric_limits<std::uint64_t>::max();
+    std::vector<HardwareClock> clocks;
+    for (std::uint32_t i = 0; i < kN; ++i) clocks.emplace_back(0.0, 1.0);
+    Simulator sim(params, std::move(clocks), std::make_unique<FixedDelay>(1.0), nullptr);
+    for (NodeId id = 0; id < kN; ++id) {
+      sim.set_process(id, std::make_unique<BroadcastDriver>(Message(InitMsg{1})));
+    }
+    sim.run_until(0.5 * kEpochs + 1.0);
+    benchmark::DoNotOptimize(sim.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * kEpochs);
+}
+BENCHMARK(BM_TopoSwitch_Epochs);
+
 void BM_EventQueue_Churn(benchmark::State& state) {
   // Standing population of 1024 mixed timer/delivery events; each iteration
   // pops the earliest and pushes one of the other kind at a random future

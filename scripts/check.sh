@@ -70,6 +70,16 @@ if [[ "$RUN_SCEN" -eq 1 ]]; then
     diff "$SCEN_TMP/$name.full.csv" "$SCEN_TMP/$name.merged.csv"
     echo "check.sh: scen smoke OK: $name ($total cells, shards byte-identical)"
   done
+  # The dynamic-topology grid additionally goes through the process-level
+  # shard launcher, so the schedule path is covered end-to-end: scenlaunch
+  # splits it across worker processes, scenmerges the dumps, and the result
+  # must be byte-identical to the unsharded run above.
+  scripts/scenlaunch.sh examples/scenarios/dynamic_ring_grid.json \
+    --workers 3 --build-dir "$BUILD_DIR" \
+    --json "$SCEN_TMP/dynamic.launched.json" --csv "$SCEN_TMP/dynamic.launched.csv"
+  diff "$SCEN_TMP/dynamic_ring_grid.full.json" "$SCEN_TMP/dynamic.launched.json"
+  diff "$SCEN_TMP/dynamic_ring_grid.full.csv" "$SCEN_TMP/dynamic.launched.csv"
+  echo "check.sh: scen smoke OK: dynamic_ring_grid via scenlaunch (byte-identical)"
 fi
 
 if [[ "$RUN_ASAN" -eq 1 ]]; then

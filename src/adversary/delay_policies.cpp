@@ -39,12 +39,45 @@ CutDelay::CutDelay(std::vector<bool> in_side_a, RealTime start, RealTime end,
 }
 
 Duration CutDelay::delay(NodeId from, NodeId to, RealTime now, Duration tdel, Rng& rng) {
-  const bool crosses_cut = in_a(from) != in_a(to);
-  if (crosses_cut && now >= start_ && now < end_) return kDropMessage;
+  ST_REQUIRE(cut_ != nullptr, "CutDelay: on_topology must run before traffic flows");
+  // The cut schedule is the single source of truth for which links the cut
+  // permits at time t: a send whose link is missing is lost in transit.
+  if (!cut_->adjacent_at(now, from, to)) return kDropMessage;
   return base_->delay(from, to, now, tdel, rng);
 }
 
-void CutDelay::on_topology(const Topology& topo) { base_->on_topology(topo); }
+void CutDelay::on_topology(const Topology& topo) {
+  // Compile the cut as a topology schedule over the complete graph on the
+  // fleet: full until the window opens, cross-cut links removed inside it,
+  // full again once it heals. The run's actual graph is enforced by the
+  // simulator itself, so only the cut's own prohibitions live here.
+  const std::uint32_t n = topo.n();
+  std::vector<std::pair<NodeId, NodeId>> kept;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (in_a(a) == in_a(b)) kept.emplace_back(a, b);
+    }
+  }
+  const auto full = std::make_shared<const Topology>(Topology::complete(n));
+  const auto cut_graph = std::make_shared<const Topology>(Topology::from_edges(n, kept));
+  TopologySchedule schedule;
+  if (start_ > 0) {
+    schedule.set_graph(start_, cut_graph);
+    schedule.set_graph(end_, full);
+    cut_ = std::make_shared<const CompiledTopologySchedule>(schedule.compile(full));
+  } else {
+    // A cut open from time 0: the cut graph IS the base epoch.
+    schedule.set_graph(end_, full);
+    cut_ = std::make_shared<const CompiledTopologySchedule>(schedule.compile(cut_graph));
+  }
+  base_->on_topology(topo);
+}
+
+void CutDelay::on_topology_change(const Topology& topo, RealTime at) {
+  // The cut is a node-set cut — independent of which links the live graph
+  // happens to have — so only the base policy needs to hear about epochs.
+  base_->on_topology_change(topo, at);
+}
 
 PartitionDelay::PartitionDelay(std::uint32_t group_a, RealTime start, RealTime end,
                                std::unique_ptr<DelayPolicy> base)

@@ -1,0 +1,53 @@
+#include "baselines/gradient_sync.h"
+
+#include "util/contracts.h"
+
+namespace stclock::baselines {
+
+GradientProtocol::GradientProtocol(GradientParams params) : params_(params) {
+  ST_REQUIRE(params_.n >= 1, "GradientProtocol: need at least one node");
+  ST_REQUIRE(params_.period > 0, "GradientProtocol: period must be positive");
+  ST_REQUIRE(params_.nominal_delay >= 0, "GradientProtocol: negative nominal delay");
+  ST_REQUIRE(params_.gain > 0 && params_.gain <= 1.0,
+             "GradientProtocol: gain must lie in (0, 1]");
+  offsets_.assign(params_.n, 0.0);
+  heard_round_.assign(params_.n, 0);
+}
+
+void GradientProtocol::on_start(Context& ctx) {
+  timer_ = ctx.set_timer_at_logical(params_.period * static_cast<double>(round_));
+}
+
+void GradientProtocol::on_message(Context& ctx, NodeId from, const Message& m) {
+  const auto* g = std::get_if<GradientMsg>(&m);
+  if (g == nullptr || from == ctx.self() || from >= params_.n) return;
+  // Freshest estimate per neighbor wins. The offset is measured against our
+  // clock at arrival; both clocks run within rho of real time, so it stays
+  // accurate for the one round it is allowed to live.
+  offsets_[from] = (g->value + params_.nominal_delay) - ctx.logical_now();
+  heard_round_[from] = g->round;
+}
+
+void GradientProtocol::on_timer(Context& ctx, TimerId id) {
+  if (id != timer_) return;
+  // Average the fresh neighbor estimates with our own zero offset, correct,
+  // THEN broadcast and re-arm — so the next fire time accounts for the
+  // adjustment just applied.
+  Duration sum = 0;
+  std::uint32_t count = 1;  // self
+  for (NodeId peer = 0; peer < params_.n; ++peer) {
+    if (heard_round_[peer] + 1 >= round_ && heard_round_[peer] > 0) {
+      sum += offsets_[peer];
+      ++count;
+    }
+  }
+  if (count > 1) {
+    const Duration delta = params_.gain * (sum / static_cast<double>(count));
+    ctx.logical().adjust_instant(ctx.hardware_now(), delta);
+  }
+  ctx.broadcast(Message(GradientMsg{round_, ctx.logical_now()}));
+  ++round_;
+  timer_ = ctx.set_timer_at_logical(params_.period * static_cast<double>(round_));
+}
+
+}  // namespace stclock::baselines

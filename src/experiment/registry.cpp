@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "baselines/gradient_sync.h"
 #include "baselines/hssd_sync.h"
 #include "baselines/interactive_convergence.h"
 #include "baselines/leader_sync.h"
@@ -39,6 +40,8 @@ ProtocolRegistry::Entry baseline_entry(std::string name, ProcessFactory factory,
 ProtocolRegistry built_ins() {
   using baselines::CnvParams;
   using baselines::CnvProtocol;
+  using baselines::GradientParams;
+  using baselines::GradientProtocol;
   using baselines::HssdParams;
   using baselines::HssdProtocol;
   using baselines::LeaderProtocol;
@@ -71,6 +74,15 @@ ProtocolRegistry built_ins() {
         params.delta = spec.delta;
         params.nominal_delay = spec.cfg.tdel / 2;
         return std::make_unique<CnvProtocol>(params);
+      }));
+
+  registry.add(baseline_entry(
+      "gradient", [](const ScenarioSpec& spec, NodeId, bool) -> std::unique_ptr<Process> {
+        GradientParams params;
+        params.n = spec.cfg.n;
+        params.period = spec.cfg.period;
+        params.nominal_delay = spec.cfg.tdel / 2;
+        return std::make_unique<GradientProtocol>(params);
       }));
 
   registry.add(baseline_entry(

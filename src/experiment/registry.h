@@ -18,6 +18,7 @@
 ///   "echo"                     Srikanth–Toueg, init/echo     (n >= 3f+1)
 ///   "lundelius_welch"          fault-tolerant midpoint averaging (f < n/3)
 ///   "interactive_convergence"  CNV egocentric averaging (f < n/3, agreement only)
+///   "gradient"                 GCS-style neighbor averaging (local-skew baseline)
 ///   "hssd"                     HSSD-style single-signature authenticated sync
 ///   "leader"                   NTP-like leader strawman, honest leader
 ///   "leader_corrupt"           same, leader under adversary control

@@ -138,22 +138,60 @@ std::uint32_t corrupt_count_for(const ScenarioSpec& spec) {
                                           : spec.cfg.f;
 }
 
-/// Validates the topology block and returns the built graph: shape errors
-/// (e.g. a 2-node ring) surface from the generator, a sampled G(n, p) must
-/// come out connected, or liveness claims are vacuous. Shared by
-/// validate_spec (scenario files fail at load time) and the engine, which
-/// reuses the returned instance instead of building the graph twice.
-std::shared_ptr<const Topology> checked_topology(const ScenarioSpec& spec) {
+/// The validated topology block: the base graph plus the compiled dynamic
+/// schedule (null when the spec has no topology events).
+struct CheckedTopology {
+  std::shared_ptr<const Topology> base;
+  std::shared_ptr<const CompiledTopologySchedule> schedule;
+};
+
+/// Validates the topology block and returns the built graph and compiled
+/// schedule: shape errors (e.g. a 2-node ring) surface from the generator, a
+/// sampled G(n, p) must come out connected, topology events must name real
+/// nodes and keep every epoch connected — or liveness claims are vacuous.
+/// Shared by validate_spec (scenario files fail at load time) and the
+/// engine, which reuses the returned instances instead of building twice.
+CheckedTopology checked_topology(const ScenarioSpec& spec) {
   if (spec.topology == TopologyKind::kGnp) {
     ST_REQUIRE(spec.gnp_p > 0 && spec.gnp_p <= 1, "run_scenario: gnp_p must lie in (0, 1]");
   }
-  std::shared_ptr<const Topology> topo =
-      build_topology(spec.topology, spec.cfg.n, spec.gnp_p, spec.topology_seed);
-  if (!topo->is_complete()) {
-    ST_REQUIRE(topo->is_connected(),
+  CheckedTopology out;
+  out.base = build_topology(spec.topology, spec.cfg.n, spec.gnp_p, spec.topology_seed);
+  if (!out.base->is_complete()) {
+    ST_REQUIRE(out.base->is_connected(),
                "run_scenario: topology is disconnected (raise gnp_p or change topology_seed)");
   }
-  return topo;
+  if (spec.topology_events.empty()) return out;
+
+  TopologySchedule schedule;
+  for (const TopologyEventSpec& ev : spec.topology_events) {
+    switch (ev.kind) {
+      case TopologyEventSpec::Kind::kAddEdge:
+      case TopologyEventSpec::Kind::kRemoveEdge:
+        // Mirrors the partition_group check: a dedicated load-time error for
+        // events naming nodes the fleet does not have.
+        ST_REQUIRE(ev.a < spec.cfg.n && ev.b < spec.cfg.n,
+                   "run_scenario: topology_events names nodes outside [0, n)");
+        if (ev.kind == TopologyEventSpec::Kind::kAddEdge) {
+          schedule.add_edge(ev.at, ev.a, ev.b);
+        } else {
+          schedule.remove_edge(ev.at, ev.a, ev.b);
+        }
+        break;
+      case TopologyEventSpec::Kind::kSetGraph:
+        schedule.set_graph(
+            ev.at, build_topology(ev.set, spec.cfg.n, spec.gnp_p, spec.topology_seed));
+        break;
+    }
+  }
+  out.schedule =
+      std::make_shared<const CompiledTopologySchedule>(schedule.compile(out.base));
+  const std::size_t broken = out.schedule->first_disconnected_epoch();
+  ST_REQUIRE(broken == CompiledTopologySchedule::kAllConnected,
+             "run_scenario: topology_events epoch " + std::to_string(broken) +
+                 " disconnects the topology (use partition_group for deliberate "
+                 "partitions)");
+  return out;
 }
 
 /// Everything validate_spec checks EXCEPT the topology block, so the engine
@@ -225,8 +263,11 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
   validate_spec_structure(spec, mode);
   // Always installed, including the (default) complete graph: the complete
   // fast paths in the simulator are pinned bit-identical to the legacy
-  // topology-free engine by the golden trace suite.
-  const std::shared_ptr<const Topology> topology = checked_topology(spec);
+  // topology-free engine by the golden trace suite. The schedule is only
+  // installed when the spec has topology events, so a static spec arms no
+  // epoch machinery at all.
+  const CheckedTopology topology = checked_topology(spec);
+  result.topology_epochs = topology.schedule ? topology.schedule->epoch_count() : 1;
   if (sync_mode) result.bounds = theory::derive_bounds(cfg);
 
   Rng rng(spec.seed);
@@ -239,7 +280,8 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
   params.n = cfg.n;
   params.tdel = cfg.tdel;
   params.seed = rng.next_u64();
-  params.topology = topology;
+  params.topology = topology.base;
+  params.schedule = topology.schedule;
   std::unique_ptr<DelayPolicy> delay_policy =
       build_delay_policy(spec.delay, cfg.n, cfg.period, spec.seed);
   if (spec.partition_group > 0) {
@@ -320,13 +362,14 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
   }
 
   // Joiners only count toward skew once integrated (their pre-integration
-  // clock is arbitrary by definition).
+  // clock is arbitrary by definition). The tracker reads the simulator's
+  // CURRENT graph at every sample, so local skew is always measured against
+  // the adjacency live at measurement time.
   SkewTracker skew(spec.skew_series_interval,
                    sync_mode ? std::function<bool(NodeId)>([&protocols](NodeId id) {
                      return protocols[id] == nullptr || protocols[id]->integrated();
                    })
-                             : nullptr,
-                   sim.topology());
+                             : nullptr);
   skew.set_steady_start(sync_mode ? 2 * result.bounds.max_period : 3 * cfg.period);
   EnvelopeTracker envelope(spec.envelope_interval);
   sim.set_post_event_hook([&skew, &envelope](const Simulator& s) {

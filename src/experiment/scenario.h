@@ -36,13 +36,30 @@ enum class EngineMode {
   kBaseline,
 };
 
+/// One timed topology mutation in a scenario (the engine compiles the list
+/// into a sim::TopologySchedule). Edge events name the endpoints; set-graph
+/// events name a generator family, built with the spec's own n / gnp_p /
+/// topology_seed. Times must be positive and non-decreasing, endpoints must
+/// lie in [0, n), and no compiled epoch may disconnect the graph — all
+/// validated at load time for scenario files.
+struct TopologyEventSpec {
+  enum class Kind : std::uint8_t { kAddEdge, kRemoveEdge, kSetGraph };
+
+  Kind kind = Kind::kAddEdge;
+  RealTime at = 0;
+  NodeId a = 0;  ///< edge endpoints (edge events only)
+  NodeId b = 0;
+  TopologyKind set = TopologyKind::kRing;  ///< generator (set-graph only)
+};
+
 /// Everything needed to run one experiment cell. Supersedes the legacy
 /// RunSpec (core/runner.h) and BaselineSpec (baselines/baseline.h), both of
 /// which are now thin shims over this type.
 struct ScenarioSpec {
   /// Protocol name resolved via the ProtocolRegistry: "auth", "echo",
-  /// "lundelius_welch", "interactive_convergence", "hssd", "leader",
-  /// "leader_corrupt", "unsynchronized", or any custom registration.
+  /// "lundelius_welch", "interactive_convergence", "gradient", "hssd",
+  /// "leader", "leader_corrupt", "unsynchronized", or any custom
+  /// registration.
   std::string protocol = "auth";
 
   /// System parameters (n, f, rho, tdel, period, alpha, initial_sync, ...).
@@ -68,6 +85,11 @@ struct ScenarioSpec {
   TopologyKind topology = TopologyKind::kComplete;
   double gnp_p = 0.5;
   std::uint64_t topology_seed = 1;
+
+  /// Dynamic topology: timed edge/graph events applied to the base
+  /// `topology` as the run progresses (edges failing and healing, whole
+  /// rewires). Empty — the default — keeps the static path bit-for-bit.
+  std::vector<TopologyEventSpec> topology_events;
 
   /// The last `joiners` honest nodes boot at `join_time` and integrate
   /// passively instead of starting at time 0 (kSyncProtocol only).
@@ -142,6 +164,9 @@ struct ScenarioResult {
   // Churn (when spec.churn_nodes > 0).
   double rejoin_latency = -1;  ///< worst churned node: first post-rejoin pulse - rejoin time
   bool churned_rejoined = false;  ///< every churned node re-integrated and pulsed again
+
+  // Topology.
+  std::uint64_t topology_epochs = 1;  ///< compiled schedule epochs (1 = static)
 
   // Cost.
   std::uint64_t messages_sent = 0;

@@ -90,6 +90,7 @@ std::vector<Field> spec_fields(const ScenarioSpec& spec) {
       {"topology", topology_kind_name(spec.topology)},
       {"gnp_p", fmt(spec.gnp_p)},
       {"topology_seed", std::to_string(spec.topology_seed)},
+      {"topology_events", std::to_string(spec.topology_events.size())},
       {"joiners", std::to_string(spec.joiners)},
       {"corrupt_override", std::to_string(spec.corrupt_override)},
       {"churn_nodes", std::to_string(spec.churn_nodes)},
@@ -121,6 +122,7 @@ std::vector<Field> result_fields(const ScenarioResult& r) {
       {"joiners_integrated", r.joiners_integrated ? "1" : "0"},
       {"rejoin_latency", fmt(r.rejoin_latency)},
       {"churned_rejoined", r.churned_rejoined ? "1" : "0"},
+      {"topology_epochs", std::to_string(r.topology_epochs)},
       {"messages_sent", std::to_string(r.messages_sent)},
       {"bytes_sent", std::to_string(r.bytes_sent)},
       {"messages_dropped", std::to_string(r.messages_dropped)},

@@ -146,6 +146,73 @@ const std::vector<std::pair<const char*, AdjustMode>>& adjust_table() {
   return table;
 }
 
+// --- Topology events ---------------------------------------------------------
+
+/// Parses one "topology_events" element: {"at": T, "add": [a, b]} /
+/// {"at": T, "remove": [a, b]} / {"at": T, "set": "ring"}. Structural
+/// errors (types, arity, self-loops, missing/extra keys) fail here with the
+/// element's line; node-range and connectivity checks need the final n and
+/// run in the engine's validate_spec (surfacing at load time per cell).
+experiment::TopologyEventSpec event_from_json(const JsonValue& v, const std::string& source,
+                                              const std::string& path) {
+  using Kind = experiment::TopologyEventSpec::Kind;
+  require_kind(v, JsonValue::Kind::kObject, "object", source, path);
+  experiment::TopologyEventSpec event;
+  const JsonValue* at = v.find("at");
+  if (at == nullptr) fail_at(source, v.line, path, "missing \"at\"");
+  event.at = as_positive(*at, source, path + ".at");
+
+  const JsonValue* action = nullptr;
+  for (const auto& [key, value] : v.object) {
+    if (key == "at") continue;
+    if (key != "add" && key != "remove" && key != "set") {
+      fail_at(source, value.line, path + "." + key, "unknown key (known: at, add, remove, set)");
+    }
+    if (action != nullptr) {
+      fail_at(source, value.line, path, "need exactly one of \"add\", \"remove\", \"set\"");
+    }
+    action = &value;
+    if (key == "set") {
+      event.kind = Kind::kSetGraph;
+      event.set = enum_from_name(value, topology_table(), "topology kind", source,
+                                 path + ".set");
+    } else {
+      event.kind = key == "add" ? Kind::kAddEdge : Kind::kRemoveEdge;
+      const std::string edge_path = path + "." + key;
+      require_kind(value, JsonValue::Kind::kArray, "array", source, edge_path);
+      if (value.array.size() != 2) {
+        fail_at(source, value.line, edge_path, "expected an edge [a, b]");
+      }
+      event.a = as_u32(value.array[0], source, edge_path + "[0]");
+      event.b = as_u32(value.array[1], source, edge_path + "[1]");
+      if (event.a == event.b) {
+        fail_at(source, value.line, edge_path, "edge endpoints must be distinct");
+      }
+    }
+  }
+  if (action == nullptr) {
+    fail_at(source, v.line, path, "need exactly one of \"add\", \"remove\", \"set\"");
+  }
+  return event;
+}
+
+std::vector<experiment::TopologyEventSpec> events_from_json(const JsonValue& v,
+                                                            const std::string& source,
+                                                            const std::string& path) {
+  require_kind(v, JsonValue::Kind::kArray, "array", source, path);
+  std::vector<experiment::TopologyEventSpec> events;
+  events.reserve(v.array.size());
+  for (std::size_t i = 0; i < v.array.size(); ++i) {
+    const std::string element = path + "[" + std::to_string(i) + "]";
+    events.push_back(event_from_json(v.array[i], source, element));
+    if (i > 0 && events[i].at < events[i - 1].at) {
+      fail_at(source, v.array[i].line, element + ".at",
+              "topology_events times must be non-decreasing");
+    }
+  }
+  return events;
+}
+
 // --- Field catalog -----------------------------------------------------------
 
 /// Applies one named scalar field to a spec; shared by the "base" object and
@@ -206,6 +273,8 @@ bool apply_field(ScenarioSpec& spec, const std::string& field, const JsonValue& 
     }
   } else if (field == "topology_seed") {
     spec.topology_seed = as_u64(v, source, path);
+  } else if (field == "topology_events") {
+    spec.topology_events = events_from_json(v, source, path);
   } else if (field == "joiners") {
     spec.joiners = as_u32(v, source, path);
   } else if (field == "join_time") {
@@ -237,21 +306,54 @@ bool apply_field(ScenarioSpec& spec, const std::string& field, const JsonValue& 
 constexpr const char* kKnownFields =
     "protocol, n, f, rho, tdel, period, alpha, initial_sync, "
     "allow_unsynchronized_start, adjust, amortize_window, delta, seed, horizon, "
-    "drift, delay, attack, topology, gnp_p, topology_seed, joiners, join_time, "
+    "drift, delay, attack, topology, gnp_p, topology_seed, topology_events, "
+    "joiners, join_time, "
     "corrupt_override, churn_nodes, churn_leave, churn_rejoin, partition_group, "
     "partition_start, partition_end, skew_series_interval, envelope_interval";
 
+/// Compact single-line re-serialization, used to label array-valued axis
+/// cells (e.g. a topology_events sweep) in sinks and summaries.
+std::string compact_json(const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return v.boolean ? "true" : "false";
+    case JsonValue::Kind::kNumber: return v.raw;
+    case JsonValue::Kind::kString: return "\"" + v.text + "\"";
+    case JsonValue::Kind::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (i > 0) out += ",";
+        out += compact_json(v.array[i]);
+      }
+      return out + "]";
+    }
+    case JsonValue::Kind::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [key, value] : v.object) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + key + "\":" + compact_json(value);
+      }
+      return out + "}";
+    }
+  }
+  return "";
+}
+
 /// The display label an axis value contributes to its cell: the literal
-/// token for scalars, so the label in sinks matches the file text.
+/// token for scalars (so the label in sinks matches the file text), a
+/// compact re-serialization for arrays (the topology_events sweep axis).
 std::string value_label(const JsonValue& v, const std::string& source,
                         const std::string& path) {
   switch (v.kind) {
     case JsonValue::Kind::kString: return v.text;
     case JsonValue::Kind::kNumber: return v.raw;
     case JsonValue::Kind::kBool: return v.boolean ? "true" : "false";
+    case JsonValue::Kind::kArray: return compact_json(v);
     default:
       fail_at(source, v.line, path,
-              std::string("axis values must be scalars, got ") + v.kind_name());
+              std::string("axis values must be scalars or arrays, got ") + v.kind_name());
   }
 }
 
@@ -345,6 +447,25 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   str("topology", topology_kind_name(spec.topology));
   num("gnp_p", fmt_double(spec.gnp_p));
   num("topology_seed", std::to_string(spec.topology_seed));
+  os << "  \"topology_events\": [";
+  for (std::size_t i = 0; i < spec.topology_events.size(); ++i) {
+    const experiment::TopologyEventSpec& ev = spec.topology_events[i];
+    if (i > 0) os << ", ";
+    os << "{\"at\": " << fmt_double(ev.at) << ", ";
+    switch (ev.kind) {
+      case experiment::TopologyEventSpec::Kind::kAddEdge:
+        os << "\"add\": [" << ev.a << ", " << ev.b << "]";
+        break;
+      case experiment::TopologyEventSpec::Kind::kRemoveEdge:
+        os << "\"remove\": [" << ev.a << ", " << ev.b << "]";
+        break;
+      case experiment::TopologyEventSpec::Kind::kSetGraph:
+        os << "\"set\": \"" << topology_kind_name(ev.set) << "\"";
+        break;
+    }
+    os << "}";
+  }
+  os << "],\n";
   num("joiners", std::to_string(spec.joiners));
   num("join_time", fmt_double(spec.join_time));
   num("corrupt_override", std::to_string(spec.corrupt_override));

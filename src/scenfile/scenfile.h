@@ -23,9 +23,12 @@
 ///
 /// "base" accepts every ScenarioSpec field under the same flat names the
 /// sinks emit (n, f, rho, tdel, period, drift, delay, attack, topology,
-/// gnp_p, churn_nodes, partition_group, ...); an axis may range over any of
+/// gnp_p, churn_nodes, partition_group, ...), plus the dynamic
+/// "topology_events" list of timed {"at": T, "add"/"remove": [a, b]} /
+/// {"at": T, "set": "ring"} graph mutations; an axis may range over any of
 /// those fields — including the topology block, so one grid can sweep
-/// complete vs ring vs gnp, or a gnp_p density axis. The
+/// complete vs ring vs gnp, a gnp_p density axis, or (the one array-valued
+/// axis) whole edge-failure windows via topology_events. The
 /// loader is strict: unknown keys, wrong types, out-of-range values,
 /// unregistered protocols, and duplicate axes are hard errors that name the
 /// offending field and source line (ScenarioFileError), and every

@@ -18,6 +18,7 @@ const char* message_kind_name(MessageKind kind) {
     case MessageKind::kLw: return "lw";
     case MessageKind::kLeader: return "leader";
     case MessageKind::kLockstep: return "lockstep";
+    case MessageKind::kGradient: return "gradient";
   }
   return "unknown";
 }
@@ -36,6 +37,7 @@ struct SizeVisitor {
   std::size_t operator()(const LwValueMsg&) const { return kHeader; }
   std::size_t operator()(const LeaderTimeMsg&) const { return kHeader + 8; }
   std::size_t operator()(const LockstepMsg&) const { return kHeader + 8; }
+  std::size_t operator()(const GradientMsg&) const { return kHeader + 8; }
 };
 
 struct RoundVisitor {
@@ -46,6 +48,7 @@ struct RoundVisitor {
   Round operator()(const LwValueMsg& m) const { return m.round; }
   Round operator()(const LeaderTimeMsg& m) const { return m.round; }
   Round operator()(const LockstepMsg& m) const { return m.round; }
+  Round operator()(const GradientMsg& m) const { return m.round; }
 };
 }  // namespace
 

@@ -66,8 +66,16 @@ struct LockstepMsg {
   std::uint64_t payload = 0;
 };
 
+/// Gradient clock synchronization baseline: sender's logical clock reading
+/// at transmission time, averaged by *neighbors* (the local-skew metric's
+/// protocol family — see baselines/gradient_sync.h).
+struct GradientMsg {
+  Round round = 0;
+  LocalTime value = 0;
+};
+
 using Message = std::variant<RoundMsg, InitMsg, EchoMsg, CnvValueMsg, LwValueMsg,
-                             LeaderTimeMsg, LockstepMsg>;
+                             LeaderTimeMsg, LockstepMsg, GradientMsg>;
 
 /// Message discriminator in variant-alternative order. Keys the fixed-size
 /// counter arrays in trace/counters.h, so per-event accounting never
@@ -81,6 +89,7 @@ enum class MessageKind : std::uint8_t {
   kLw,
   kLeader,
   kLockstep,
+  kGradient,
 };
 
 inline constexpr std::size_t kMessageKindCount = std::variant_size_v<Message>;

@@ -42,6 +42,15 @@ class DelayPolicy {
   /// bit-exactly as before; override to size per-link state or key decisions
   /// on the graph. `topo` outlives the simulation.
   virtual void on_topology(const Topology& topo) { (void)topo; }
+
+  /// Called at every topology-schedule epoch switch (dynamic runs only; a
+  /// static run never calls this) with the graph that just went live, before
+  /// any delay() at or after `at`. Policies that cached per-link state from
+  /// on_topology() refresh it here. `topo` outlives the epoch.
+  virtual void on_topology_change(const Topology& topo, RealTime at) {
+    (void)topo;
+    (void)at;
+  }
 };
 
 /// Every message takes exactly `fraction * tdel`.

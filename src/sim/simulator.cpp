@@ -29,6 +29,13 @@ Simulator::Simulator(SimParams params, std::vector<HardwareClock> clocks,
     ST_REQUIRE(params_.topology->n() == params_.n, "Simulator: topology size must equal n");
     delays_->on_topology(*params_.topology);
   }
+  topo_now_ = params_.topology.get();
+  if (params_.schedule != nullptr) {
+    ST_REQUIRE(params_.schedule->epoch_graph(0).get() == params_.topology.get(),
+               "Simulator: schedule must be compiled against params.topology");
+    ST_REQUIRE(params_.schedule->n() == params_.n,
+               "Simulator: schedule size must equal n");
+  }
 
   Rng root(params_.seed);
   net_rng_.emplace(root.fork());
@@ -139,6 +146,16 @@ void Simulator::set_post_event_hook(std::function<void(const Simulator&)> hook) 
 void Simulator::run_until(RealTime horizon) {
   if (!started_) {
     started_ = true;
+    // Epoch switches are ordinary timer events. They are armed FIRST, so a
+    // boundary that ties with a node start or a delivery applies before it
+    // (ties break by insertion order): traffic at time t always sees the
+    // graph of the epoch that starts at t.
+    if (params_.schedule != nullptr) {
+      for (std::size_t e = 1; e < params_.schedule->epoch_count(); ++e) {
+        (void)arm_timer(static_cast<NodeId>(e), params_.schedule->epoch_start(e),
+                        TimerState::kArmedEpoch);
+      }
+    }
     // Node starts are ordinary timer events so they interleave correctly
     // with message deliveries (late joiners may start mid-protocol). They
     // are enqueued BEFORE the adversary runs, so time-0 attack messages
@@ -206,6 +223,15 @@ void Simulator::dispatch(const Event& ev) {
         (void)arm_timer(restart->node, restart->up_at, TimerState::kArmedStart);
         return;
       }
+      case TimerState::kArmedEpoch: {
+        // Topology epoch boundary: swap the live graph and tell the delay
+        // policy. Boundaries fire in epoch order (armed ascending at start),
+        // so the owner slot's epoch index only ever moves forward.
+        epoch_ = timer_owners_[static_cast<std::size_t>(id - 1)];
+        topo_now_ = params_.schedule->epoch_graph(epoch_).get();
+        delays_->on_topology_change(*topo_now_, now_);
+        return;
+      }
       case TimerState::kArmedAdversary:
         if (adversary_ != nullptr) adversary_->on_timer(*adv_ctx_, id);
         return;
@@ -239,7 +265,7 @@ void Simulator::honest_send(NodeId from, NodeId to, const Message& m) {
   // is lost like partitioned traffic. Broadcast traffic never needs the
   // check — its fan-out loop only visits neighbors — which keeps the
   // per-recipient hot path below free of it.
-  const Topology* topo = params_.topology.get();
+  const Topology* topo = topo_now_;
   if (to != from && topo != nullptr && !topo->adjacent(from, to)) {
     counters_.on_send(message_kind(m), message_size_bytes(m));
     ++messages_dropped_;
@@ -274,7 +300,7 @@ void Simulator::adversary_send(NodeId from, NodeId to, std::shared_ptr<const Mes
   ST_REQUIRE(deliver_at >= now_, "adversary_send: cannot deliver in the past");
   ST_REQUIRE(to < params_.n, "adversary_send: recipient out of range");
   counters_.on_send(message_kind(*msg), message_size_bytes(*msg));
-  const Topology* topo = params_.topology.get();
+  const Topology* topo = topo_now_;
   if (to != from && topo != nullptr && !topo->adjacent(from, to)) {
     // Even an omniscient adversary is bound by the graph: a corrupted node
     // can only inject traffic on links it actually has.
@@ -294,8 +320,9 @@ TimerId Simulator::arm_timer(NodeId node, RealTime fire_at, TimerState kind) {
 
 void Simulator::cancel_timer(TimerId id) {
   TimerState& state = timer_state(id);
-  ST_REQUIRE(state != TimerState::kArmedStart && state != TimerState::kArmedStop,
-             "cancel_timer: start/stop timers are internal");
+  ST_REQUIRE(state != TimerState::kArmedStart && state != TimerState::kArmedStop &&
+                 state != TimerState::kArmedEpoch,
+             "cancel_timer: start/stop/epoch timers are internal");
   // Cancelling a timer that already fired (or was already cancelled) is a
   // harmless no-op — and leaves no tombstone behind.
   if (state == TimerState::kArmedProcess || state == TimerState::kArmedAdversary) {
@@ -322,7 +349,7 @@ void Context::broadcast(const Message& m) {
   // Intern the payload once for the whole fan-out: n refcount bumps instead
   // of n deep copies (a RoundMsg relay bundle carries Theta(n) signatures).
   const auto msg = intern_message(m);
-  const Topology* topo = sim_->params_.topology.get();
+  const Topology* topo = sim_->topo_now_;
   if (topo == nullptr || topo->is_complete()) {
     for (NodeId to = 0; to < sim_->params_.n; ++to) sim_->honest_send(id_, to, msg);
     return;
@@ -397,7 +424,7 @@ void AdversaryContext::send_from(NodeId from, NodeId to, const Message& m,
 
 void AdversaryContext::send_from_to_all(NodeId from, const Message& m, RealTime deliver_at) {
   const auto msg = intern_message(m);
-  const Topology* topo = sim_->params_.topology.get();
+  const Topology* topo = sim_->topo_now_;
   if (topo == nullptr || topo->is_complete()) {
     for (NodeId to = 0; to < sim_->params_.n; ++to) {
       if (!sim_->is_corrupt(to)) sim_->adversary_send(from, to, msg, deliver_at);

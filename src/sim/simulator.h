@@ -12,6 +12,7 @@
 #include "sim/network.h"
 #include "sim/process.h"
 #include "sim/topology.h"
+#include "sim/topology_schedule.h"
 #include "trace/counters.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -42,6 +43,14 @@ struct SimParams {
   /// same code path. Any other graph restricts broadcasts to neighbors and
   /// drops sends on missing links.
   std::shared_ptr<const Topology> topology;
+  /// Timed topology changes (compile a TopologySchedule against `topology`).
+  /// Null — or a single-epoch compilation of an empty schedule — keeps the
+  /// static path bit-for-bit: no epoch events are armed and every send
+  /// consults the same graph. With later epochs, each boundary becomes a
+  /// simulator event that swaps the live graph; link existence is checked at
+  /// send time, so in-flight messages survive a switch. Requires `topology`
+  /// to be the schedule's epoch-0 graph (same object).
+  std::shared_ptr<const CompiledTopologySchedule> schedule;
 };
 
 class Simulator {
@@ -93,8 +102,18 @@ class Simulator {
   /// True once node `id` has been started (relevant for late joiners).
   [[nodiscard]] bool is_started(NodeId id) const;
 
-  /// The network graph, or null for the implicit complete graph.
+  /// The base (epoch-0) network graph, or null for the implicit complete
+  /// graph.
   [[nodiscard]] const Topology* topology() const { return params_.topology.get(); }
+
+  /// The graph live right now: the base graph until the first epoch switch,
+  /// then the current epoch's snapshot. Null for the implicit complete
+  /// graph. The skew tracker samples local skew against this, so the metric
+  /// always reflects the adjacency that was live at measurement time.
+  [[nodiscard]] const Topology* current_topology() const { return topo_now_; }
+
+  /// Index of the live epoch (0 until the first switch; static runs stay 0).
+  [[nodiscard]] std::size_t topology_epoch() const { return epoch_; }
 
   [[nodiscard]] const HardwareClock& hardware(NodeId id) const;
   [[nodiscard]] const LogicalClock& logical(NodeId id) const;
@@ -140,6 +159,7 @@ class Simulator {
     kArmedStart,
     kArmedStop,  // churn: node goes down, replacement armed for the rejoin
     kArmedAdversary,
+    kArmedEpoch,  // topology schedule: the owner slot holds the epoch index
     kCancelled,
     kFired,
   };
@@ -174,6 +194,11 @@ class Simulator {
   [[nodiscard]] TimerState& timer_state(TimerId id);
 
   SimParams params_;
+  /// Graph live right now (params_.topology until the first epoch switch);
+  /// every broadcast fan-out, link check, and adversary send reads this one
+  /// pointer, so the static path costs exactly what it did pre-schedule.
+  const Topology* topo_now_ = nullptr;
+  std::size_t epoch_ = 0;
   std::vector<Node> nodes_;
   std::vector<NodeId> honest_ids_;
   std::unique_ptr<DelayPolicy> delays_;

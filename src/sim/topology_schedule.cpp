@@ -1,0 +1,133 @@
+#include "sim/topology_schedule.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace stclock {
+
+RealTime CompiledTopologySchedule::epoch_start(std::size_t i) const {
+  ST_REQUIRE(i < epochs_.size(), "CompiledTopologySchedule: epoch index out of range");
+  return epochs_[i].start;
+}
+
+const std::shared_ptr<const Topology>& CompiledTopologySchedule::epoch_graph(
+    std::size_t i) const {
+  ST_REQUIRE(i < epochs_.size(), "CompiledTopologySchedule: epoch index out of range");
+  return epochs_[i].graph;
+}
+
+std::size_t CompiledTopologySchedule::epoch_at(RealTime t) const {
+  ST_ASSERT(!epochs_.empty(), "CompiledTopologySchedule: no epochs");
+  // Last epoch with start <= t; times before epoch 0 clamp to epoch 0.
+  const auto it = std::upper_bound(
+      epochs_.begin(), epochs_.end(), t,
+      [](RealTime time, const Epoch& e) { return time < e.start; });
+  return it == epochs_.begin() ? 0 : static_cast<std::size_t>(it - epochs_.begin() - 1);
+}
+
+const Topology& CompiledTopologySchedule::graph_at(RealTime t) const {
+  return *epochs_[epoch_at(t)].graph;
+}
+
+bool CompiledTopologySchedule::adjacent_at(RealTime t, NodeId a, NodeId b) const {
+  return graph_at(t).adjacent(a, b);
+}
+
+std::uint32_t CompiledTopologySchedule::n() const {
+  ST_ASSERT(!epochs_.empty(), "CompiledTopologySchedule: no epochs");
+  return epochs_.front().graph->n();
+}
+
+std::size_t CompiledTopologySchedule::first_disconnected_epoch() const {
+  for (std::size_t i = 0; i < epochs_.size(); ++i) {
+    if (!epochs_[i].graph->is_connected()) return i;
+  }
+  return kAllConnected;
+}
+
+TopologySchedule& TopologySchedule::add_edge(RealTime at, NodeId a, NodeId b) {
+  events_.push_back(TopologyEvent{at, TopologyEvent::Kind::kAddEdge, a, b, nullptr});
+  return *this;
+}
+
+TopologySchedule& TopologySchedule::remove_edge(RealTime at, NodeId a, NodeId b) {
+  events_.push_back(TopologyEvent{at, TopologyEvent::Kind::kRemoveEdge, a, b, nullptr});
+  return *this;
+}
+
+TopologySchedule& TopologySchedule::set_graph(RealTime at,
+                                              std::shared_ptr<const Topology> graph) {
+  ST_REQUIRE(graph != nullptr, "TopologySchedule::set_graph: graph required");
+  events_.push_back(TopologyEvent{at, TopologyEvent::Kind::kSetGraph, 0, 0, std::move(graph)});
+  return *this;
+}
+
+CompiledTopologySchedule TopologySchedule::compile(
+    std::shared_ptr<const Topology> base) const {
+  ST_REQUIRE(base != nullptr, "TopologySchedule::compile: base graph required");
+  const std::uint32_t n = base->n();
+
+  CompiledTopologySchedule out;
+  out.epochs_.push_back({0.0, base});
+  if (events_.empty()) return out;
+
+  // The working edge set, normalized to (min, max) pairs; std::set keeps
+  // iteration sorted, so every snapshot is built from a deterministic edge
+  // order regardless of event order within an epoch.
+  std::set<std::pair<NodeId, NodeId>> edges;
+  const auto load_edges = [&edges](const Topology& topo) {
+    edges.clear();
+    for (NodeId a = 0; a < topo.n(); ++a) {
+      for (const NodeId b : topo.neighbors(a)) {
+        if (a < b) edges.emplace(a, b);
+      }
+    }
+  };
+  load_edges(*base);
+
+  RealTime prev = 0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TopologyEvent& ev = events_[i];
+    ST_REQUIRE(ev.at > 0,
+               "topology schedule: event times must be strictly positive (epoch 0 is the "
+               "base graph)");
+    ST_REQUIRE(ev.at >= prev, "topology schedule: event times must be non-decreasing");
+    prev = ev.at;
+
+    switch (ev.kind) {
+      case TopologyEvent::Kind::kSetGraph:
+        ST_REQUIRE(ev.graph->n() == n,
+                   "topology schedule: replacement graph must keep the node count");
+        load_edges(*ev.graph);
+        break;
+      case TopologyEvent::Kind::kAddEdge:
+      case TopologyEvent::Kind::kRemoveEdge: {
+        ST_REQUIRE(ev.a < n && ev.b < n,
+                   "topology schedule: edge endpoint outside [0, n)");
+        ST_REQUIRE(ev.a != ev.b, "topology schedule: edge endpoints must be distinct");
+        const auto key = std::minmax(ev.a, ev.b);
+        if (ev.kind == TopologyEvent::Kind::kAddEdge) {
+          ST_REQUIRE(edges.emplace(key.first, key.second).second,
+                     "topology schedule: add_edge of a link that already exists");
+        } else {
+          ST_REQUIRE(edges.erase(key) == 1,
+                     "topology schedule: remove_edge of a link that does not exist");
+        }
+        break;
+      }
+    }
+
+    // Snapshot once per distinct time: events sharing a timestamp land in
+    // one epoch, applied in list order.
+    if (i + 1 < events_.size() && events_[i + 1].at == ev.at) continue;
+    std::vector<std::pair<NodeId, NodeId>> list(edges.begin(), edges.end());
+    out.epochs_.push_back(
+        {ev.at, std::make_shared<const Topology>(Topology::from_edges(n, list))});
+  }
+  return out;
+}
+
+}  // namespace stclock

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/topology.h"
+#include "util/types.h"
+
+/// Time-varying network graphs: the dynamic-network model of Kuhn, Lenzen,
+/// Locher and Oshman, where the set of links changes as the run progresses.
+///
+/// A `TopologySchedule` is an ordered list of timed graph mutations — an
+/// edge appears, an edge disappears, or the whole graph is replaced — and
+/// compiles into a `CompiledTopologySchedule`: a sequence of *epochs*, each
+/// an immutable `Topology` snapshot live over a half-open real-time window
+/// [start, next-start). The simulator consumes the compiled form: epoch
+/// switches are ordinary simulator events, every broadcast / unicast /
+/// adversary send consults the snapshot live at its send time, and the trace
+/// layer measures local skew against the adjacency live at sampling time.
+///
+/// Compilation is strict — out-of-range endpoints, self-loops, adding a link
+/// that already exists, or removing one that does not are logic errors, so a
+/// schedule can never silently drift from the graph it mutates. Compilation
+/// does NOT require epochs to stay connected: windowed cut policies
+/// (adversary/delay_policies.h) compile deliberately disconnected epochs.
+/// Callers that need liveness (the scenario engine does) ask
+/// `first_disconnected_epoch()` after compiling.
+///
+/// In-flight messages survive an epoch switch: link existence is checked at
+/// send time, matching the "message sent over a live edge is delivered"
+/// reading of the dynamic-graph model.
+namespace stclock {
+
+/// One timed mutation of the network graph.
+struct TopologyEvent {
+  enum class Kind : std::uint8_t {
+    kAddEdge,     ///< link {a, b} appears at `at`
+    kRemoveEdge,  ///< link {a, b} disappears at `at`
+    kSetGraph,    ///< the whole graph is replaced by `graph` at `at`
+  };
+
+  RealTime at = 0;
+  Kind kind = Kind::kAddEdge;
+  NodeId a = 0;  ///< edge endpoints (edge events only)
+  NodeId b = 0;
+  std::shared_ptr<const Topology> graph;  ///< replacement (set-graph only)
+};
+
+/// The compiled form: per-epoch immutable snapshots, ready for O(log epochs)
+/// time-to-graph lookup. Epoch 0 always starts at time 0 and holds the base
+/// graph the schedule was compiled against (the same object, so a static
+/// fast path keyed on pointer identity keeps working).
+class CompiledTopologySchedule {
+ public:
+  [[nodiscard]] std::size_t epoch_count() const { return epochs_.size(); }
+  [[nodiscard]] RealTime epoch_start(std::size_t i) const;
+  [[nodiscard]] const std::shared_ptr<const Topology>& epoch_graph(std::size_t i) const;
+
+  /// Index of the epoch live at time t (the last epoch with start <= t).
+  [[nodiscard]] std::size_t epoch_at(RealTime t) const;
+  /// The graph live at time t.
+  [[nodiscard]] const Topology& graph_at(RealTime t) const;
+  /// True when link {a, b} exists at time t (false for a == b).
+  [[nodiscard]] bool adjacent_at(RealTime t, NodeId a, NodeId b) const;
+
+  /// All snapshots share one node count.
+  [[nodiscard]] std::uint32_t n() const;
+
+  static constexpr std::size_t kAllConnected = static_cast<std::size_t>(-1);
+  /// Index of the first epoch whose snapshot is disconnected, or
+  /// kAllConnected. The scenario engine rejects schedules that fail this;
+  /// cut delay policies deliberately do not call it.
+  [[nodiscard]] std::size_t first_disconnected_epoch() const;
+
+ private:
+  friend class TopologySchedule;
+
+  struct Epoch {
+    RealTime start = 0;
+    std::shared_ptr<const Topology> graph;
+  };
+
+  std::vector<Epoch> epochs_;
+};
+
+class TopologySchedule {
+ public:
+  /// Append one event. Times must be appended in non-decreasing order and be
+  /// strictly positive (epoch 0 — time 0 — is the base graph); compile()
+  /// enforces both. Events sharing one time merge into a single epoch.
+  TopologySchedule& add_edge(RealTime at, NodeId a, NodeId b);
+  TopologySchedule& remove_edge(RealTime at, NodeId a, NodeId b);
+  TopologySchedule& set_graph(RealTime at, std::shared_ptr<const Topology> graph);
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  [[nodiscard]] const std::vector<TopologyEvent>& events() const { return events_; }
+
+  /// Compiles against `base` (the epoch-0 graph). Throws std::logic_error
+  /// for unordered or non-positive times, endpoints outside [0, base->n()),
+  /// self-loops, adding a present link, removing an absent one, or a
+  /// replacement graph of a different size. Connectivity is deliberately
+  /// NOT checked here — see first_disconnected_epoch().
+  [[nodiscard]] CompiledTopologySchedule compile(
+      std::shared_ptr<const Topology> base) const;
+
+ private:
+  std::vector<TopologyEvent> events_;
+};
+
+}  // namespace stclock

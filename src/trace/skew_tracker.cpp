@@ -5,16 +5,18 @@
 
 namespace stclock {
 
-SkewTracker::SkewTracker(Duration series_interval, std::function<bool(NodeId)> include,
-                         const Topology* topology)
-    : series_interval_(series_interval), include_(std::move(include)), topology_(topology) {}
+SkewTracker::SkewTracker(Duration series_interval, std::function<bool(NodeId)> include)
+    : series_interval_(series_interval), include_(std::move(include)) {}
 
 void SkewTracker::sample(const Simulator& sim) {
   const RealTime t = sim.now();
-  // Adjacent-pair skew only needs the per-node readings when the graph is
-  // sparse; on a complete topology every pair is adjacent, so the local
-  // skew IS the spread and the O(E) pass is skipped.
-  const bool sparse = topology_ != nullptr && !topology_->is_complete();
+  // The adjacency live RIGHT NOW: on a dynamic topology this moves with the
+  // epoch schedule, so local skew is always measured against the links that
+  // existed at sampling time. Adjacent-pair skew only needs the per-node
+  // readings when the graph is sparse; on a complete topology every pair is
+  // adjacent, so the local skew IS the spread and the O(E) pass is skipped.
+  const Topology* topology = sim.current_topology();
+  const bool sparse = topology != nullptr && !topology->is_complete();
   if (sparse) {
     values_.resize(sim.n());
     sampled_.assign(sim.n(), 0);
@@ -52,7 +54,7 @@ void SkewTracker::sample(const Simulator& sim) {
     local = 0;
     for (NodeId a : sim.honest_ids()) {
       if (!sampled_[a]) continue;
-      for (const NodeId b : topology_->neighbors(a)) {
+      for (const NodeId b : topology->neighbors(a)) {
         if (b > a && sampled_[b]) {
           local = std::max(local, std::abs(values_[a] - values_[b]));
         }

@@ -17,20 +17,19 @@
 ///
 /// Besides the global spread, the tracker measures *local skew* — the max
 /// clock difference over pairs of topology-adjacent nodes, the figure of
-/// merit of gradient clock synchronization (Kuhn/Lenzen/Locher/Oshman). On
-/// the complete topology (or with no topology) local skew equals the global
-/// spread, at no extra cost.
+/// merit of gradient clock synchronization (Kuhn/Lenzen/Locher/Oshman). The
+/// adjacency is read from the simulator's CURRENT graph at every sample, so
+/// on a dynamic topology the metric always reflects the links that were
+/// live at measurement time. On the complete topology (or with no topology)
+/// local skew equals the global spread, at no extra cost.
 namespace stclock {
 
 class SkewTracker {
  public:
   /// `include` filters which nodes count (e.g. to exclude a joiner until it
-  /// has integrated); null means "all honest started nodes". `topology`
-  /// scopes the local-skew metric; it must outlive the tracker (the runner
-  /// passes the simulation's own graph). Null means complete.
+  /// has integrated); null means "all honest started nodes".
   explicit SkewTracker(Duration series_interval = 0.05,
-                       std::function<bool(NodeId)> include = nullptr,
-                       const Topology* topology = nullptr);
+                       std::function<bool(NodeId)> include = nullptr);
 
   /// Samples the current spread; called from the post-event hook.
   void sample(const Simulator& sim);
@@ -54,7 +53,6 @@ class SkewTracker {
  private:
   Duration series_interval_;
   std::function<bool(NodeId)> include_;
-  const Topology* topology_;
   RealTime steady_start_ = 0;
 
   double max_skew_ = 0;

@@ -116,6 +116,36 @@ inline std::vector<ScenarioSpec> specs() {
     out.push_back(spec);
   }
 
+  // Dynamic ring with an edge-failure window (PR-5 workload): the {0, 1}
+  // ring edge fails at t=2.5 and heals at t=5.5. The graph stays connected
+  // throughout (traffic takes the long way around), so liveness holds while
+  // the epoch switches reroute every broadcast and move the local-skew
+  // adjacency. Pins the whole topology-schedule machinery: compile, epoch
+  // timers, live-graph fan-out, and epoch-aware skew tracking.
+  for (const char* protocol : {"auth", "echo"}) {
+    ScenarioSpec spec = base(protocol, 0, 12);
+    spec.cfg.n = 8;
+    spec.topology = TopologyKind::kRing;
+    spec.topology_events = {
+        {TopologyEventSpec::Kind::kRemoveEdge, 2.5, 0, 1, TopologyKind::kRing},
+        {TopologyEventSpec::Kind::kAddEdge, 5.5, 0, 1, TopologyKind::kRing},
+    };
+    spec.horizon = 8.0;
+    out.push_back(spec);
+  }
+
+  // The gradient baseline on the static ring (PR-5): the first protocol
+  // whose figure of merit IS the local skew — neighbors average each other's
+  // readings, so the metric the topology layer introduced finally has a
+  // protocol optimizing it (a dedicated test asserts it beats "leader").
+  {
+    ScenarioSpec spec = base("gradient", 0, 9);
+    spec.cfg.n = 8;
+    spec.topology = TopologyKind::kRing;
+    spec.horizon = 8.0;
+    out.push_back(spec);
+  }
+
   return out;
 }
 

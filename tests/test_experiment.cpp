@@ -35,8 +35,8 @@ ScenarioSpec small_spec(const std::string& protocol) {
 TEST(Registry, ListsEveryBuiltInProtocol) {
   const std::vector<std::string> names = ProtocolRegistry::global().names();
   for (const char* expected :
-       {"auth", "echo", "lundelius_welch", "interactive_convergence", "hssd", "leader",
-        "leader_corrupt", "unsynchronized"}) {
+       {"auth", "echo", "lundelius_welch", "interactive_convergence", "gradient", "hssd",
+        "leader", "leader_corrupt", "unsynchronized"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing protocol: " << expected;
   }

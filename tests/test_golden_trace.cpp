@@ -42,6 +42,8 @@ struct Expected {
   // sentinel and are checked against max_skew / steady_skew instead.
   double local_skew = -1;
   double steady_local_skew = -1;
+  // PR-5 dynamic-topology metric; static rows keep the single epoch.
+  std::uint64_t topology_epochs = 1;
 };
 
 // Captured at commit "PR 1" (pre-refactor), in golden_specs() order:
@@ -89,6 +91,19 @@ constexpr Expected kExpected[] = {
     {0.023780192229139629, 0.023780192229139629, 0.0086071105073468601, 0.979314198636553,
      0.98944499735917057, 8, 8, true, 1.0150487870756677, 1.0160928340105337, 890, 8010,
      1018, 8, 0, -1, false, 0.023780192229139629, 0.023780192229139629},
+    // PR-5 dynamic-topology rows: ring with an edge-failure window (the
+    // {0, 1} edge out over [2.5, 5.5)) x {auth, echo} — three compiled
+    // epochs, broadcasts rerouted mid-run — and the gradient baseline on
+    // the static ring. Captured when the topology-schedule layer landed.
+    {0.013621065043235125, 0.012903531952113578, 0.0029153297649813226, 0.98793316985466428,
+     0.99009490240298126, 8, 8, true, 1.0097482014523265, 1.0101741615108677, 348, 15660,
+     471, 8, 0, -1, false, 0.013621065043235125, 0.012257493825187815, 3},
+    {0.023622065043235274, 0.022902430782282046, 0.0029153297649813226, 0.97793130859712618,
+     0.98009293359398963, 8, 8, true, 1.0198514995633599, 1.0202744594152133, 348, 3132,
+     471, 8, 0, -1, false, 0.023622065043235274, 0.022255969480081461, 3},
+    {0.004388306538742115, 0.0036859473499006867, 0, 0,
+     0, 0, 0, false, 0.99961388847323385, 1.0008601072591083, 192, 3264,
+     250, 0, 0, -1, false, 0.0039895831942931004, 0.0035611683515077708, 1},
 };
 
 TEST(GoldenTrace, MetricsAreBitIdenticalAcrossHotPathRefactor) {
@@ -118,6 +133,7 @@ TEST(GoldenTrace, MetricsAreBitIdenticalAcrossHotPathRefactor) {
     EXPECT_EQ(r.messages_dropped, e.messages_dropped);
     EXPECT_EQ(r.rejoin_latency, e.rejoin_latency);
     EXPECT_EQ(r.churned_rejoined, e.churned_rejoined);
+    EXPECT_EQ(r.topology_epochs, e.topology_epochs);
     if (e.local_skew < 0) {
       // Complete topology: the local-skew metric must degenerate to the
       // global spread exactly (every pair is adjacent).

@@ -46,8 +46,10 @@ const BadCase kCorpus[] = {
      "axis needs at least one value"},
     {"unknown_axis_field", R"({"axes": [{"name": "color", "values": [1]}]})",
      "unknown axis field \"color\""},
-    {"non_scalar_axis_value", R"({"axes": [{"name": "seed", "values": [[1]]}]})",
-     "axis values must be scalars"},
+    {"array_axis_value_on_scalar_field", R"({"axes": [{"name": "seed", "values": [[1]]}]})",
+     "expected number, got array"},
+    {"object_axis_value", R"({"axes": [{"name": "seed", "values": [{"v": 1}]}]})",
+     "axis values must be scalars or arrays"},
     {"axis_missing_values", R"({"axes": [{"name": "seed"}]})", "missing \"values\""},
     {"churn_window_reversed",
      R"({"base": {"churn_nodes": 1, "churn_leave": 9.0, "churn_rejoin": 3.0}})",
@@ -72,6 +74,51 @@ const BadCase kCorpus[] = {
      R"({"base": {"n": 10, "f": 1, "topology": "gnp", "gnp_p": 0.02,
                   "topology_seed": 7}})",
      "topology is disconnected"},
+    // --- topology_events (PR-5 dynamic topologies) ---
+    {"topology_events_not_array", R"({"base": {"topology_events": 3}})",
+     "base.topology_events: expected array, got number"},
+    {"topology_event_missing_at",
+     R"({"base": {"topology_events": [{"add": [0, 1]}]}})", "missing \"at\""},
+    {"topology_event_no_action", R"({"base": {"topology_events": [{"at": 2.0}]}})",
+     "need exactly one of \"add\", \"remove\", \"set\""},
+    {"topology_event_two_actions",
+     R"({"base": {"topology_events": [{"at": 2.0, "add": [0, 2], "remove": [1, 2]}]}})",
+     "need exactly one of \"add\", \"remove\", \"set\""},
+    {"topology_event_unknown_key",
+     R"({"base": {"topology_events": [{"at": 2.0, "destroy": [0, 1]}]}})",
+     "unknown key (known: at, add, remove, set)"},
+    {"topology_event_bad_arity",
+     R"({"base": {"topology_events": [{"at": 2.0, "add": [0]}]}})",
+     "expected an edge [a, b]"},
+    {"topology_event_self_loop",
+     R"({"base": {"topology_events": [{"at": 2.0, "add": [1, 1]}]}})",
+     "edge endpoints must be distinct"},
+    {"topology_event_negative_time",
+     R"({"base": {"topology_events": [{"at": -1.0, "add": [0, 2]}]}})",
+     ".at: must be positive"},
+    {"topology_event_unordered_times",
+     R"({"base": {"topology_events": [{"at": 5.0, "remove": [0, 1]},
+                                      {"at": 2.0, "add": [0, 1]}]}})",
+     "topology_events times must be non-decreasing"},
+    {"topology_event_unknown_set_kind",
+     R"({"base": {"topology_events": [{"at": 2.0, "set": "mobius"}]}})",
+     ".set: unknown topology kind \"mobius\""},
+    // Engine-side load-time validation, mirroring the partition_group check.
+    {"topology_event_node_out_of_range",
+     R"({"base": {"n": 5, "topology_events": [{"at": 2.0, "add": [0, 9]}]}})",
+     "topology_events names nodes outside [0, n)"},
+    {"topology_event_removes_missing_link",
+     R"({"base": {"n": 5, "topology": "ring",
+                  "topology_events": [{"at": 2.0, "remove": [0, 2]}]}})",
+     "remove_edge of a link that does not exist"},
+    {"topology_event_adds_present_link",
+     R"({"base": {"n": 5, "topology": "ring",
+                  "topology_events": [{"at": 2.0, "add": [0, 1]}]}})",
+     "add_edge of a link that already exists"},
+    {"topology_event_disconnects_an_epoch",
+     R"({"base": {"n": 5, "topology": "star",
+                  "topology_events": [{"at": 2.0, "remove": [0, 1]}]}})",
+     "disconnects the topology"},
 };
 
 TEST(ScenfileErrors, EveryMalformedFileFailsWithADistinctFieldNamingError) {

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "adversary/delay_policies.h"
+#include "sim/simulator.h"
+#include "sim/topology_schedule.h"
+
+/// The TopologySchedule subsystem: compile semantics (epoch grouping, strict
+/// mutation checking, connectivity queries), the simulator's epoch-switch
+/// machinery (a single-epoch schedule is bit-identical to no schedule;
+/// traffic at time t rides the graph live at t), and the CutDelay rewrite
+/// over the same machinery.
+namespace stclock {
+namespace {
+
+std::shared_ptr<const Topology> make_ring(std::uint32_t n) {
+  return std::make_shared<const Topology>(Topology::ring(n));
+}
+
+TEST(TopologySchedule, EmptyScheduleCompilesToOneBaseEpoch) {
+  const auto base = make_ring(5);
+  const CompiledTopologySchedule compiled = TopologySchedule{}.compile(base);
+  ASSERT_EQ(compiled.epoch_count(), 1u);
+  EXPECT_EQ(compiled.epoch_start(0), 0.0);
+  EXPECT_EQ(compiled.epoch_graph(0).get(), base.get());  // the very same object
+  EXPECT_EQ(compiled.epoch_at(123.0), 0u);
+  EXPECT_EQ(compiled.first_disconnected_epoch(), CompiledTopologySchedule::kAllConnected);
+}
+
+TEST(TopologySchedule, EdgeEventsSnapshotPerDistinctTime) {
+  const auto base = make_ring(5);
+  TopologySchedule schedule;
+  // Two events at t=2 form ONE epoch: the ring loses {0,1} and gains the
+  // {0,2} chord atomically; t=4 heals the original edge.
+  schedule.remove_edge(2.0, 0, 1).add_edge(2.0, 0, 2).add_edge(4.0, 1, 0);
+  const CompiledTopologySchedule compiled = schedule.compile(base);
+
+  ASSERT_EQ(compiled.epoch_count(), 3u);
+  EXPECT_EQ(compiled.epoch_start(1), 2.0);
+  EXPECT_EQ(compiled.epoch_start(2), 4.0);
+
+  EXPECT_TRUE(compiled.adjacent_at(1.9, 0, 1));
+  EXPECT_FALSE(compiled.adjacent_at(1.9, 0, 2));
+  // Boundary times belong to the NEW epoch ([start, next) windows).
+  EXPECT_FALSE(compiled.adjacent_at(2.0, 0, 1));
+  EXPECT_TRUE(compiled.adjacent_at(2.0, 0, 2));
+  EXPECT_TRUE(compiled.adjacent_at(4.0, 0, 1));
+  EXPECT_TRUE(compiled.adjacent_at(4.0, 0, 2));  // the chord persists
+  EXPECT_EQ(compiled.graph_at(5.0).edge_count(), 6u);
+  EXPECT_EQ(compiled.n(), 5u);
+}
+
+TEST(TopologySchedule, SetGraphReplacesTheWholeTopology) {
+  const auto base = make_ring(6);
+  TopologySchedule schedule;
+  schedule.set_graph(3.0, std::make_shared<const Topology>(Topology::star(6)));
+  schedule.remove_edge(5.0, 0, 3);  // valid against the NEW star graph
+  const CompiledTopologySchedule compiled = schedule.compile(base);
+
+  ASSERT_EQ(compiled.epoch_count(), 3u);
+  EXPECT_TRUE(compiled.adjacent_at(1.0, 2, 3));   // ring edge
+  EXPECT_FALSE(compiled.adjacent_at(3.5, 2, 3));  // star: spokes unlinked
+  EXPECT_TRUE(compiled.adjacent_at(3.5, 0, 3));   // hub link
+  EXPECT_FALSE(compiled.adjacent_at(5.0, 0, 3));  // removed
+  // The last epoch orphaned node 3 — visible to the connectivity query.
+  EXPECT_EQ(compiled.first_disconnected_epoch(), 2u);
+}
+
+TEST(TopologySchedule, CompileRejectsInvalidSchedules) {
+  const auto base = make_ring(5);
+  const auto compile = [&base](const TopologySchedule& s) { (void)s.compile(base); };
+
+  EXPECT_THROW(compile(TopologySchedule{}.add_edge(0.0, 0, 2)), std::logic_error);
+  EXPECT_THROW(compile(TopologySchedule{}.add_edge(-1.0, 0, 2)), std::logic_error);
+  // Unordered times.
+  EXPECT_THROW(compile(TopologySchedule{}.add_edge(5.0, 0, 2).remove_edge(3.0, 0, 1)),
+               std::logic_error);
+  // Endpoint range / self-loop.
+  EXPECT_THROW(compile(TopologySchedule{}.add_edge(1.0, 0, 9)), std::logic_error);
+  EXPECT_THROW(compile(TopologySchedule{}.add_edge(1.0, 2, 2)), std::logic_error);
+  // Adding a present link / removing an absent one.
+  EXPECT_THROW(compile(TopologySchedule{}.add_edge(1.0, 0, 1)), std::logic_error);
+  EXPECT_THROW(compile(TopologySchedule{}.remove_edge(1.0, 0, 2)), std::logic_error);
+  // Replacement graph of the wrong size.
+  EXPECT_THROW(compile(TopologySchedule{}.set_graph(1.0, make_ring(4))), std::logic_error);
+}
+
+// --- Simulator integration ---------------------------------------------------
+
+/// Broadcasts every simulated second and records who it hears.
+class ChatterProcess final : public Process {
+ public:
+  void on_start(Context& ctx) override { (void)ctx.set_timer_at_hardware(1.0); }
+  void on_timer(Context& ctx, TimerId) override {
+    ctx.broadcast(Message(InitMsg{1}));
+    (void)ctx.set_timer_at_hardware(ctx.hardware_now() + 1.0);
+  }
+  void on_message(Context&, NodeId from, const Message&) override {
+    heard_from.insert(from);
+  }
+
+  std::set<NodeId> heard_from;
+};
+
+struct Fleet {
+  std::unique_ptr<Simulator> sim;
+  std::vector<ChatterProcess*> procs;
+};
+
+Fleet build_fleet(std::uint32_t n, std::shared_ptr<const Topology> topo,
+                  std::shared_ptr<const CompiledTopologySchedule> schedule,
+                  std::uint64_t seed) {
+  SimParams params;
+  params.n = n;
+  params.tdel = 0.01;
+  params.seed = seed;
+  params.topology = std::move(topo);
+  params.schedule = std::move(schedule);
+  std::vector<HardwareClock> clocks;
+  for (std::uint32_t i = 0; i < n; ++i) clocks.emplace_back(0.0, 1.0);
+  Fleet fleet;
+  fleet.sim = std::make_unique<Simulator>(params, std::move(clocks),
+                                          std::make_unique<UniformDelay>(0.0, 1.0), nullptr);
+  for (NodeId id = 0; id < n; ++id) {
+    auto proc = std::make_unique<ChatterProcess>();
+    fleet.procs.push_back(proc.get());
+    fleet.sim->set_process(id, std::move(proc));
+  }
+  return fleet;
+}
+
+TEST(ScheduledSimulator, SingleEpochScheduleIsBitIdenticalToNoSchedule) {
+  // The zero-event contract at the substrate level: installing the compiled
+  // form of an EMPTY schedule must not perturb a single event — no epoch
+  // timers, same RNG draws, same counters, same deliveries.
+  const auto ring = make_ring(6);
+  const auto compiled =
+      std::make_shared<const CompiledTopologySchedule>(TopologySchedule{}.compile(ring));
+  Fleet plain = build_fleet(6, ring, nullptr, 99);
+  Fleet scheduled = build_fleet(6, ring, compiled, 99);
+  plain.sim->run_until(5.0);
+  scheduled.sim->run_until(5.0);
+
+  EXPECT_EQ(plain.sim->events_dispatched(), scheduled.sim->events_dispatched());
+  EXPECT_EQ(plain.sim->counters().total_sent(), scheduled.sim->counters().total_sent());
+  EXPECT_EQ(plain.sim->counters().total_bytes(), scheduled.sim->counters().total_bytes());
+  EXPECT_EQ(plain.sim->messages_dropped(), scheduled.sim->messages_dropped());
+  EXPECT_EQ(scheduled.sim->topology_epoch(), 0u);
+  for (NodeId id = 0; id < 6; ++id) {
+    EXPECT_EQ(plain.procs[id]->heard_from, scheduled.procs[id]->heard_from);
+  }
+}
+
+TEST(ScheduledSimulator, BroadcastsRideTheGraphLiveAtSendTime) {
+  // Ring of 4; at t=2.5 the {0,1} edge fails and a {0,2} chord appears.
+  // Before the switch node 0 hears {self, 1, 3}; after it, {self, 2, 3}.
+  const auto ring = make_ring(4);
+  TopologySchedule schedule;
+  schedule.remove_edge(2.5, 0, 1).add_edge(2.5, 0, 2);
+  const auto compiled =
+      std::make_shared<const CompiledTopologySchedule>(schedule.compile(ring));
+
+  Fleet early = build_fleet(4, ring, compiled, 5);
+  // Two exchanges, all pre-switch (the extra 0.2 drains in-flight
+  // deliveries — they may trail a broadcast by up to tdel).
+  early.sim->run_until(2.2);
+  EXPECT_EQ(early.sim->topology_epoch(), 0u);
+  EXPECT_EQ(early.procs[0]->heard_from, (std::set<NodeId>{0, 1, 3}));
+  EXPECT_EQ(early.procs[2]->heard_from, (std::set<NodeId>{1, 2, 3}));
+
+  early.procs[0]->heard_from.clear();
+  early.procs[2]->heard_from.clear();
+  early.sim->run_until(4.0);  // two more exchanges, all post-switch
+  EXPECT_EQ(early.sim->topology_epoch(), 1u);
+  EXPECT_EQ(early.sim->current_topology()->edge_count(), 4u);
+  EXPECT_EQ(early.procs[0]->heard_from, (std::set<NodeId>{0, 2, 3}));
+  EXPECT_EQ(early.procs[2]->heard_from, (std::set<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(ScheduledSimulator, UnicastsCheckTheLiveGraphAndCountDrops) {
+  /// Node 0 unicasts to node 1 every second; the link dies at t=2.5.
+  class DirectedSender final : public Process {
+   public:
+    void on_start(Context& ctx) override { (void)ctx.set_timer_at_hardware(1.0); }
+    void on_timer(Context& ctx, TimerId) override {
+      if (ctx.self() == 0) ctx.send(1, Message(InitMsg{1}));
+      (void)ctx.set_timer_at_hardware(ctx.hardware_now() + 1.0);
+    }
+    void on_message(Context&, NodeId, const Message&) override { ++received; }
+    int received = 0;
+  };
+
+  const auto ring = make_ring(4);
+  TopologySchedule schedule;
+  schedule.remove_edge(2.5, 0, 1).add_edge(2.5, 0, 2);
+  SimParams params;
+  params.n = 4;
+  params.tdel = 0.01;
+  params.seed = 3;
+  params.topology = ring;
+  params.schedule = std::make_shared<const CompiledTopologySchedule>(schedule.compile(ring));
+  std::vector<HardwareClock> clocks;
+  for (int i = 0; i < 4; ++i) clocks.emplace_back(0.0, 1.0);
+  Simulator sim(params, std::move(clocks), std::make_unique<FixedDelay>(0.5), nullptr);
+  std::vector<DirectedSender*> procs;
+  for (NodeId id = 0; id < 4; ++id) {
+    auto proc = std::make_unique<DirectedSender>();
+    procs.push_back(proc.get());
+    sim.set_process(id, std::move(proc));
+  }
+  sim.run_until(4.5);
+
+  // Sends at t=1 and t=2 ride the live link; t=3 and t=4 have none.
+  EXPECT_EQ(procs[1]->received, 2);
+  EXPECT_EQ(sim.messages_dropped(), 2u);
+}
+
+TEST(ScheduledSimulator, ScheduleMustMatchTheInstalledTopology) {
+  const auto ring = make_ring(4);
+  const auto other = make_ring(4);
+  const auto compiled =
+      std::make_shared<const CompiledTopologySchedule>(TopologySchedule{}.compile(other));
+  SimParams params;
+  params.n = 4;
+  params.tdel = 0.01;
+  params.topology = ring;
+  params.schedule = compiled;  // compiled against a DIFFERENT object
+  std::vector<HardwareClock> clocks;
+  for (int i = 0; i < 4; ++i) clocks.emplace_back(0.0, 1.0);
+  EXPECT_THROW(
+      Simulator(params, std::move(clocks), std::make_unique<FixedDelay>(0.5), nullptr),
+      std::logic_error);
+}
+
+// --- CutDelay over the compiled schedule ------------------------------------
+
+TEST(CutDelaySchedule, DropsExactlyCrossCutTrafficInsideTheWindow) {
+  // Nodes {0, 1} vs {2, 3}, window [2, 4). The policy compiles its cut as a
+  // topology schedule; behavior must match the membership formulation.
+  CutDelay cut({true, true}, 2.0, 4.0, std::make_unique<FixedDelay>(0.5));
+  const Topology topo = Topology::complete(4);
+  cut.on_topology(topo);
+  Rng rng(1);
+
+  EXPECT_EQ(cut.delay(0, 2, 1.0, 0.01, rng), 0.005);            // before the window
+  EXPECT_EQ(cut.delay(0, 2, 2.0, 0.01, rng), kDropMessage);     // cross, inside
+  EXPECT_EQ(cut.delay(3, 1, 3.9, 0.01, rng), kDropMessage);     // cross, inside
+  EXPECT_EQ(cut.delay(0, 1, 3.0, 0.01, rng), 0.005);            // same side A
+  EXPECT_EQ(cut.delay(2, 3, 3.0, 0.01, rng), 0.005);            // same side B
+  EXPECT_EQ(cut.delay(0, 2, 4.0, 0.01, rng), 0.005);            // healed
+}
+
+TEST(CutDelaySchedule, WindowOpenFromTimeZeroIsTheBaseEpoch) {
+  CutDelay cut({true}, 0.0, 2.0, std::make_unique<FixedDelay>(0.0));
+  cut.on_topology(Topology::complete(3));
+  Rng rng(1);
+  EXPECT_EQ(cut.delay(0, 1, 0.0, 0.01, rng), kDropMessage);
+  EXPECT_EQ(cut.delay(1, 2, 1.0, 0.01, rng), 0.0);  // same side B
+  EXPECT_EQ(cut.delay(0, 1, 2.0, 0.01, rng), 0.0);  // healed
+}
+
+TEST(CutDelaySchedule, RequiresTheTopologyBeforeTraffic) {
+  CutDelay cut({true}, 1.0, 2.0, std::make_unique<FixedDelay>(0.0));
+  Rng rng(1);
+  EXPECT_THROW((void)cut.delay(0, 1, 0.5, 0.01, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace stclock

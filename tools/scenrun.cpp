@@ -135,6 +135,7 @@ int main(int argc, char** argv) {
                   << " steady_skew=" << results[i].steady_skew
                   << " local_skew=" << results[i].local_skew
                   << " live=" << (results[i].live ? 1 : 0)
+                  << " epochs=" << results[i].topology_epochs
                   << " messages=" << results[i].messages_sent
                   << " dropped=" << results[i].messages_dropped << "\n";
       }
