@@ -6,7 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <limits>
+#include <string>
 
 #include "clocks/drift_models.h"
 #include "clocks/logical_clock.h"
@@ -15,6 +19,8 @@
 #include "crypto/signature.h"
 #include "experiment/scenario.h"
 #include "experiment/sweep.h"
+#include "resultstore/cache_key.h"
+#include "resultstore/store.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "trace/counters.h"
@@ -219,6 +225,50 @@ void BM_Counters(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_Counters);
+
+experiment::ScenarioSpec micro_scenario(const char* protocol, std::uint32_t f);
+
+void BM_CellFingerprint(benchmark::State& state) {
+  // Full cache-key derivation for one sweep cell: registry resolution,
+  // canonical spec serialization, and the two-lane digest. This is the
+  // per-cell overhead `scenrun --store` adds BEFORE any I/O — it must stay
+  // microseconds so fingerprinting a 10^6-cell grid costs seconds.
+  experiment::ScenarioSpec spec;
+  spec.protocol = "gradient";
+  spec.cfg.n = 8;
+  spec.topology = TopologyKind::kRing;
+  spec.topology_events.push_back(
+      {experiment::TopologyEventSpec::Kind::kRemoveEdge, 1.0, 0, 1, TopologyKind::kRing});
+  for (auto _ : state) {
+    spec.seed += 1;  // vary an input so keys cannot be hoisted
+    benchmark::DoNotOptimize(resultstore::cell_key(spec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CellFingerprint);
+
+void BM_StoreLookup(benchmark::State& state) {
+  // A warm hit: open, validate (length + checksum), decode a full
+  // ScenarioResult. The comparison point is BM_FullRound_* — a lookup must
+  // be orders of magnitude cheaper than the scenario it replaces.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("stclock-bench-store-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    const resultstore::ResultStore store(dir);
+    const experiment::ScenarioSpec spec = micro_scenario("auth", 3);
+    const std::string key = resultstore::cell_key(spec);
+    store.save(key, experiment::run_scenario(spec));
+    for (auto _ : state) {
+      auto hit = store.load(key);
+      benchmark::DoNotOptimize(hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_StoreLookup);
 
 void BM_HardwareClockRead(benchmark::State& state) {
   // A clock with 100 rate-change segments (a busy random-walk trajectory).

@@ -3,7 +3,7 @@
 # tree (src/, tests/, bench/, examples/) builds under -Wall -Wextra -Werror,
 # so any new warning in the hot-path files fails the gate.
 #
-# Usage: scripts/check.sh [--bench] [--scen] [--asan] [build-dir]
+# Usage: scripts/check.sh [--bench] [--scen] [--store] [--asan] [build-dir]
 #                         (default build-dir: build-check)
 #   --bench  additionally smoke-run the tracked perf benchmarks (1 iteration,
 #            via scripts/bench.sh --smoke) so the bench binaries cannot
@@ -12,6 +12,11 @@
 #            checked-in example grid, then re-run each grid sharded in two
 #            halves (--cells) and verify scenmerge reassembles dumps
 #            byte-identical to the unsharded run.
+#   --store  additionally smoke-run the result store: cold run of an example
+#            grid with --store, warm re-run asserted 100% hits with
+#            byte-identical dumps, scenstore ls/stats/gc, and a scenlaunch
+#            host-manifest run WITH an injected straggler whose re-dispatched
+#            merge must still match the cold run byte for byte.
 #   --asan   additionally build the tree under ASan+UBSan (its own build
 #            directory, <build-dir>-asan) and run the tier-1 ctest suite in
 #            it; any sanitizer report fails the gate.
@@ -23,13 +28,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 RUN_BENCH=0
 RUN_SCEN=0
+RUN_STORE=0
 RUN_ASAN=0
 BUILD_DIR="build-check"
 for arg in "$@"; do
   case "$arg" in
-    -h|--help) sed -n 's/^# \{0,1\}//p' "$0" | sed -n '2,19p'; exit 0 ;;
+    -h|--help) sed -n 's/^# \{0,1\}//p' "$0" | sed -n '2,25p'; exit 0 ;;
     --bench) RUN_BENCH=1 ;;
     --scen) RUN_SCEN=1 ;;
+    --store) RUN_STORE=1 ;;
     --asan) RUN_ASAN=1 ;;
     -*) echo "check.sh: unknown option: $arg (see --help)" >&2; exit 2 ;;
     *) BUILD_DIR="$arg" ;;
@@ -44,9 +51,12 @@ if [[ "$RUN_BENCH" -eq 1 ]]; then
   scripts/bench.sh --smoke "$BUILD_DIR-bench"
 fi
 
+SCEN_TMP=""
+STORE_TMP=""
+trap 'rm -rf ${SCEN_TMP:+"$SCEN_TMP"} ${STORE_TMP:+"$STORE_TMP"}' EXIT
+
 if [[ "$RUN_SCEN" -eq 1 ]]; then
   SCEN_TMP="$(mktemp -d)"
-  trap 'rm -rf "$SCEN_TMP"' EXIT
   for grid in examples/scenarios/*.json; do
     name="$(basename "$grid" .json)"
     total="$("$BUILD_DIR/scenrun" "$grid" --count)"
@@ -80,6 +90,51 @@ if [[ "$RUN_SCEN" -eq 1 ]]; then
   diff "$SCEN_TMP/dynamic_ring_grid.full.json" "$SCEN_TMP/dynamic.launched.json"
   diff "$SCEN_TMP/dynamic_ring_grid.full.csv" "$SCEN_TMP/dynamic.launched.csv"
   echo "check.sh: scen smoke OK: dynamic_ring_grid via scenlaunch (byte-identical)"
+fi
+
+if [[ "$RUN_STORE" -eq 1 ]]; then
+  STORE_TMP="$(mktemp -d)"
+  GRID="examples/scenarios/dynamic_ring_grid.json"
+  STORE="$STORE_TMP/store"
+  TOTAL="$("$BUILD_DIR/scenrun" "$GRID" --count)"
+
+  # Cold: every cell is a miss and gets published.
+  "$BUILD_DIR/scenrun" "$GRID" --threads 4 --store "$STORE" \
+    --csv "$STORE_TMP/cold.csv" --json "$STORE_TMP/cold.json" \
+    2> "$STORE_TMP/cold.err"
+  grep -q "hits=0 misses=$TOTAL" "$STORE_TMP/cold.err" \
+    || { echo "check.sh: cold run was not all misses:"; cat "$STORE_TMP/cold.err"; exit 1; }
+
+  # Warm: zero scenario computations, byte-identical dumps (different thread
+  # count on purpose — neither caching nor threading may show in the bytes).
+  "$BUILD_DIR/scenrun" "$GRID" --threads 2 --store "$STORE" \
+    --csv "$STORE_TMP/warm.csv" --json "$STORE_TMP/warm.json" \
+    2> "$STORE_TMP/warm.err"
+  grep -q "hits=$TOTAL misses=0" "$STORE_TMP/warm.err" \
+    || { echo "check.sh: warm run was not 100% hits:"; cat "$STORE_TMP/warm.err"; exit 1; }
+  diff "$STORE_TMP/cold.csv" "$STORE_TMP/warm.csv"
+  diff "$STORE_TMP/cold.json" "$STORE_TMP/warm.json"
+  echo "check.sh: store smoke OK: warm re-run $TOTAL/$TOTAL hits, byte-identical"
+
+  # Store maintenance round-trips.
+  [[ "$("$BUILD_DIR/scenstore" "$STORE" ls | wc -l)" -eq "$TOTAL" ]] \
+    || { echo "check.sh: scenstore ls disagrees with cell count" >&2; exit 1; }
+  "$BUILD_DIR/scenstore" "$STORE" stats
+  "$BUILD_DIR/scenstore" "$STORE" gc --keep-days 0 | grep -q "entries=0" \
+    || { echo "check.sh: scenstore gc --keep-days 0 left entries behind" >&2; exit 1; }
+  echo "check.sh: store smoke OK: scenstore ls/stats/gc"
+
+  # Multi-host launcher against a host manifest, with shard 1's first
+  # attempt wedged (no heartbeat): the monitor must re-dispatch it and the
+  # merged dumps must STILL be byte-identical to the cold unsharded run.
+  printf 'local 2\nlocal 1\n' > "$STORE_TMP/hosts"
+  scripts/scenlaunch.sh "$GRID" --hosts "$STORE_TMP/hosts" --shards 4 \
+    --build-dir "$BUILD_DIR" --store "$STORE" \
+    --test-straggle 1 --heartbeat 2 --retries 2 \
+    --csv "$STORE_TMP/launched.csv" --json "$STORE_TMP/launched.json"
+  diff "$STORE_TMP/cold.csv" "$STORE_TMP/launched.csv"
+  diff "$STORE_TMP/cold.json" "$STORE_TMP/launched.json"
+  echo "check.sh: store smoke OK: scenlaunch straggler re-dispatch, byte-identical"
 fi
 
 if [[ "$RUN_ASAN" -eq 1 ]]; then

@@ -1,0 +1,47 @@
+#include "experiment/engine_info.h"
+
+#include <cfloat>
+#include <sstream>
+
+#include "util/digest.h"
+
+namespace stclock::experiment {
+
+std::string engine_build_salt() {
+  std::ostringstream os;
+#if defined(__VERSION__)
+  os << "compiler=" << __VERSION__;
+#else
+  os << "compiler=unknown";
+#endif
+#if defined(__OPTIMIZE__)
+  os << " optimize=1";
+#else
+  os << " optimize=0";
+#endif
+#if defined(NDEBUG)
+  os << " ndebug=1";
+#else
+  os << " ndebug=0";
+#endif
+#if defined(__FAST_MATH__)
+  os << " fast_math=1";
+#else
+  os << " fast_math=0";
+#endif
+  os << " flt_eval=" << FLT_EVAL_METHOD;
+  os << " sizeof_long_double=" << sizeof(long double);
+  return os.str();
+}
+
+const std::string& engine_fingerprint() {
+  static const std::string fp = [] {
+    // 16 hex chars of salt digest keep the string short enough for a
+    // --version line while still making distinct build configs distinct.
+    const std::string salt_hex = util::digest_hex(engine_build_salt()).substr(0, 16);
+    return std::string(kEngineVersion) + "+" + salt_hex;
+  }();
+  return fp;
+}
+
+}  // namespace stclock::experiment

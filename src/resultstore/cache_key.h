@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "experiment/scenario.h"
+
+/// The cell fingerprint: one sweep cell → one content-addressed key.
+///
+/// A cell is a pure function of (fully-resolved spec, seed, engine), so its
+/// key is a digest over exactly those three inputs:
+///
+///   key = digest( spec_to_json(resolved_spec(spec))   // canonical, bit-exact
+///               , spec.seed                           // the derived per-cell seed
+///               , engine_fingerprint() )              // version + build salt
+///
+/// The canonical serialization is scenfile::spec_to_json, which round-trips
+/// every ScenarioSpec field bit-exactly (doubles at max_digits10) — two specs
+/// share a key iff the engine would be handed identical inputs. The spec is
+/// resolved through the registry's prepare hook first, so aliases that run
+/// identically ("leader_corrupt" vs "leader" + forced attack) key
+/// identically too.
+///
+/// Deliberately NOT in the key: thread count, shard boundaries (--cells),
+/// sink choice, and host identity. Sweeps are bitwise-deterministic across
+/// all of those (pinned by the shard-merge byte-identity suites), so cells
+/// computed anywhere, in any partition of the grid, are interchangeable.
+namespace stclock::resultstore {
+
+/// Key under an explicit engine fingerprint (tests use this to prove that a
+/// fingerprint bump invalidates every key).
+[[nodiscard]] std::string cell_key(const experiment::ScenarioSpec& spec,
+                                   std::string_view engine_fp);
+
+/// Key under the running engine's own fingerprint.
+[[nodiscard]] std::string cell_key(const experiment::ScenarioSpec& spec);
+
+}  // namespace stclock::resultstore

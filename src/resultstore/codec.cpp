@@ -1,0 +1,127 @@
+#include "resultstore/codec.h"
+
+#include <stdexcept>
+
+namespace stclock::resultstore {
+
+namespace {
+
+void put_bounds(ByteWriter& w, const theory::Bounds& b) {
+  w.f64(b.accept_spread);
+  w.f64(b.alpha);
+  w.f64(b.gamma);
+  w.f64(b.precision);
+  w.f64(b.pulse_spread);
+  w.f64(b.min_period);
+  w.f64(b.max_period);
+  w.f64(b.rate_lo);
+  w.f64(b.rate_hi);
+}
+
+theory::Bounds get_bounds(ByteReader& r) {
+  theory::Bounds b;
+  b.accept_spread = r.f64();
+  b.alpha = r.f64();
+  b.gamma = r.f64();
+  b.precision = r.f64();
+  b.pulse_spread = r.f64();
+  b.min_period = r.f64();
+  b.max_period = r.f64();
+  b.rate_lo = r.f64();
+  b.rate_hi = r.f64();
+  return b;
+}
+
+}  // namespace
+
+Bytes encode_result(const experiment::ScenarioResult& r) {
+  ByteWriter w;
+  w.u32(kResultCodecVersion);
+  w.str(r.protocol);
+  put_bounds(w, r.bounds);
+  w.f64(r.max_skew);
+  w.f64(r.steady_skew);
+  w.f64(r.local_skew);
+  w.f64(r.steady_local_skew);
+  w.u64(r.skew_series.size());
+  for (const auto& [t, skew] : r.skew_series) {
+    w.f64(t);
+    w.f64(skew);
+  }
+  w.f64(r.pulse_spread);
+  w.f64(r.min_period);
+  w.f64(r.max_period);
+  w.u64(r.min_pulses);
+  w.u64(r.max_pulses);
+  w.u8(r.live ? 1 : 0);
+  w.f64(r.envelope.min_rate);
+  w.f64(r.envelope.max_rate);
+  w.f64(r.envelope.upper_offset);
+  w.f64(r.envelope.lower_offset);
+  w.f64(r.rate_fit_tolerance);
+  w.f64(r.join_latency);
+  w.u8(r.joiners_integrated ? 1 : 0);
+  w.f64(r.rejoin_latency);
+  w.u8(r.churned_rejoined ? 1 : 0);
+  w.u64(r.topology_epochs);
+  w.u64(r.messages_sent);
+  w.u64(r.bytes_sent);
+  w.u64(r.messages_dropped);
+  w.u64(r.events_dispatched);
+  w.u64(r.rounds_completed);
+  return std::move(w).take();
+}
+
+experiment::ScenarioResult decode_result(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  const std::uint32_t version = r.u32();
+  if (version != kResultCodecVersion) {
+    throw std::logic_error("resultstore codec: unsupported record version");
+  }
+  experiment::ScenarioResult out;
+  out.protocol = r.str();
+  out.bounds = get_bounds(r);
+  out.max_skew = r.f64();
+  out.steady_skew = r.f64();
+  out.local_skew = r.f64();
+  out.steady_local_skew = r.f64();
+  const std::uint64_t samples = r.u64();
+  // A length prefix larger than the remaining payload is corruption; fail
+  // before allocating.
+  if (samples > r.remaining() / 16) {
+    throw std::logic_error("resultstore codec: skew series length exceeds payload");
+  }
+  out.skew_series.reserve(static_cast<std::size_t>(samples));
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const double t = r.f64();
+    const double skew = r.f64();
+    out.skew_series.emplace_back(t, skew);
+  }
+  out.pulse_spread = r.f64();
+  out.min_period = r.f64();
+  out.max_period = r.f64();
+  out.min_pulses = r.u64();
+  out.max_pulses = r.u64();
+  out.live = r.u8() != 0;
+  out.envelope.min_rate = r.f64();
+  out.envelope.max_rate = r.f64();
+  out.envelope.upper_offset = r.f64();
+  out.envelope.lower_offset = r.f64();
+  out.rate_fit_tolerance = r.f64();
+  out.join_latency = r.f64();
+  out.joiners_integrated = r.u8() != 0;
+  out.rejoin_latency = r.f64();
+  out.churned_rejoined = r.u8() != 0;
+  out.topology_epochs = r.u64();
+  out.messages_sent = r.u64();
+  out.bytes_sent = r.u64();
+  out.messages_dropped = r.u64();
+  out.events_dispatched = r.u64();
+  out.rounds_completed = r.u64();
+  if (!r.exhausted()) {
+    throw std::logic_error("resultstore codec: trailing bytes after record");
+  }
+  return out;
+}
+
+}  // namespace stclock::resultstore

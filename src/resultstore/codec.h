@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "experiment/scenario.h"
+#include "util/bytes.h"
+
+/// Binary codec for the full ScenarioResult — every field the sinks can
+/// print, including the skew series and the envelope report, so a cache hit
+/// is indistinguishable from a recompute all the way to the output bytes.
+///
+/// The encoding is the canonical ByteWriter format (little-endian fixed
+/// width, length-prefixed containers) plus a leading format version. Bump
+/// `kResultCodecVersion` whenever ScenarioResult gains/changes a field; old
+/// records then fail decoding and are treated as misses (the engine
+/// fingerprint in the cache key usually rotates first, but the codec version
+/// keeps decoding safe even for hand-copied stores).
+namespace stclock::resultstore {
+
+inline constexpr std::uint32_t kResultCodecVersion = 1;
+
+[[nodiscard]] Bytes encode_result(const experiment::ScenarioResult& r);
+
+/// Throws std::out_of_range / std::logic_error on truncated, over-long, or
+/// version-mismatched input. Callers in the store catch and map to a miss.
+[[nodiscard]] experiment::ScenarioResult decode_result(std::span<const std::uint8_t> data);
+
+}  // namespace stclock::resultstore

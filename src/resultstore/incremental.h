@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "experiment/sweep.h"
+#include "resultstore/store.h"
+
+/// The incremental sweep engine: lookup-then-compute over a ResultStore.
+///
+/// Every cell's key is fingerprinted (resultstore/cache_key.h); hits are
+/// served from the store, only misses go through the SweepRunner thread
+/// pool, and fresh results are published back. Because cells are pure
+/// functions of their spec, a warm re-run of an unchanged grid performs zero
+/// scenario computations, and editing one axis recomputes exactly the delta
+/// cells — the sinks cannot tell the difference (hit payloads round-trip
+/// every ScenarioResult field bit-exactly).
+namespace stclock::resultstore {
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+/// Runs `cells`, consulting `store` first. `store == nullptr` degrades to a
+/// plain SweepRunner run. `use_cache == false` skips every lookup (forced
+/// recompute) but still publishes the fresh results, refreshing the store in
+/// place. Results come back indexed like the input, exactly as
+/// SweepRunner::run would order them.
+[[nodiscard]] std::vector<experiment::ScenarioResult> run_cells_cached(
+    const std::vector<experiment::SweepCell>& cells, const ResultStore* store,
+    unsigned threads, bool use_cache = true, CacheStats* stats = nullptr);
+
+}  // namespace stclock::resultstore

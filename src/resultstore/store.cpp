@@ -1,0 +1,202 @@
+#include "resultstore/store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "resultstore/codec.h"
+#include "util/contracts.h"
+#include "util/digest.h"
+
+namespace stclock::resultstore {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', 'R', 'E', 'S', 'V', '0', '1'};
+constexpr std::size_t kMagicLen = sizeof kMagic;
+constexpr std::size_t kTrailerLen = 16;  // payload length u64 + checksum u64
+
+std::uint64_t read_u64le(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void write_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+/// A process-unique staging name: pid + monotonic counter. Two processes
+/// staging the same key never collide, and within one process the counter
+/// disambiguates concurrent writer threads.
+std::string staging_name(const std::string& key) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::ostringstream os;
+  os << key << '.' << ::getpid() << '.' << counter.fetch_add(1) << ".tmp";
+  return os.str();
+}
+
+bool valid_key(const std::string& key) {
+  if (key.size() < 3) return false;
+  return std::all_of(key.begin(), key.end(), [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
+
+}  // namespace
+
+ResultStore::ResultStore(fs::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_ / "objects", ec);
+  if (!ec) fs::create_directories(dir_ / "tmp", ec);
+  if (ec) {
+    throw std::runtime_error("resultstore: cannot create store at " + dir_.string() + ": " +
+                             ec.message());
+  }
+}
+
+fs::path ResultStore::object_path(const std::string& key) const {
+  ST_REQUIRE(valid_key(key), "resultstore: malformed cell key");
+  return dir_ / "objects" / key.substr(0, 2) / (key + ".res");
+}
+
+std::optional<experiment::ScenarioResult> ResultStore::load(const std::string& key) const {
+  std::ifstream in(object_path(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  const std::string raw = buffer.str();
+
+  if (raw.size() < kMagicLen + kTrailerLen) return std::nullopt;
+  if (std::memcmp(raw.data(), kMagic, kMagicLen) != 0) return std::nullopt;
+  const auto* trailer =
+      reinterpret_cast<const unsigned char*>(raw.data() + raw.size() - kTrailerLen);
+  const std::uint64_t payload_len = read_u64le(trailer);
+  const std::uint64_t checksum = read_u64le(trailer + 8);
+  if (payload_len != raw.size() - kMagicLen - kTrailerLen) return std::nullopt;
+  const auto* payload = reinterpret_cast<const std::uint8_t*>(raw.data() + kMagicLen);
+  if (util::fnv1a64(payload, static_cast<std::size_t>(payload_len)) != checksum) {
+    return std::nullopt;
+  }
+  try {
+    return decode_result({payload, static_cast<std::size_t>(payload_len)});
+  } catch (const std::exception&) {
+    // Structurally valid wrapper, malformed payload (e.g. a record written
+    // by a future codec): still just a miss.
+    return std::nullopt;
+  }
+}
+
+void ResultStore::save(const std::string& key, const experiment::ScenarioResult& result) const {
+  const Bytes payload = encode_result(result);
+
+  std::string record;
+  record.reserve(kMagicLen + payload.size() + kTrailerLen);
+  record.append(kMagic, kMagicLen);
+  record.append(reinterpret_cast<const char*>(payload.data()), payload.size());
+  write_u64le(record, payload.size());
+  write_u64le(record, util::fnv1a64(payload.data(), payload.size()));
+
+  const fs::path target = object_path(key);
+  std::error_code ec;
+  fs::create_directories(target.parent_path(), ec);
+  if (ec) throw std::runtime_error("resultstore: cannot create " + target.parent_path().string());
+
+  const fs::path staged = dir_ / "tmp" / staging_name(key);
+  {
+    std::ofstream out(staged, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("resultstore: cannot stage " + staged.string());
+    out.write(record.data(), static_cast<std::streamsize>(record.size()));
+    out.flush();
+    if (!out) {
+      fs::remove(staged, ec);
+      throw std::runtime_error("resultstore: short write staging " + staged.string());
+    }
+  }
+  fs::rename(staged, target, ec);
+  if (ec) {
+    fs::remove(staged, ec);
+    throw std::runtime_error("resultstore: cannot publish " + target.string() + ": " +
+                             ec.message());
+  }
+}
+
+bool ResultStore::contains(const std::string& key) const {
+  std::error_code ec;
+  return fs::exists(object_path(key), ec);
+}
+
+std::vector<std::string> ResultStore::keys() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir_ / "objects", ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& p = it->path();
+    if (p.extension() == ".res") out.push_back(p.stem().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ResultStore::Stats ResultStore::stats() const {
+  Stats s;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir_ / "objects", ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    if (it->path().extension() != ".res") continue;
+    ++s.entries;
+    s.bytes += static_cast<std::uint64_t>(it->file_size(ec));
+  }
+  return s;
+}
+
+std::size_t ResultStore::gc(std::chrono::seconds keep) const {
+  const auto cutoff = fs::file_time_type::clock::now() - keep;
+  std::size_t removed = 0;
+  std::error_code ec;
+
+  std::vector<fs::path> victims;
+  for (fs::recursive_directory_iterator it(dir_ / "objects", ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const auto mtime = it->last_write_time(ec);
+    if (!ec && mtime < cutoff) victims.push_back(it->path());
+  }
+  for (const fs::path& p : victims) {
+    if (fs::remove(p, ec) && !ec) ++removed;
+  }
+
+  // Abandoned staging files (a writer that died mid-save) age out on the
+  // same clock; successful saves rename them away immediately.
+  for (fs::directory_iterator it(dir_ / "tmp", ec), end; !ec && it != end; it.increment(ec)) {
+    const auto mtime = it->last_write_time(ec);
+    if (!ec && mtime < cutoff) fs::remove(it->path(), ec);
+  }
+
+  // Prune now-empty fan-out directories so ls stays readable.
+  for (fs::directory_iterator it(dir_ / "objects", ec), end; !ec && it != end;
+       it.increment(ec)) {
+    std::error_code dir_ec;
+    if (it->is_directory(dir_ec) && fs::is_empty(it->path(), dir_ec) && !dir_ec) {
+      fs::remove(it->path(), dir_ec);
+    }
+  }
+  return removed;
+}
+
+bool ResultStore::remove(const std::string& key) const {
+  std::error_code ec;
+  return fs::remove(object_path(key), ec) && !ec;
+}
+
+}  // namespace stclock::resultstore

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "experiment/scenario.h"
+
+/// Content-addressed, on-disk store of ScenarioResults.
+///
+/// Layout (everything under one root directory, safe to rsync or share over
+/// NFS between launcher hosts):
+///
+///   <dir>/objects/<key[0:2]>/<key>.res   one record per cell key
+///   <dir>/tmp/                           staging for atomic publication
+///
+/// Records are written to tmp/ and published with std::filesystem::rename —
+/// atomic on POSIX within one filesystem — so concurrent writers of the same
+/// key (two sweep shards overlapping, or a straggler and its re-dispatch)
+/// can never interleave bytes: readers see either a complete old record or a
+/// complete new one. Since keys are content addresses, all writers of one
+/// key are writing identical bytes anyway.
+///
+/// Record format: 8-byte magic, the codec payload, then a trailer of
+/// payload length + FNV-1a checksum (both u64 LE). Anything that fails
+/// validation — short file, bad magic, length mismatch, checksum mismatch,
+/// codec error — is a MISS, never an exception: a half-destroyed store
+/// degrades to recomputation, it cannot take the sweep down.
+namespace stclock::resultstore {
+
+class ResultStore {
+ public:
+  /// Opens (and creates, including parents) the store rooted at `dir`.
+  /// Throws std::runtime_error if the directory cannot be created.
+  explicit ResultStore(std::filesystem::path dir);
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+  /// The record for `key`, or nullopt when absent OR unreadable/corrupt.
+  [[nodiscard]] std::optional<experiment::ScenarioResult> load(const std::string& key) const;
+
+  /// Atomically publishes the record for `key` (overwrites an existing one).
+  /// Throws std::runtime_error on I/O failure.
+  void save(const std::string& key, const experiment::ScenarioResult& result) const;
+
+  /// True iff a record file exists for `key` (no validation).
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Every key currently in the store, sorted.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  struct Stats {
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Removes records whose mtime is older than now - keep, plus any stale
+  /// staging files, and prunes emptied fan-out directories. Returns the
+  /// number of records removed. Publication refreshes mtime, so a hit loop
+  /// never ages out entries it still writes; pure readers do not refresh.
+  std::size_t gc(std::chrono::seconds keep) const;
+
+  /// Removes one record; returns true if it existed.
+  bool remove(const std::string& key) const;
+
+  /// Path of the record file for `key` (exists or not).
+  [[nodiscard]] std::filesystem::path object_path(const std::string& key) const;
+
+ private:
+  std::filesystem::path dir_;
+};
+
+}  // namespace stclock::resultstore

@@ -1,0 +1,68 @@
+#include "util/digest.h"
+
+namespace stclock::util {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// splitmix64 finalizer: full-width avalanche so that single-byte input
+/// differences flip about half the output bits in each lane.
+constexpr std::uint64_t avalanche(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Digest& Digest::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t l0 = lane0_;
+  std::uint64_t l1 = lane1_;
+  for (std::size_t i = 0; i < len; ++i) {
+    l0 = (l0 ^ p[i]) * kFnvPrime;
+    l1 = (l1 ^ p[i]) * kFnvPrime;
+    // Lane 1 additionally folds the byte position so it is not a pure
+    // function of lane 0's state (FNV with a different seed alone would
+    // keep the lanes affinely related).
+    l1 += static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+  }
+  lane0_ = l0;
+  lane1_ = l1;
+  return *this;
+}
+
+Digest& Digest::update_u64(std::uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  return update(bytes, sizeof bytes);
+}
+
+std::uint64_t Digest::lo() const { return avalanche(lane0_); }
+
+std::uint64_t Digest::hi() const { return avalanche(lane1_ ^ (lane0_ * kFnvPrime)); }
+
+std::string Digest::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  const std::uint64_t halves[2] = {hi(), lo()};
+  std::string out(32, '0');
+  std::size_t pos = 0;
+  for (const std::uint64_t half : halves) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out[pos++] = kDigits[(half >> shift) & 0xF];
+    }
+  }
+  return out;
+}
+
+std::string digest_hex(std::string_view s) { return Digest().update(s).hex(); }
+
+std::uint64_t fnv1a64(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) h = (h ^ p[i]) * kFnvPrime;
+  return h;
+}
+
+}  // namespace stclock::util

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// Self-contained streaming digest for content addressing.
+///
+/// Two independent 64-bit FNV-1a lanes (the second with a distinct offset
+/// basis) run over the same byte stream and are finalized through a
+/// splitmix64-style avalanche, yielding a 128-bit value rendered as 32 lower
+/// case hex characters. This is NOT a cryptographic hash — it addresses a
+/// trusted local cache, where what matters is (a) determinism across
+/// platforms and builds (no word-size or endianness dependence: input is
+/// consumed byte by byte, integers via an explicit little-endian helper) and
+/// (b) enough avalanche that near-identical scenario specs never collide in
+/// practice. The crypto in src/crypto/ stays reserved for the protocol's
+/// adversary model; cache keys intentionally avoid that dependency so
+/// src/util/ remains leaf-level.
+namespace stclock::util {
+
+class Digest {
+ public:
+  /// Appends raw bytes to the stream.
+  Digest& update(const void* data, std::size_t len);
+  Digest& update(std::string_view s) { return update(s.data(), s.size()); }
+  /// Appends a 64-bit integer as 8 little-endian bytes (fixed width, so
+  /// adjacent fields can never alias each other's encodings).
+  Digest& update_u64(std::uint64_t v);
+
+  /// Finalized 128-bit value; the stream may keep growing afterwards (the
+  /// finalizer does not mutate lane state).
+  [[nodiscard]] std::uint64_t lo() const;
+  [[nodiscard]] std::uint64_t hi() const;
+  /// 32 lowercase hex characters: hi then lo, big-endian digit order.
+  [[nodiscard]] std::string hex() const;
+
+ private:
+  // FNV-1a offset bases: the standard one and an arbitrary odd variant so
+  // the lanes decorrelate from the first byte on.
+  std::uint64_t lane0_ = 0xcbf29ce484222325ULL;
+  std::uint64_t lane1_ = 0x6c62272e07bb0142ULL;
+};
+
+/// One-shot convenience: Digest().update(s).hex().
+[[nodiscard]] std::string digest_hex(std::string_view s);
+
+/// Plain single-lane FNV-1a over raw bytes — the store's record checksum.
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t len);
+
+}  // namespace stclock::util

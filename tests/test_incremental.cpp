@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiment/sinks.h"
+#include "resultstore/cache_key.h"
+#include "resultstore/incremental.h"
+#include "resultstore/store.h"
+#include "scenfile/scenfile.h"
+
+/// The incremental sweep engine over a checked-in example grid: a warm
+/// re-run must perform ZERO scenario computations (100% hits) and emit
+/// byte-identical sinks, and editing one axis must recompute exactly the
+/// delta cells — the acceptance criteria of the result-store subsystem.
+namespace stclock::resultstore {
+namespace {
+
+namespace fs = std::filesystem;
+
+using experiment::ScenarioResult;
+using experiment::SweepCell;
+
+class TempDir {
+ public:
+  TempDir() {
+    static std::atomic<int> counter{0};
+    dir_ = fs::temp_directory_path() /
+           ("stclock-incr-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter.fetch_add(1)));
+    fs::remove_all(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return dir_; }
+
+ private:
+  fs::path dir_;
+};
+
+std::string grid_file_text() {
+  const std::string path =
+      std::string(STCLOCK_SOURCE_DIR) + "/examples/scenarios/dynamic_ring_grid.json";
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string csv_dump(const std::vector<SweepCell>& cells,
+                     const std::vector<ScenarioResult>& results) {
+  std::ostringstream os;
+  experiment::write_csv(os, cells, results);
+  return os.str();
+}
+
+std::string json_dump(const std::vector<SweepCell>& cells,
+                      const std::vector<ScenarioResult>& results) {
+  std::ostringstream os;
+  experiment::write_json(os, cells, results);
+  return os.str();
+}
+
+TEST(IncrementalSweep, WarmRerunIsAllHitsAndByteIdenticalToColdRun) {
+  const TempDir dir;
+  const ResultStore store(dir.path());
+  const std::vector<SweepCell> cells =
+      scenfile::parse_grid(grid_file_text(), "dynamic_ring_grid.json").cells();
+  ASSERT_EQ(cells.size(), 8u);
+
+  CacheStats cold;
+  const std::vector<ScenarioResult> cold_results =
+      run_cells_cached(cells, &store, /*threads=*/4, /*use_cache=*/true, &cold);
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(cold.misses, cells.size());
+
+  CacheStats warm;
+  const std::vector<ScenarioResult> warm_results =
+      run_cells_cached(cells, &store, /*threads=*/2, /*use_cache=*/true, &warm);
+  EXPECT_EQ(warm.hits, cells.size());
+  EXPECT_EQ(warm.misses, 0u);
+
+  // The sinks cannot tell a replay from a recompute: same bytes, both
+  // formats, despite the different thread counts.
+  EXPECT_EQ(csv_dump(cells, cold_results), csv_dump(cells, warm_results));
+  EXPECT_EQ(json_dump(cells, cold_results), json_dump(cells, warm_results));
+}
+
+TEST(IncrementalSweep, EditingOneAxisRecomputesExactlyTheDeltaCells) {
+  const TempDir dir;
+  const ResultStore store(dir.path());
+
+  const std::string original_text = grid_file_text();
+  const std::vector<SweepCell> cells =
+      scenfile::parse_grid(original_text, "dynamic_ring_grid.json").cells();
+  CacheStats cold;
+  const std::vector<ScenarioResult> cold_results =
+      run_cells_cached(cells, &store, 4, true, &cold);
+  ASSERT_EQ(cold.misses, 8u);
+
+  // Edit one value of the protocol axis: "gradient" -> "leader". The four
+  // topology_events x gradient cells change identity; the four auth cells
+  // keep their keys and must be served from the store untouched.
+  std::string edited_text = original_text;
+  const std::size_t at = edited_text.find("\"gradient\"");
+  ASSERT_NE(at, std::string::npos);
+  edited_text.replace(at, std::string("\"gradient\"").size(), "\"leader\"");
+
+  const std::vector<SweepCell> edited_cells =
+      scenfile::parse_grid(edited_text, "dynamic_ring_grid.edited.json").cells();
+  ASSERT_EQ(edited_cells.size(), 8u);
+
+  CacheStats delta;
+  const std::vector<ScenarioResult> edited_results =
+      run_cells_cached(edited_cells, &store, 4, true, &delta);
+  EXPECT_EQ(delta.hits, 4u);
+  EXPECT_EQ(delta.misses, 4u);
+
+  // The unchanged (auth) cells really were replays of the cold run.
+  for (std::size_t i = 0; i < edited_cells.size(); ++i) {
+    if (edited_cells[i].spec.protocol != "auth") continue;
+    EXPECT_EQ(edited_cells[i].spec.protocol, cells[i].spec.protocol);
+    EXPECT_EQ(edited_results[i].max_skew, cold_results[i].max_skew);
+    EXPECT_EQ(edited_results[i].messages_sent, cold_results[i].messages_sent);
+    EXPECT_EQ(edited_results[i].events_dispatched, cold_results[i].events_dispatched);
+  }
+
+  // Re-running the edited grid is now fully warm; the original grid's
+  // gradient cells are still cached too (the store accretes, never evicts
+  // outside gc), so the ORIGINAL grid also replays 100% warm.
+  CacheStats warm_edited;
+  (void)run_cells_cached(edited_cells, &store, 1, true, &warm_edited);
+  EXPECT_EQ(warm_edited.hits, 8u);
+  CacheStats warm_original;
+  (void)run_cells_cached(cells, &store, 1, true, &warm_original);
+  EXPECT_EQ(warm_original.hits, 8u);
+}
+
+TEST(IncrementalSweep, NoCacheForcesRecomputeButRefreshesTheStore) {
+  const TempDir dir;
+  const ResultStore store(dir.path());
+  // A 2-cell slice keeps the forced-recompute leg cheap.
+  const std::vector<SweepCell> all =
+      scenfile::parse_grid(grid_file_text(), "dynamic_ring_grid.json").cells();
+  const std::vector<SweepCell> cells(all.begin(), all.begin() + 2);
+
+  CacheStats first;
+  (void)run_cells_cached(cells, &store, 2, true, &first);
+  EXPECT_EQ(first.misses, 2u);
+
+  CacheStats forced;
+  const std::vector<ScenarioResult> forced_results =
+      run_cells_cached(cells, &store, 2, /*use_cache=*/false, &forced);
+  EXPECT_EQ(forced.hits, 0u);
+  EXPECT_EQ(forced.misses, 2u);
+
+  CacheStats warm;
+  const std::vector<ScenarioResult> warm_results =
+      run_cells_cached(cells, &store, 1, true, &warm);
+  EXPECT_EQ(warm.hits, 2u);
+  EXPECT_EQ(csv_dump(cells, forced_results), csv_dump(cells, warm_results));
+}
+
+TEST(IncrementalSweep, NullStoreDegradesToAPlainRun) {
+  const std::vector<SweepCell> all =
+      scenfile::parse_grid(grid_file_text(), "dynamic_ring_grid.json").cells();
+  const std::vector<SweepCell> cells(all.begin(), all.begin() + 2);
+
+  CacheStats stats;
+  const std::vector<ScenarioResult> uncached =
+      run_cells_cached(cells, nullptr, 1, true, &stats);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+
+  const std::vector<ScenarioResult> reference = experiment::SweepRunner(1).run(cells);
+  EXPECT_EQ(csv_dump(cells, uncached), csv_dump(cells, reference));
+}
+
+TEST(IncrementalSweep, CorruptedEntryIsRecomputedTransparently) {
+  const TempDir dir;
+  const ResultStore store(dir.path());
+  const std::vector<SweepCell> all =
+      scenfile::parse_grid(grid_file_text(), "dynamic_ring_grid.json").cells();
+  const std::vector<SweepCell> cells(all.begin(), all.begin() + 2);
+
+  CacheStats cold;
+  const std::vector<ScenarioResult> cold_results = run_cells_cached(cells, &store, 2, true, &cold);
+
+  // Vandalize one record mid-file; the next run must miss exactly that cell,
+  // recompute it, and heal the store.
+  const fs::path victim = store.object_path(cell_key(cells[0].spec));
+  ASSERT_TRUE(fs::exists(victim));
+  {
+    std::fstream f(victim, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(30);
+    const int byte = f.get();
+    f.seekp(30);
+    f.put(static_cast<char>(byte ^ 0x5A));
+  }
+
+  CacheStats healed;
+  const std::vector<ScenarioResult> healed_results =
+      run_cells_cached(cells, &store, 2, true, &healed);
+  EXPECT_EQ(healed.hits, 1u);
+  EXPECT_EQ(healed.misses, 1u);
+  EXPECT_EQ(csv_dump(cells, cold_results), csv_dump(cells, healed_results));
+
+  CacheStats warm;
+  (void)run_cells_cached(cells, &store, 1, true, &warm);
+  EXPECT_EQ(warm.hits, 2u);
+}
+
+}  // namespace
+}  // namespace stclock::resultstore

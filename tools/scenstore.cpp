@@ -1,0 +1,92 @@
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiment/engine_info.h"
+#include "resultstore/store.h"
+
+/// scenstore — inspect and maintain a content-addressed result store.
+///
+///   scenstore DIR stats                  entry count and total bytes
+///   scenstore DIR ls                     one cell key per line, sorted
+///   scenstore DIR gc --keep-days N       drop records older than N days
+///                                        (N may be fractional; 0 = drop all)
+///
+/// The store is written by `scenrun --store DIR`; keys are cell fingerprints
+/// (resolved spec + seed + engine fingerprint), so entries from superseded
+/// engine builds are unreachable dead weight — `gc` is how they age out.
+/// GC is safe to run concurrently with sweeps: a record deleted mid-lookup
+/// is just a miss, and misses recompute.
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: scenstore DIR stats\n"
+        "       scenstore DIR ls\n"
+        "       scenstore DIR gc --keep-days N\n"
+        "       scenstore --version\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stclock;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && (args[0] == "--help" || args[0] == "-h")) return usage(std::cout, 0);
+  if (!args.empty() && args[0] == "--version") {
+    std::cout << experiment::engine_fingerprint() << "\n";
+    return 0;
+  }
+  if (args.size() < 2) {
+    std::cerr << "scenstore: need a store directory and a command\n";
+    return usage(std::cerr, 2);
+  }
+
+  const std::string dir = args[0];
+  const std::string command = args[1];
+
+  try {
+    const resultstore::ResultStore store(dir);
+
+    if (command == "stats") {
+      const resultstore::ResultStore::Stats s = store.stats();
+      std::cout << "entries=" << s.entries << " bytes=" << s.bytes << "\n";
+      return 0;
+    }
+    if (command == "ls") {
+      for (const std::string& key : store.keys()) std::cout << key << "\n";
+      return 0;
+    }
+    if (command == "gc") {
+      double keep_days = -1;
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "--keep-days" && i + 1 < args.size()) {
+          char* end = nullptr;
+          keep_days = std::strtod(args[++i].c_str(), &end);
+          if (end == nullptr || *end != '\0') keep_days = -1;
+        } else {
+          std::cerr << "scenstore: unknown gc option: " << args[i] << "\n";
+          return usage(std::cerr, 2);
+        }
+      }
+      if (keep_days < 0) {
+        std::cerr << "scenstore: gc needs --keep-days N (N >= 0)\n";
+        return usage(std::cerr, 2);
+      }
+      const auto keep = std::chrono::seconds(static_cast<long long>(keep_days * 86400.0));
+      const std::size_t removed = store.gc(keep);
+      const resultstore::ResultStore::Stats s = store.stats();
+      std::cout << "removed=" << removed << " entries=" << s.entries << " bytes=" << s.bytes
+                << "\n";
+      return 0;
+    }
+
+    std::cerr << "scenstore: unknown command: " << command << "\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "scenstore: " << e.what() << "\n";
+    return 1;
+  }
+}
