@@ -3,8 +3,8 @@
 # tree (src/, tests/, bench/, examples/) builds under -Wall -Wextra -Werror,
 # so any new warning in the hot-path files fails the gate.
 #
-# Usage: scripts/check.sh [--bench] [--scen] [--store] [--asan] [build-dir]
-#                         (default build-dir: build-check)
+# Usage: scripts/check.sh [--bench] [--scen] [--store] [--faults] [--asan]
+#                         [build-dir] (default build-dir: build-check)
 #   --bench  additionally smoke-run the tracked perf benchmarks (1 iteration,
 #            via scripts/bench.sh --smoke) so the bench binaries cannot
 #            bit-rot; BENCH_core.json is not modified.
@@ -17,6 +17,12 @@
 #            byte-identical dumps, scenstore ls/stats/gc, and a scenlaunch
 #            host-manifest run WITH an injected straggler whose re-dispatched
 #            merge must still match the cold run byte for byte.
+#   --faults additionally smoke-run the fault-injection layer: the corruption
+#            grid sharded across scenlaunch workers against the unsharded run
+#            (stabilization metrics must be byte-identical across shard
+#            boundaries), a scenstore verify pass over a freshly populated
+#            store, and scenrun --store pointed at an uncreatable directory
+#            asserted to fail loudly.
 #   --asan   additionally build the tree under ASan+UBSan (its own build
 #            directory, <build-dir>-asan) and run the tier-1 ctest suite in
 #            it; any sanitizer report fails the gate.
@@ -29,14 +35,16 @@ cd "$(dirname "$0")/.."
 RUN_BENCH=0
 RUN_SCEN=0
 RUN_STORE=0
+RUN_FAULTS=0
 RUN_ASAN=0
 BUILD_DIR="build-check"
 for arg in "$@"; do
   case "$arg" in
-    -h|--help) sed -n 's/^# \{0,1\}//p' "$0" | sed -n '2,25p'; exit 0 ;;
+    -h|--help) sed -n 's/^# \{0,1\}//p' "$0" | sed -n '2,31p'; exit 0 ;;
     --bench) RUN_BENCH=1 ;;
     --scen) RUN_SCEN=1 ;;
     --store) RUN_STORE=1 ;;
+    --faults) RUN_FAULTS=1 ;;
     --asan) RUN_ASAN=1 ;;
     -*) echo "check.sh: unknown option: $arg (see --help)" >&2; exit 2 ;;
     *) BUILD_DIR="$arg" ;;
@@ -53,7 +61,8 @@ fi
 
 SCEN_TMP=""
 STORE_TMP=""
-trap 'rm -rf ${SCEN_TMP:+"$SCEN_TMP"} ${STORE_TMP:+"$STORE_TMP"}' EXIT
+FAULT_TMP=""
+trap 'rm -rf ${SCEN_TMP:+"$SCEN_TMP"} ${STORE_TMP:+"$STORE_TMP"} ${FAULT_TMP:+"$FAULT_TMP"}' EXIT
 
 if [[ "$RUN_SCEN" -eq 1 ]]; then
   SCEN_TMP="$(mktemp -d)"
@@ -135,6 +144,41 @@ if [[ "$RUN_STORE" -eq 1 ]]; then
   diff "$STORE_TMP/cold.csv" "$STORE_TMP/launched.csv"
   diff "$STORE_TMP/cold.json" "$STORE_TMP/launched.json"
   echo "check.sh: store smoke OK: scenlaunch straggler re-dispatch, byte-identical"
+fi
+
+if [[ "$RUN_FAULTS" -eq 1 ]]; then
+  FAULT_TMP="$(mktemp -d)"
+  GRID="examples/scenarios/corruption_grid.json"
+
+  # Unsharded reference run, then the same grid split across scenlaunch
+  # worker processes: the stabilization-time column must survive sharding
+  # byte for byte (the corruption RNG is derived per cell, never from run
+  # layout).
+  "$BUILD_DIR/scenrun" "$GRID" --threads 4 \
+    --json "$FAULT_TMP/full.json" --csv "$FAULT_TMP/full.csv"
+  grep -q "stabilization_time" "$FAULT_TMP/full.csv" \
+    || { echo "check.sh: corruption CSV lacks stabilization_time" >&2; exit 1; }
+  scripts/scenlaunch.sh "$GRID" --workers 3 --build-dir "$BUILD_DIR" \
+    --json "$FAULT_TMP/launched.json" --csv "$FAULT_TMP/launched.csv"
+  diff "$FAULT_TMP/full.json" "$FAULT_TMP/launched.json"
+  diff "$FAULT_TMP/full.csv" "$FAULT_TMP/launched.csv"
+  echo "check.sh: faults smoke OK: corruption grid via scenlaunch (byte-identical)"
+
+  # A populated store must pass a full verify sweep...
+  "$BUILD_DIR/scenrun" "$GRID" --threads 4 --store "$FAULT_TMP/store" \
+    --csv /dev/null 2> /dev/null
+  "$BUILD_DIR/scenstore" "$FAULT_TMP/store" verify \
+    || { echo "check.sh: scenstore verify failed on a healthy store" >&2; exit 1; }
+  # ...and an unusable store directory must fail loudly, not quietly compute.
+  : > "$FAULT_TMP/not-a-dir"
+  if "$BUILD_DIR/scenrun" "$GRID" --store "$FAULT_TMP/not-a-dir/store" \
+    --csv /dev/null 2> "$FAULT_TMP/store.err"; then
+    echo "check.sh: scenrun --store accepted an uncreatable directory" >&2; exit 1
+  fi
+  grep -q "scenrun:" "$FAULT_TMP/store.err" \
+    || { echo "check.sh: unusable store died without naming itself:" >&2; \
+         cat "$FAULT_TMP/store.err" >&2; exit 1; }
+  echo "check.sh: faults smoke OK: scenstore verify + loud store failure"
 fi
 
 if [[ "$RUN_ASAN" -eq 1 ]]; then

@@ -68,4 +68,20 @@ void AuthBroadcast::forget_below(Round floor) {
   rounds_.erase(rounds_.begin(), rounds_.lower_bound(floor));
 }
 
+void AuthBroadcast::corrupt_state(Rng& rng) {
+  // The floor and the per-round signature buffers are memory. The buffers
+  // are wiped rather than bit-flipped: accumulated signatures are gone, and
+  // sent_own/accepted flags with them (so a recovered node may harmlessly
+  // re-sign a round it already signed).
+  floor_ = rng.uniform_int(0, 1u << 20);
+  rounds_.clear();
+}
+
+void AuthBroadcast::stabilize(Round expected_floor) {
+  // Only ever lower the floor: raising it is forget_below's job and is
+  // driven by actual acceptances. On an uncorrupted primitive the floor is
+  // already <= the expected round, so this is a no-op.
+  if (floor_ > expected_floor) floor_ = expected_floor;
+}
+
 }  // namespace stclock

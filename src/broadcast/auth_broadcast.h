@@ -27,6 +27,11 @@ class AuthBroadcast final : public BroadcastPrimitive {
   bool handle_message(Context& ctx, NodeId from, const Message& m) override;
   void forget_below(Round floor) override;
   [[nodiscard]] Duration accept_spread(Duration tdel) const override { return tdel; }
+  /// Scrambles the round floor and wipes the signature buffers; a floor
+  /// landing above the live round makes the node deaf to all traffic.
+  void corrupt_state(Rng& rng) override;
+  /// Clamps a scrambled floor back down so live rounds flow again.
+  void stabilize(Round expected_floor) override;
 
   /// Quorum size (f + 1).
   [[nodiscard]] std::uint32_t quorum() const { return f_ + 1; }

@@ -55,4 +55,13 @@ void EchoBroadcast::forget_below(Round floor) {
   rounds_.erase(rounds_.begin(), rounds_.lower_bound(floor));
 }
 
+void EchoBroadcast::corrupt_state(Rng& rng) {
+  floor_ = rng.uniform_int(0, 1u << 20);
+  rounds_.clear();
+}
+
+void EchoBroadcast::stabilize(Round expected_floor) {
+  if (floor_ > expected_floor) floor_ = expected_floor;
+}
+
 }  // namespace stclock

@@ -31,6 +31,9 @@ class EchoBroadcast final : public BroadcastPrimitive {
   bool handle_message(Context& ctx, NodeId from, const Message& m) override;
   void forget_below(Round floor) override;
   [[nodiscard]] Duration accept_spread(Duration tdel) const override { return 2 * tdel; }
+  /// Same corruption surface as AuthBroadcast: floor plus per-round buffers.
+  void corrupt_state(Rng& rng) override;
+  void stabilize(Round expected_floor) override;
 
   [[nodiscard]] std::uint32_t echo_threshold() const { return f_ + 1; }
   [[nodiscard]] std::uint32_t accept_threshold() const { return 2 * f_ + 1; }

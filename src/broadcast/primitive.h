@@ -50,6 +50,18 @@ class BroadcastPrimitive {
   /// of the network's delay bound.
   [[nodiscard]] virtual Duration accept_spread(Duration tdel) const = 0;
 
+  /// Fault injection: scramble primitive-private memory (round floors,
+  /// signature/echo buffers) with draws from the corruption stream. Default:
+  /// nothing to scramble.
+  virtual void corrupt_state(Rng& /*rng*/) {}
+
+  /// Self-stabilization hook: clamp any internal state a corruption may have
+  /// scrambled so traffic for rounds >= `expected_floor` flows again (a
+  /// floor scrambled above the live round otherwise leaves the node
+  /// permanently deaf). Must be a no-op on an uncorrupted primitive whose
+  /// floor is already <= expected_floor. Default: stateless, nothing to do.
+  virtual void stabilize(Round /*expected_floor*/) {}
+
  protected:
   void deliver_accept(Context& ctx, Round k) {
     if (on_accept_) on_accept_(ctx, k);

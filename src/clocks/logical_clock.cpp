@@ -55,6 +55,20 @@ void LogicalClock::adjust_amortized(LocalTime h_now, Duration delta, Duration wi
   record(delta);
 }
 
+void LogicalClock::adjust_override(LocalTime h_now, Duration delta) {
+  ST_REQUIRE(h_now >= pieces_.front().h_start,
+             "LogicalClock: override precedes clock start");
+  // The value "now" is read against the pieces live at h_now BEFORE any
+  // scheduled-future pieces are dropped, so the override lands relative to
+  // what the clock actually reads at this instant.
+  const LocalTime value_now = read_at_hardware(h_now);
+  while (pieces_.back().h_start > h_now) pieces_.pop_back();
+  // Slope resets to the nominal 1.0: if the override lands mid-ramp, the
+  // ramp's rate modulation is part of the state being overwritten.
+  pieces_.push_back(Piece{h_now, value_now + delta, 1.0});
+  record(delta);
+}
+
 RealTime LogicalClock::when_reads(RealTime now, LocalTime target) const {
   const LocalTime h_now = hw_->read(now);
   if (read_at_hardware(h_now) >= target) return now;

@@ -44,6 +44,14 @@ class LogicalClock {
   /// positive rate and stays monotone).
   void adjust_amortized(LocalTime h_now, Duration delta, Duration window);
 
+  /// Hard overwrite: like adjust_instant, but any pieces scheduled after
+  /// h_now (an amortized ramp still in flight) are discarded first, so it
+  /// never trips the forward-only invariant. Used where the correction
+  /// state is being *replaced* rather than refined: fault injection
+  /// (corruption rewrites memory wholesale) and self-stabilizing recovery
+  /// (a repair must not be blocked by a pending smooth correction).
+  void adjust_override(LocalTime h_now, Duration delta);
+
   /// First real time >= `now` at which the logical clock reads `target`.
   /// If the clock already reads >= target at `now`, returns `now`. Valid
   /// only with respect to adjustments applied so far; callers that adjust

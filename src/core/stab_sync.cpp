@@ -1,0 +1,104 @@
+#include "core/stab_sync.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stclock {
+
+namespace {
+
+/// Round counters may legitimately run ahead of floor(C/P)+1 by one (a
+/// broadcast fires exactly at C = kP) and behind during acceptance
+/// turnover; anything further off is corruption.
+constexpr Round kCounterSlack = 2;
+
+}  // namespace
+
+StabSyncProtocol::StabSyncProtocol(SyncConfig cfg,
+                                   std::unique_ptr<BroadcastPrimitive> primitive,
+                                   bool passive_join)
+    : SyncProtocol(cfg, std::move(primitive), passive_join),
+      // Four watchdog checks per period: recovery completes well within one
+      // resynchronization period without meaningfully adding event load.
+      tick_interval_(cfg.period / 4) {}
+
+void StabSyncProtocol::on_start(Context& ctx) {
+  SyncProtocol::on_start(ctx);
+  ctx.start_ticker(tick_interval_);
+}
+
+Duration StabSyncProtocol::clamp_bound() const {
+  // How far C - H can legitimately move between two anchor refreshes (at
+  // most one tick interval apart): one round's re-anchoring correction
+  // bounded by the initial offset plus alpha terms, plus a fixed fraction
+  // of the period as jitter headroom. No drift term — drift moves the gap
+  // by rho * tick_interval_ per tick, absorbed into the headroom, and the
+  // anchor follows it. Far below the corruption scramble range (periods).
+  return cfg_.initial_sync + 2 * alpha_ + cfg_.period / 16;
+}
+
+void StabSyncProtocol::on_accept(Context& ctx, Round k) {
+  SyncProtocol::on_accept(ctx, k);
+  // The acceptance just moved the clock (instantly, by starting an
+  // amortized ramp, or by the integration jump of a joining process).
+  // Whatever gap it produced is legitimate by construction — adopt it, so
+  // the next tick measures excursions from here. For an amortized ramp the
+  // gap keeps sliding toward the target; the per-tick tracking below
+  // follows it, since one tick's slide is far inside clamp_bound().
+  if (integrated()) {
+    anchor_gap_ = ctx.logical_now() - ctx.hardware_now();
+  }
+}
+
+void StabSyncProtocol::corrupt_state(Rng& rng) {
+  SyncProtocol::corrupt_state(rng);
+  anchor_gap_ = rng.uniform(-4.0 * cfg_.period, 4.0 * cfg_.period);
+}
+
+void StabSyncProtocol::on_tick(Context& ctx) {
+  // A passively joining process owns no state worth repairing yet: it
+  // adopts the first accepted round wholesale, which IS its recovery.
+  if (!integrated()) return;
+
+  const LocalTime h = ctx.hardware_now();
+  LocalTime c = ctx.logical_now();
+  const Duration gap = c - h;
+  if (std::abs(gap - anchor_gap_) > clamp_bound()) {
+    // (1) The logical clock left the band reachable from the last
+    // known-legitimate gap: its correction state is corrupt. Overwrite it
+    // with the anchored value (adjust_override also discards any in-flight
+    // amortized ramp — that ramp is part of the state being replaced).
+    // If the anchor itself was scrambled this restores a WRONG clock, but
+    // a bounded-wrong one; the next acceptance snaps clock and anchor back.
+    ctx.logical().adjust_override(h, anchor_gap_ - gap);
+    c = h + anchor_gap_;
+  } else {
+    // In band: this gap is (still) legitimate. Track it, so the slow
+    // divergence of fleet logical time from this node's hardware —
+    // ~(rho + alpha) per period, unbounded over a run — never accumulates
+    // into a false positive.
+    anchor_gap_ = gap;
+  }
+
+  // (2) Counters re-derived from the now-plausible clock when out of band.
+  const double from_clock = std::floor(c / cfg_.period) + 1;
+  const Round expected = from_clock < 1 ? 1 : static_cast<Round>(from_clock);
+  if (next_round_ + kCounterSlack < expected || next_round_ > expected + kCounterSlack) {
+    next_round_ = expected;
+  }
+  if (next_broadcast_ + kCounterSlack < expected ||
+      next_broadcast_ > expected + kCounterSlack) {
+    next_broadcast_ = expected;
+  }
+
+  // (3) A primitive floor above the live round keeps every message out.
+  primitive_->stabilize(next_round_ > kCounterSlack ? next_round_ - kCounterSlack : 0);
+
+  // (4) Lost or stale readiness timers heal by unconditional re-arm: if the
+  // state above was already healthy this arms the same deadline again (one
+  // superseded timer pop per tick — the price of not having to detect
+  // whether the old timer still exists).
+  arm_ready_timer(ctx);
+}
+
+}  // namespace stclock

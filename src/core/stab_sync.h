@@ -1,0 +1,82 @@
+#pragma once
+
+#include <memory>
+
+#include "core/sync_protocol.h"
+
+/// Self-stabilizing Srikanth–Toueg (after Khanchandani–Lenzen,
+/// "Self-stabilizing Byzantine Clock Synchronization with Optimal
+/// Precision"): the ordinary round/acceptance protocol on the wire, hardened
+/// to resume synchronization from ARBITRARY memory state — not just the
+/// clean boots the joiner path covers.
+///
+/// The recovery anchor is the hardware clock. Corruption rewrites memory —
+/// logical-clock corrections, round counters, primitive floors and buffers,
+/// pending timers — but the oscillator itself is hardware and keeps running,
+/// and so does the periodic hardware ticker (Context::start_ticker). Every
+/// tick, a watchdog clamps each piece of state back into the band that
+/// correct operation can reach:
+///
+///  1. Clock: the gap C - H moves slowly in correct operation — one bounded
+///     correction per round — so the watchdog tracks its legitimate value
+///     (`anchor_gap_`, refreshed at every acceptance and every in-band
+///     tick) and overwrites any excursion beyond clamp_bound() with
+///     C := H + anchor. Tracking the gap rather than pinning C near H
+///     matters: the fleet's logical time legitimately diverges from any one
+///     hardware clock (rounds pace at the fastest node, ~rho + alpha per
+///     period), so a fixed anchor would eventually clamp healthy nodes.
+///  2. Counters: next_round_/next_broadcast_ must match floor(C/P)+1 up to
+///     a small slack; outside it they are recomputed from the (repaired)
+///     clock. Bounded state, re-derivable from the anchor.
+///  3. Primitive: a round floor scrambled above the live round would leave
+///     the node deaf forever; it is clamped back down (never up).
+///  4. Readiness timer: unconditionally re-armed every tick, so a timer that
+///     was cancelled by corruption — or armed against pre-corruption clock
+///     state and therefore stale — heals within one tick instead of
+///     stalling the node permanently.
+///
+/// The anchor itself is ordinary corruptible memory (corrupt_state scrambles
+/// it along with the counters). A scrambled anchor survives at most until
+/// the next acceptance: the watchdog clamps the clock to the wrong gap, but
+/// the clock is then merely offset — the situation plain auth already
+/// recovers from — and the first accepted round snaps clock AND anchor back.
+///
+/// Once clocks and counters realign, round broadcasts re-synchronize,
+/// quorums re-form, and the first acceptance restores ordinary precision;
+/// `stabilization_time` in ScenarioResult measures exactly this. Plain
+/// `auth` under the same full corruption stalls permanently: its timers are
+/// gone and nothing ever re-arms them. Deliberately NOT used: co-signing
+/// future rounds ahead of time — unbounded forward state would let one
+/// Byzantine signer plus stored co-signatures forge a quorum for an
+/// arbitrary round, destroying the unforgeability argument. The hardware
+/// anchor needs no extra trust.
+namespace stclock {
+
+class StabSyncProtocol final : public SyncProtocol {
+ public:
+  StabSyncProtocol(SyncConfig cfg, std::unique_ptr<BroadcastPrimitive> primitive,
+                   bool passive_join = false);
+
+  void on_start(Context& ctx) override;
+  void on_tick(Context& ctx) override;
+  /// Everything the base scrambles, plus the watchdog's own anchor — the
+  /// repair machinery gets no memory the fault model cannot touch.
+  void corrupt_state(Rng& rng) override;
+
+ protected:
+  /// Every legitimate correction moves C - H; record the post-correction
+  /// gap so the watchdog never mistakes it for damage (this also covers the
+  /// arbitrarily large integration jump of a joining process).
+  void on_accept(Context& ctx, Round k) override;
+
+ private:
+  /// Largest legitimate |(C - H) - anchor| between two anchor refreshes:
+  /// one round's correction plus jitter headroom. Far below the corruption
+  /// scramble range (several periods).
+  [[nodiscard]] Duration clamp_bound() const;
+
+  Duration tick_interval_;
+  Duration anchor_gap_ = 0;  ///< last known-legitimate value of C - H
+};
+
+}  // namespace stclock

@@ -29,6 +29,17 @@ void SyncProtocol::on_message(Context& ctx, NodeId from, const Message& m) {
   primitive_->handle_message(ctx, from, m);
 }
 
+void SyncProtocol::corrupt_state(Rng& rng) {
+  // An arbitrary memory image: the counters land anywhere in a huge range.
+  // Scrambled high, the node ignores every live acceptance and schedules its
+  // next broadcast in the far future; either way a non-stabilizing protocol
+  // has no path back. The draw order (next_round_, next_broadcast_, then the
+  // primitive) is part of the determinism contract.
+  next_round_ = rng.uniform_int(0, 1u << 20);
+  next_broadcast_ = rng.uniform_int(0, 1u << 20);
+  primitive_->corrupt_state(rng);
+}
+
 void SyncProtocol::arm_ready_timer(Context& ctx) {
   if (ready_timer_ != 0) ctx.cancel_timer(ready_timer_);
   ready_timer_ = ctx.set_timer_at_logical(cfg_.period * static_cast<double>(next_broadcast_));

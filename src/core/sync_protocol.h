@@ -46,15 +46,25 @@ class SyncProtocol : public Process {
   void on_message(Context& ctx, NodeId from, const Message& m) override;
   void on_timer(Context& ctx, TimerId id) override;
 
+  /// Fault injection: the round counters and the primitive's state are this
+  /// protocol's memory. The readiness timer HANDLE is deliberately left
+  /// alone — scrambling it would turn recovery into use of a foreign timer
+  /// id; losing the timer itself is the simulator's kCorruptTimers kind.
+  void corrupt_state(Rng& rng) override;
+
   [[nodiscard]] std::uint64_t pulse_count() const { return pulse_count_; }
   /// Highest round acted upon so far (0 before the first pulse).
   [[nodiscard]] Round last_round() const { return next_round_ - 1; }
   [[nodiscard]] bool integrated() const { return integrated_; }
   [[nodiscard]] const SyncConfig& config() const { return cfg_; }
 
- private:
+ protected:
+  // Protected, not private: the self-stabilizing variant (core/stab_sync.h)
+  // is this protocol plus a watchdog that inspects and repairs exactly this
+  // state. on_accept is virtual so the watchdog can refresh its recovery
+  // anchor at every legitimate correction.
   void arm_ready_timer(Context& ctx);
-  void on_accept(Context& ctx, Round k);
+  virtual void on_accept(Context& ctx, Round k);
   void apply_correction(Context& ctx, Duration delta);
 
   SyncConfig cfg_;
@@ -66,6 +76,8 @@ class SyncProtocol : public Process {
   Round next_broadcast_ = 1;  ///< next round to broadcast readiness for
   TimerId ready_timer_ = 0;   ///< 0 = no timer armed
   bool integrated_ = true;
+
+ private:
   std::uint64_t pulse_count_ = 0;
   PulseObserver observer_;
 };

@@ -10,6 +10,7 @@
 #include "baselines/lundelius_welch.h"
 #include "baselines/unsynchronized.h"
 #include "core/joiner.h"
+#include "core/stab_sync.h"
 #include "util/contracts.h"
 
 namespace stclock::experiment {
@@ -52,6 +53,22 @@ ProtocolRegistry built_ins() {
   ProtocolRegistry registry;
   registry.add(sync_entry("auth", Variant::kAuthenticated));
   registry.add(sync_entry("echo", Variant::kEcho));
+
+  // Self-stabilizing Srikanth–Toueg over the authenticated primitive: the
+  // same rounds on the wire, plus a hardware-anchored watchdog that repairs
+  // arbitrarily scrambled memory (see core/stab_sync.h). Late joiners and
+  // churned rebuilds integrate passively exactly like plain auth.
+  {
+    ProtocolRegistry::Entry entry;
+    entry.name = "auth_stab";
+    entry.mode = EngineMode::kSyncProtocol;
+    entry.prepare = [](ScenarioSpec& spec) { spec.cfg.variant = Variant::kAuthenticated; };
+    entry.factory = [](const ScenarioSpec& spec, NodeId,
+                       bool joining) -> std::unique_ptr<Process> {
+      return std::make_unique<StabSyncProtocol>(spec.cfg, make_primitive(spec.cfg), joining);
+    };
+    registry.add(std::move(entry));
+  }
 
   registry.add(baseline_entry(
       "lundelius_welch", [](const ScenarioSpec& spec, NodeId, bool) -> std::unique_ptr<Process> {

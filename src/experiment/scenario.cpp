@@ -228,6 +228,23 @@ void validate_spec_structure(const ScenarioSpec& spec, EngineMode mode) {
   const std::uint32_t honest_count = cfg.n - corrupt_count;
   ST_REQUIRE(spec.churn_nodes < honest_count - spec.joiners,
              "run_scenario: churn must leave at least one always-up honest node");
+  if (!spec.corrupt_at.empty()) {
+    RealTime prev = 0;
+    for (const RealTime at : spec.corrupt_at) {
+      ST_REQUIRE(at > 0, "run_scenario: corrupt_at times must be positive");
+      ST_REQUIRE(at >= prev, "run_scenario: corrupt_at times must be non-decreasing");
+      prev = at;
+    }
+    ST_REQUIRE(spec.corrupt_at.back() < spec.horizon,
+               "run_scenario: corrupt_at must fall before the horizon (there is "
+               "nothing to stabilize after it)");
+    ST_REQUIRE(spec.corrupt_fraction > 0 && spec.corrupt_fraction <= 1,
+               "run_scenario: corrupt_fraction must lie in (0, 1]");
+    ST_REQUIRE(spec.corrupt_kinds != 0,
+               "run_scenario: corrupt_kinds must name at least one kind");
+    ST_REQUIRE((spec.corrupt_kinds & ~kCorruptAll) == 0,
+               "run_scenario: corrupt_kinds has unknown bits");
+  }
 }
 
 }  // namespace
@@ -282,6 +299,16 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
   params.seed = rng.next_u64();
   params.topology = topology.base;
   params.schedule = topology.schedule;
+  for (const RealTime at : spec.corrupt_at) {
+    CorruptionEvent ev;
+    ev.at = at;
+    ev.fraction = spec.corrupt_fraction;
+    ev.kinds = spec.corrupt_kinds;
+    // Scramble magnitude in the protocol's natural unit: several periods,
+    // so a scrambled clock lands rounds away from where it belongs.
+    ev.clock_range = 4.0 * cfg.period;
+    params.corruptions.push_back(ev);
+  }
   std::unique_ptr<DelayPolicy> delay_policy =
       build_delay_policy(spec.delay, cfg.n, cfg.period, spec.seed);
   if (spec.partition_group > 0) {
@@ -371,6 +398,14 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
                    })
                              : nullptr);
   skew.set_steady_start(sync_mode ? 2 * result.bounds.max_period : 3 * cfg.period);
+  if (!spec.corrupt_at.empty()) {
+    // Recovery is judged from the LAST corruption event: the paper's
+    // stabilization time is "from the last transient fault". Sync protocols
+    // must re-enter their derived precision bound; baselines must get back
+    // to however tight they were before the fault (threshold <= 0 = auto).
+    skew.set_stabilization(spec.corrupt_at.back(),
+                           sync_mode ? result.bounds.precision : 0.0);
+  }
   EnvelopeTracker envelope(spec.envelope_interval);
   sim.set_post_event_hook([&skew, &envelope](const Simulator& s) {
     skew.sample(s);
@@ -414,6 +449,12 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
   result.bytes_sent = sim.counters().total_bytes();
   result.messages_dropped = sim.messages_dropped();
   result.events_dispatched = sim.events_dispatched();
+  result.corruption_events = sim.corruption_events_fired();
+  result.nodes_corrupted = sim.nodes_corrupted();
+  if (!spec.corrupt_at.empty()) {
+    result.stabilized = skew.stabilized();
+    result.stabilization_time = skew.stabilization_time();
+  }
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "core/config.h"
 #include "core/theory.h"
 #include "experiment/environment.h"
+#include "sim/corruption.h"
 #include "sim/process.h"
 #include "trace/envelope.h"
 
@@ -119,6 +120,16 @@ struct ScenarioSpec {
   /// above the variant's resilience bound demonstrates breakdown (T2).
   std::uint32_t corrupt_override = 0;
 
+  /// State-corruption fault injection (the self-stabilization workload, see
+  /// sim/corruption.h). At each listed real time — positive, non-decreasing,
+  /// strictly before the horizon — a seeded random `corrupt_fraction` of the
+  /// up honest nodes has the `corrupt_kinds` categories of its memory
+  /// scrambled. Empty — the default — arms nothing and keeps the run
+  /// bit-identical to a corruption-free engine.
+  std::vector<RealTime> corrupt_at;
+  double corrupt_fraction = 1.0;
+  std::uint32_t corrupt_kinds = kCorruptAll;
+
   /// Metric sampling granularity.
   Duration skew_series_interval = 0.05;
   Duration envelope_interval = 0.1;
@@ -167,6 +178,18 @@ struct ScenarioResult {
 
   // Topology.
   std::uint64_t topology_epochs = 1;  ///< compiled schedule epochs (1 = static)
+
+  // Fault injection (when spec.corrupt_at is non-empty).
+  std::uint64_t corruption_events = 0;  ///< corruption events that fired
+  std::uint64_t nodes_corrupted = 0;    ///< total victims across those events
+  /// Did the skew re-enter — and stay inside — the envelope after the last
+  /// corruption event? (Threshold: the derived precision bound for sync
+  /// protocols, the pre-corruption steady spread for baselines.)
+  bool stabilized = false;
+  /// First time after the last corruption event from which the spread
+  /// stayed inside the threshold, minus that event's time; 0 when it never
+  /// left, -1 when it never re-entered (or no corruption was scheduled).
+  double stabilization_time = -1;
 
   // Cost.
   std::uint64_t messages_sent = 0;

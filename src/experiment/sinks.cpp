@@ -73,6 +73,17 @@ struct Field {
   std::string value;
 };
 
+/// Compact label for a corrupt_at list: "[a;b]" (semicolons keep CSV cells
+/// unquoted-friendly and the value sweep-axis comparable).
+std::string corrupt_at_label(const std::vector<RealTime>& at) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < at.size(); ++i) {
+    if (i > 0) out += ';';
+    out += fmt(at[i]);
+  }
+  return out + "]";
+}
+
 std::vector<Field> spec_fields(const ScenarioSpec& spec) {
   return {
       {"protocol", spec.protocol},
@@ -93,6 +104,9 @@ std::vector<Field> spec_fields(const ScenarioSpec& spec) {
       {"topology_events", std::to_string(spec.topology_events.size())},
       {"joiners", std::to_string(spec.joiners)},
       {"corrupt_override", std::to_string(spec.corrupt_override)},
+      {"corrupt_at", corrupt_at_label(spec.corrupt_at)},
+      {"corrupt_fraction", fmt(spec.corrupt_fraction)},
+      {"corrupt_kinds", corrupt_kinds_name(spec.corrupt_kinds)},
       {"churn_nodes", std::to_string(spec.churn_nodes)},
       {"churn_leave", fmt(spec.churn_leave)},
       {"churn_rejoin", fmt(spec.churn_rejoin)},
@@ -123,6 +137,10 @@ std::vector<Field> result_fields(const ScenarioResult& r) {
       {"rejoin_latency", fmt(r.rejoin_latency)},
       {"churned_rejoined", r.churned_rejoined ? "1" : "0"},
       {"topology_epochs", std::to_string(r.topology_epochs)},
+      {"corruption_events", std::to_string(r.corruption_events)},
+      {"nodes_corrupted", std::to_string(r.nodes_corrupted)},
+      {"stabilized", r.stabilized ? "1" : "0"},
+      {"stabilization_time", fmt(r.stabilization_time)},
       {"messages_sent", std::to_string(r.messages_sent)},
       {"bytes_sent", std::to_string(r.bytes_sent)},
       {"messages_dropped", std::to_string(r.messages_dropped)},

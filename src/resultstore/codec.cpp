@@ -64,6 +64,10 @@ Bytes encode_result(const experiment::ScenarioResult& r) {
   w.f64(r.rejoin_latency);
   w.u8(r.churned_rejoined ? 1 : 0);
   w.u64(r.topology_epochs);
+  w.u64(r.corruption_events);
+  w.u64(r.nodes_corrupted);
+  w.u8(r.stabilized ? 1 : 0);
+  w.f64(r.stabilization_time);
   w.u64(r.messages_sent);
   w.u64(r.bytes_sent);
   w.u64(r.messages_dropped);
@@ -113,6 +117,10 @@ experiment::ScenarioResult decode_result(std::span<const std::uint8_t> data) {
   out.rejoin_latency = r.f64();
   out.churned_rejoined = r.u8() != 0;
   out.topology_epochs = r.u64();
+  out.corruption_events = r.u64();
+  out.nodes_corrupted = r.u64();
+  out.stabilized = r.u8() != 0;
+  out.stabilization_time = r.f64();
   out.messages_sent = r.u64();
   out.bytes_sent = r.u64();
   out.messages_dropped = r.u64();

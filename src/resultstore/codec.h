@@ -18,7 +18,7 @@
 /// keeps decoding safe even for hand-copied stores).
 namespace stclock::resultstore {
 
-inline constexpr std::uint32_t kResultCodecVersion = 1;
+inline constexpr std::uint32_t kResultCodecVersion = 2;
 
 [[nodiscard]] Bytes encode_result(const experiment::ScenarioResult& r);
 

@@ -60,6 +60,22 @@ ResultStore::ResultStore(fs::path dir) : dir_(std::move(dir)) {
     throw std::runtime_error("resultstore: cannot create store at " + dir_.string() + ": " +
                              ec.message());
   }
+  // Probe writability now: save() stages into tmp/, so if this write fails a
+  // whole sweep would compute everything and then die on the first publish.
+  std::ostringstream probe_name;
+  probe_name << ".probe." << ::getpid() << ".tmp";
+  const fs::path probe = dir_ / "tmp" / probe_name.str();
+  {
+    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+    out << '\0';
+    out.flush();
+    if (!out) {
+      fs::remove(probe, ec);
+      throw std::runtime_error("resultstore: store at " + dir_.string() +
+                               " is not writable (staging probe failed)");
+    }
+  }
+  fs::remove(probe, ec);
 }
 
 fs::path ResultStore::object_path(const std::string& key) const {
@@ -192,6 +208,21 @@ std::size_t ResultStore::gc(std::chrono::seconds keep) const {
     }
   }
   return removed;
+}
+
+ResultStore::VerifyReport ResultStore::verify() const {
+  VerifyReport report;
+  for (const std::string& key : keys()) {
+    ++report.checked;
+    // A stem that is not even a well-formed key can never be served; count
+    // it corrupt rather than letting object_path's contract fire.
+    if (!valid_key(key) || !load(key)) report.corrupt.push_back(key);
+  }
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_ / "tmp", ec), end; !ec && it != end; it.increment(ec)) {
+    ++report.orphan_tmp;
+  }
+  return report;
 }
 
 bool ResultStore::remove(const std::string& key) const {

@@ -34,7 +34,9 @@ namespace stclock::resultstore {
 class ResultStore {
  public:
   /// Opens (and creates, including parents) the store rooted at `dir`.
-  /// Throws std::runtime_error if the directory cannot be created.
+  /// Throws std::runtime_error if the directory cannot be created or is not
+  /// writable (probed with a staging-file write, so a sweep pointed at a
+  /// read-only or mis-owned store fails at startup, not mid-publication).
   explicit ResultStore(std::filesystem::path dir);
 
   [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
@@ -57,6 +59,18 @@ class ResultStore {
     std::uint64_t bytes = 0;
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Full-store integrity sweep: every record is loaded through the complete
+  /// validation path (magic, length, checksum, codec), and the tmp/ staging
+  /// area is audited for orphans left by writers that died mid-save. Corrupt
+  /// records are reported, not removed — `remove()` or `gc()` is the
+  /// operator's call (a listed key degrades to a cache miss either way).
+  struct VerifyReport {
+    std::uint64_t checked = 0;         ///< records examined
+    std::vector<std::string> corrupt;  ///< keys whose record failed validation
+    std::uint64_t orphan_tmp = 0;      ///< abandoned staging files in tmp/
+  };
+  [[nodiscard]] VerifyReport verify() const;
 
   /// Removes records whose mtime is older than now - keep, plus any stale
   /// staging files, and prunes emptied fan-out directories. Returns the

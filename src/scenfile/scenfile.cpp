@@ -213,6 +213,57 @@ std::vector<experiment::TopologyEventSpec> events_from_json(const JsonValue& v,
   return events;
 }
 
+// --- Corruption fields -------------------------------------------------------
+
+/// Parses "corrupt_at": a single positive number or a non-decreasing array of
+/// them. A scalar means one corruption event, which also makes the field
+/// usable as a plain sweep axis.
+std::vector<RealTime> corrupt_at_from_json(const JsonValue& v, const std::string& source,
+                                           const std::string& path) {
+  std::vector<RealTime> out;
+  if (v.kind == JsonValue::Kind::kNumber) {
+    out.push_back(as_positive(v, source, path));
+    return out;
+  }
+  require_kind(v, JsonValue::Kind::kArray, "number or array", source, path);
+  out.reserve(v.array.size());
+  for (std::size_t i = 0; i < v.array.size(); ++i) {
+    const std::string element = path + "[" + std::to_string(i) + "]";
+    out.push_back(as_positive(v.array[i], source, element));
+    if (i > 0 && out[i] < out[i - 1]) {
+      fail_at(source, v.array[i].line, element, "corrupt_at times must be non-decreasing");
+    }
+  }
+  return out;
+}
+
+/// Parses "corrupt_kinds": "all" or a comma-separated subset of
+/// "clocks,timers,buffers,state". Unknown names and duplicates are errors.
+std::uint32_t corrupt_kinds_from_json(const JsonValue& v, const std::string& source,
+                                      const std::string& path) {
+  const std::string& text = as_string(v, source, path);
+  std::uint32_t kinds = 0;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t comma = text.find(',', begin);
+    const std::string token =
+        text.substr(begin, comma == std::string::npos ? std::string::npos : comma - begin);
+    const std::uint32_t bit = corrupt_kind_bit(token);
+    if (bit == 0) {
+      fail_at(source, v.line, path,
+              "unknown corruption kind \"" + token +
+                  "\" (known: clocks, timers, buffers, state, all)");
+    }
+    if ((kinds & bit) == bit && bit != kCorruptAll) {
+      fail_at(source, v.line, path, "duplicate corruption kind \"" + token + "\"");
+    }
+    kinds |= bit;
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return kinds;
+}
+
 // --- Field catalog -----------------------------------------------------------
 
 /// Applies one named scalar field to a spec; shared by the "base" object and
@@ -281,6 +332,15 @@ bool apply_field(ScenarioSpec& spec, const std::string& field, const JsonValue& 
     spec.join_time = as_positive(v, source, path);
   } else if (field == "corrupt_override") {
     spec.corrupt_override = as_u32(v, source, path);
+  } else if (field == "corrupt_at") {
+    spec.corrupt_at = corrupt_at_from_json(v, source, path);
+  } else if (field == "corrupt_fraction") {
+    spec.corrupt_fraction = as_double(v, source, path);
+    if (!(spec.corrupt_fraction > 0 && spec.corrupt_fraction <= 1)) {
+      fail_at(source, v.line, path, "corrupt_fraction must lie in (0, 1], got " + v.raw);
+    }
+  } else if (field == "corrupt_kinds") {
+    spec.corrupt_kinds = corrupt_kinds_from_json(v, source, path);
   } else if (field == "churn_nodes") {
     spec.churn_nodes = as_u32(v, source, path);
   } else if (field == "churn_leave") {
@@ -308,7 +368,8 @@ constexpr const char* kKnownFields =
     "allow_unsynchronized_start, adjust, amortize_window, delta, seed, horizon, "
     "drift, delay, attack, topology, gnp_p, topology_seed, topology_events, "
     "joiners, join_time, "
-    "corrupt_override, churn_nodes, churn_leave, churn_rejoin, partition_group, "
+    "corrupt_override, corrupt_at, corrupt_fraction, corrupt_kinds, "
+    "churn_nodes, churn_leave, churn_rejoin, partition_group, "
     "partition_start, partition_end, skew_series_interval, envelope_interval";
 
 /// Compact single-line re-serialization, used to label array-valued axis
@@ -469,6 +530,14 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   num("joiners", std::to_string(spec.joiners));
   num("join_time", fmt_double(spec.join_time));
   num("corrupt_override", std::to_string(spec.corrupt_override));
+  os << "  \"corrupt_at\": [";
+  for (std::size_t i = 0; i < spec.corrupt_at.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fmt_double(spec.corrupt_at[i]);
+  }
+  os << "],\n";
+  num("corrupt_fraction", fmt_double(spec.corrupt_fraction));
+  str("corrupt_kinds", corrupt_kinds_name(spec.corrupt_kinds));
   num("churn_nodes", std::to_string(spec.churn_nodes));
   num("churn_leave", fmt_double(spec.churn_leave));
   num("churn_rejoin", fmt_double(spec.churn_rejoin));

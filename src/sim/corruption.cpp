@@ -1,0 +1,39 @@
+#include "sim/corruption.h"
+
+namespace stclock {
+
+namespace {
+
+struct KindName {
+  std::string_view name;
+  std::uint32_t bit;
+};
+
+constexpr KindName kKindNames[] = {
+    {"clocks", kCorruptClocks},
+    {"timers", kCorruptTimers},
+    {"buffers", kCorruptBuffers},
+    {"state", kCorruptState},
+};
+
+}  // namespace
+
+std::uint32_t corrupt_kind_bit(std::string_view name) {
+  if (name == "all") return kCorruptAll;
+  for (const KindName& k : kKindNames) {
+    if (k.name == name) return k.bit;
+  }
+  return 0;
+}
+
+std::string corrupt_kinds_name(std::uint32_t kinds) {
+  std::string out;
+  for (const KindName& k : kKindNames) {
+    if ((kinds & k.bit) == 0) continue;
+    if (!out.empty()) out += ',';
+    out += k.name;
+  }
+  return out;
+}
+
+}  // namespace stclock

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/types.h"
+
+/// State-corruption fault injection (the self-stabilization workload).
+///
+/// A corruption event scrambles a seeded random subset of node *memory* at a
+/// scheduled real time. What counts as memory — and is therefore fair game —
+/// versus hardware — and therefore survives — follows the self-stabilization
+/// model (Khanchandani–Lenzen): logical-clock corrections, round counters,
+/// pending protocol timers, and in-flight message buffers are memory; the
+/// hardware oscillator (HardwareClock) and the periodic hardware ticker
+/// (Context::start_ticker) are not.
+///
+/// All scramble draws come from a dedicated RNG stream derived from the
+/// simulation seed (never from the node/network/adversary streams), so a run
+/// with corruption is bitwise-deterministic and a run without it is
+/// bit-identical to one on a build that never heard of corruption.
+namespace stclock {
+
+/// Bitmask of state categories a corruption event scrambles.
+enum CorruptKind : std::uint32_t {
+  kCorruptClocks = 1u << 0,   ///< logical-clock correction state
+  kCorruptTimers = 1u << 1,   ///< pending protocol timers (cancelled)
+  kCorruptBuffers = 1u << 2,  ///< in-flight messages toward the victim (lost)
+  kCorruptState = 1u << 3,    ///< protocol-private state (Process::corrupt_state)
+};
+inline constexpr std::uint32_t kCorruptAll =
+    kCorruptClocks | kCorruptTimers | kCorruptBuffers | kCorruptState;
+
+/// One scheduled corruption event (SimParams::corruptions).
+struct CorruptionEvent {
+  RealTime at = 0;          ///< real time the event fires (> 0)
+  double fraction = 1.0;    ///< fraction of up honest nodes hit, in (0, 1]
+  std::uint32_t kinds = kCorruptAll;
+  /// Clock scramble magnitude: the correction state of a victim is shifted
+  /// by uniform(-clock_range, clock_range) logical seconds.
+  double clock_range = 5.0;
+};
+
+/// Bit for one kind name ("clocks", "timers", "buffers", "state"), or 0 for
+/// anything else. "all" is the full mask.
+[[nodiscard]] std::uint32_t corrupt_kind_bit(std::string_view name);
+
+/// Canonical spelling of a kind mask: the known kinds present, comma-joined
+/// in declaration order (e.g. "clocks,timers,buffers,state" for kCorruptAll).
+/// Used by the scenario-file round-trip and the sinks, so it must be a fixed
+/// function of the mask.
+[[nodiscard]] std::string corrupt_kinds_name(std::uint32_t kinds);
+
+}  // namespace stclock

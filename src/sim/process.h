@@ -58,6 +58,14 @@ class Context {
   [[nodiscard]] TimerId set_timer_at_hardware(LocalTime target);
   void cancel_timer(TimerId id);
 
+  /// Starts this node's periodic hardware ticker: Process::on_tick fires
+  /// every `hw_interval` units of the node's hardware clock, forever. The
+  /// ticker is hardware (an oscillator interrupt), not memory: state
+  /// corruption cannot cancel it and it is the anchor self-stabilizing
+  /// protocols rebuild from. It dies only with the node itself (churn); a
+  /// rebooted process must call start_ticker again. At most one per node.
+  void start_ticker(Duration hw_interval);
+
   [[nodiscard]] const crypto::KeyRegistry& registry() const;
   /// This node's own signing capability.
   [[nodiscard]] const crypto::Signer& signer() const;
@@ -80,6 +88,19 @@ class Process {
   virtual void on_start(Context& ctx) = 0;
   virtual void on_message(Context& ctx, NodeId from, const Message& m) = 0;
   virtual void on_timer(Context& ctx, TimerId id) = 0;
+
+  /// Periodic hardware ticker (see Context::start_ticker). Only called for
+  /// processes that started one.
+  virtual void on_tick(Context& /*ctx*/) {}
+
+  /// Fault injection: scramble this process's private state with draws from
+  /// `rng` (the simulator's dedicated corruption stream — see
+  /// sim/corruption.h). The simulator itself scrambles the state it owns
+  /// (clock corrections, pending timers, in-flight messages); protocols
+  /// whose memory goes beyond that (round counters, signature buffers)
+  /// override this so corruption reaches all of it. No Context is passed on
+  /// purpose: corruption rewrites memory, it cannot act.
+  virtual void corrupt_state(Rng& /*rng*/) {}
 };
 
 /// Omniscient handle for Byzantine behaviour, controlling all corrupted

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/arena.h"
 #include "util/contracts.h"
@@ -37,9 +38,28 @@ Simulator::Simulator(SimParams params, std::vector<HardwareClock> clocks,
                "Simulator: schedule size must equal n");
   }
 
+  RealTime prev_corrupt = 0;
+  for (const CorruptionEvent& ev : params_.corruptions) {
+    ST_REQUIRE(ev.at > 0, "Simulator: corruption times must be positive");
+    ST_REQUIRE(ev.at >= prev_corrupt, "Simulator: corruption times must be non-decreasing");
+    prev_corrupt = ev.at;
+    ST_REQUIRE(ev.fraction > 0 && ev.fraction <= 1,
+               "Simulator: corruption fraction must lie in (0, 1]");
+    ST_REQUIRE(ev.kinds != 0 && (ev.kinds & ~kCorruptAll) == 0,
+               "Simulator: corruption kinds must be a non-empty subset of the known kinds");
+    ST_REQUIRE((ev.kinds & kCorruptClocks) == 0 || ev.clock_range > 0,
+               "Simulator: clock corruption needs a positive clock_range");
+  }
+
   Rng root(params_.seed);
   net_rng_.emplace(root.fork());
   adv_rng_.emplace(root.fork());
+  if (!params_.corruptions.empty()) {
+    // A derived stream of its own (NOT a fork of root): the fork sequence
+    // net -> adversary -> per-node is pinned by the golden suite, and the
+    // corruption-disabled path must not create this stream at all.
+    corrupt_rng_.emplace(params_.seed ^ 0x5e1f57ab1eULL);
+  }
 
   queue_.reserve(params_.queue_reserve != 0
                      ? params_.queue_reserve
@@ -170,6 +190,14 @@ void Simulator::run_until(RealTime horizon) {
                  "schedule_restart: node has no process installed");
       restart.stop_timer = arm_timer(restart.node, restart.down_at, TimerState::kArmedStop);
     }
+    // Corruption events are armed LAST among the internal timers: at a time
+    // tie with a boot or a churn stop, the lifecycle transition applies
+    // first and corruption scrambles the post-transition state (ties break
+    // by insertion order). The owner slot carries the event's index.
+    for (std::size_t c = 0; c < params_.corruptions.size(); ++c) {
+      (void)arm_timer(static_cast<NodeId>(c), params_.corruptions[c].at,
+                      TimerState::kArmedCorrupt);
+    }
     if (adversary_ != nullptr) adversary_->on_start(*adv_ctx_);
   }
 
@@ -212,12 +240,17 @@ void Simulator::dispatch(const Event& ev) {
         ST_ASSERT(restart != nullptr, "Simulator: stop timer without a restart entry");
         Node& node = nodes_[restart->node];
         node.started = false;
+        // Protocol timers AND the hardware ticker die with the node: the
+        // ticker survives state corruption (it is hardware) but not the
+        // machine itself going down. A rebuilt process restarts its own.
         for (TimerId t = 1; t < next_timer_id_; ++t) {
-          if (timer_states_[t - 1] == TimerState::kArmedProcess &&
+          if ((timer_states_[t - 1] == TimerState::kArmedProcess ||
+               timer_states_[t - 1] == TimerState::kArmedTick) &&
               timer_owners_[t - 1] == restart->node) {
             timer_states_[t - 1] = TimerState::kCancelled;
           }
         }
+        node.ticker_interval = 0;
         node.process = restart->rebuild();
         ST_REQUIRE(node.process != nullptr, "schedule_restart: rebuild returned no process");
         (void)arm_timer(restart->node, restart->up_at, TimerState::kArmedStart);
@@ -230,6 +263,20 @@ void Simulator::dispatch(const Event& ev) {
         epoch_ = timer_owners_[static_cast<std::size_t>(id - 1)];
         topo_now_ = params_.schedule->epoch_graph(epoch_).get();
         delays_->on_topology_change(*topo_now_, now_);
+        return;
+      }
+      case TimerState::kArmedCorrupt:
+        apply_corruption(timer_owners_[static_cast<std::size_t>(id - 1)]);
+        return;
+      case TimerState::kArmedTick: {
+        Node& node = nodes_[ev.timer.node];
+        if (node.process == nullptr || !node.started || node.ticker_interval <= 0) return;
+        // Re-arm BEFORE the callback (a periodic interrupt, not a one-shot):
+        // the protocol cannot cancel or corrupt it away.
+        (void)arm_timer(ev.timer.node,
+                        node.hw->when_reads(node.hw->read(now_) + node.ticker_interval),
+                        TimerState::kArmedTick);
+        node.process->on_tick(*node.ctx);
         return;
       }
       case TimerState::kArmedAdversary:
@@ -252,6 +299,13 @@ void Simulator::dispatch(const Event& ev) {
   Node& node = nodes_[d.to];
   if (node.corrupt) {
     if (adversary_ != nullptr) adversary_->on_message(*adv_ctx_, d.to, d.from, *d.msg);
+    return;
+  }
+  // A wiped receive buffer: messages already in flight toward this node when
+  // a corruption event hit were part of the scrambled memory image and are
+  // lost on arrival.
+  if (d.sent_at < node.purge_before) {
+    ++messages_dropped_;
     return;
   }
   // Messages addressed to a node that has not booted yet are lost (the node
@@ -321,8 +375,9 @@ TimerId Simulator::arm_timer(NodeId node, RealTime fire_at, TimerState kind) {
 void Simulator::cancel_timer(TimerId id) {
   TimerState& state = timer_state(id);
   ST_REQUIRE(state != TimerState::kArmedStart && state != TimerState::kArmedStop &&
-                 state != TimerState::kArmedEpoch,
-             "cancel_timer: start/stop/epoch timers are internal");
+                 state != TimerState::kArmedEpoch && state != TimerState::kArmedCorrupt &&
+                 state != TimerState::kArmedTick,
+             "cancel_timer: start/stop/epoch/corruption/ticker timers are internal");
   // Cancelling a timer that already fired (or was already cancelled) is a
   // harmless no-op — and leaves no tombstone behind.
   if (state == TimerState::kArmedProcess || state == TimerState::kArmedAdversary) {
@@ -333,6 +388,60 @@ void Simulator::cancel_timer(TimerId id) {
 Simulator::TimerState& Simulator::timer_state(TimerId id) {
   ST_REQUIRE(id >= 1 && id < next_timer_id_, "Simulator: unknown timer id");
   return timer_states_[static_cast<std::size_t>(id - 1)];
+}
+
+void Simulator::start_ticker(NodeId id, Duration hw_interval) {
+  ST_REQUIRE(id < params_.n, "start_ticker: node id out of range");
+  ST_REQUIRE(hw_interval > 0, "start_ticker: interval must be positive");
+  Node& node = nodes_[id];
+  ST_REQUIRE(!node.corrupt, "start_ticker: node is corrupted");
+  ST_REQUIRE(node.ticker_interval == 0, "start_ticker: ticker already running");
+  node.ticker_interval = hw_interval;
+  (void)arm_timer(id, node.hw->when_reads(node.hw->read(now_) + hw_interval),
+                  TimerState::kArmedTick);
+}
+
+void Simulator::apply_corruption(std::size_t idx) {
+  const CorruptionEvent& ev = params_.corruptions[idx];
+  // Victims: a seeded random subset of the honest nodes that are up. Every
+  // draw below comes from the dedicated corruption stream, in a canonical
+  // order (subset first, then per victim ascending by id), so the whole
+  // event is a pure function of (seed, event index, fleet state).
+  std::vector<NodeId> victims;
+  for (const NodeId id : honest_ids_) {
+    if (nodes_[id].started && nodes_[id].process != nullptr) victims.push_back(id);
+  }
+  if (victims.empty()) return;
+  const auto want = static_cast<std::size_t>(
+      std::ceil(ev.fraction * static_cast<double>(victims.size())));
+  const std::size_t count = std::clamp<std::size_t>(want, 1, victims.size());
+  corrupt_rng_->shuffle(victims);
+  victims.resize(count);
+  std::sort(victims.begin(), victims.end());
+
+  ++corruption_events_fired_;
+  nodes_corrupted_ += count;
+  for (const NodeId id : victims) {
+    Node& node = nodes_[id];
+    if (ev.kinds & kCorruptClocks) {
+      // Shift the correction state by a uniform draw; the HARDWARE clock is
+      // untouched (it is an oscillator, not memory) — which is exactly the
+      // anchor a self-stabilizing protocol recovers from.
+      const Duration delta = corrupt_rng_->uniform(-ev.clock_range, ev.clock_range);
+      node.logical->adjust_override(node.hw->read(now_), delta);
+    }
+    if (ev.kinds & kCorruptTimers) {
+      // Pending protocol timers are memory; they vanish exactly like on a
+      // churn crash. The hardware ticker (kArmedTick) survives.
+      for (TimerId t = 1; t < next_timer_id_; ++t) {
+        if (timer_states_[t - 1] == TimerState::kArmedProcess && timer_owners_[t - 1] == id) {
+          timer_states_[t - 1] = TimerState::kCancelled;
+        }
+      }
+    }
+    if (ev.kinds & kCorruptBuffers) node.purge_before = now_;
+    if (ev.kinds & kCorruptState) node.process->corrupt_state(*corrupt_rng_);
+  }
 }
 
 // --- Context ---
@@ -392,6 +501,8 @@ TimerId Context::set_timer_at_hardware(LocalTime target) {
 }
 
 void Context::cancel_timer(TimerId id) { sim_->cancel_timer(id); }
+
+void Context::start_ticker(Duration hw_interval) { sim_->start_ticker(id_, hw_interval); }
 
 const crypto::KeyRegistry& Context::registry() const {
   ST_REQUIRE(sim_->registry_ != nullptr, "Context::registry: no key registry installed");

@@ -8,6 +8,7 @@
 #include "clocks/hardware_clock.h"
 #include "clocks/logical_clock.h"
 #include "crypto/signature.h"
+#include "sim/corruption.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/process.h"
@@ -51,6 +52,11 @@ struct SimParams {
   /// send time, so in-flight messages survive a switch. Requires `topology`
   /// to be the schedule's epoch-0 graph (same object).
   std::shared_ptr<const CompiledTopologySchedule> schedule;
+  /// Scheduled state-corruption events (see sim/corruption.h). Times must be
+  /// positive and non-decreasing. Empty — the default — arms no corruption
+  /// machinery and leaves every RNG stream untouched, so the disabled path
+  /// is bit-identical to a build without fault injection.
+  std::vector<CorruptionEvent> corruptions;
 };
 
 class Simulator {
@@ -127,9 +133,17 @@ class Simulator {
   /// count is reproducible bit-for-bit, which the golden trace test pins.
   [[nodiscard]] std::uint64_t events_dispatched() const { return events_dispatched_; }
 
-  /// Sends lost in transit: the delay policy chose kDropMessage (partitions)
-  /// or the sender has no link to the recipient in the topology.
+  /// Sends lost in transit: the delay policy chose kDropMessage (partitions),
+  /// the sender has no link to the recipient in the topology, or the
+  /// recipient's in-flight buffer was wiped by a corruption event.
   [[nodiscard]] std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+  /// Corruption events that fired (== params.corruptions entries reached
+  /// before the horizon) and the total victim count across them.
+  [[nodiscard]] std::uint64_t corruption_events_fired() const {
+    return corruption_events_fired_;
+  }
+  [[nodiscard]] std::uint64_t nodes_corrupted() const { return nodes_corrupted_; }
 
   /// Called after every dispatched event; used by the skew tracker to sample
   /// at exactly the moments state can change.
@@ -148,6 +162,12 @@ class Simulator {
     bool corrupt = false;
     RealTime start_time = 0;
     bool started = false;
+    /// Corrupted receive buffer: deliveries sent strictly before this real
+    /// time are dropped on arrival (-1 = never; the corruption-free path
+    /// costs one always-false compare).
+    RealTime purge_before = -1;
+    /// Hardware ticker interval (0 = no ticker; see Context::start_ticker).
+    Duration ticker_interval = 0;
   };
 
   /// Lifecycle of one timer id in the flat state table. Armed states encode
@@ -159,7 +179,9 @@ class Simulator {
     kArmedStart,
     kArmedStop,  // churn: node goes down, replacement armed for the rejoin
     kArmedAdversary,
-    kArmedEpoch,  // topology schedule: the owner slot holds the epoch index
+    kArmedEpoch,    // topology schedule: the owner slot holds the epoch index
+    kArmedCorrupt,  // corruption event: the owner slot holds the event index
+    kArmedTick,     // hardware ticker: auto re-arms, immune to corruption
     kCancelled,
     kFired,
   };
@@ -192,6 +214,10 @@ class Simulator {
                     TimerState kind = TimerState::kArmedProcess);
   void cancel_timer(TimerId id);
   [[nodiscard]] TimerState& timer_state(TimerId id);
+  void start_ticker(NodeId id, Duration hw_interval);
+  /// Fires corruption event `idx`: picks the victim subset with the
+  /// dedicated corruption stream and scrambles each victim's memory.
+  void apply_corruption(std::size_t idx);
 
   SimParams params_;
   /// Graph live right now (params_.topology until the first epoch switch);
@@ -224,6 +250,14 @@ class Simulator {
   std::vector<NodeId> timer_owners_;
   std::vector<Restart> restarts_;
   std::optional<Rng> net_rng_;
+  /// Corruption draws come from their own stream, derived from the seed but
+  /// OUTSIDE the root fork sequence (net, adversary, per-node): enabling
+  /// corruption must not perturb any other stream, and with it disabled no
+  /// stream is even created. Engaged only when params.corruptions is
+  /// non-empty.
+  std::optional<Rng> corrupt_rng_;
+  std::uint64_t corruption_events_fired_ = 0;
+  std::uint64_t nodes_corrupted_ = 0;
 
   MessageCounters counters_;
   std::function<void(const Simulator&)> post_event_hook_;

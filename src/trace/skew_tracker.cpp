@@ -8,6 +8,12 @@ namespace stclock {
 SkewTracker::SkewTracker(Duration series_interval, std::function<bool(NodeId)> include)
     : series_interval_(series_interval), include_(std::move(include)) {}
 
+void SkewTracker::set_stabilization(RealTime after, double threshold) {
+  stab_armed_ = true;
+  stab_after_ = after;
+  stab_threshold_ = threshold;
+}
+
 void SkewTracker::sample(const Simulator& sim) {
   const RealTime t = sim.now();
   // The adjacency live RIGHT NOW: on a dynamic topology this moves with the
@@ -48,6 +54,22 @@ void SkewTracker::sample(const Simulator& sim) {
     max_skew_time_ = t;
   }
   if (t >= steady_start_) steady_max_skew_ = std::max(steady_max_skew_, spread);
+
+  if (stab_armed_) {
+    if (t < stab_after_) {
+      // Pre-corruption reference for the auto threshold: how tight the run
+      // was once past its convergence prefix.
+      if (t >= steady_start_) stab_pre_max_ = std::max(stab_pre_max_, spread);
+    } else {
+      stab_post_seen_ = true;
+      const double threshold = stab_threshold_ > 0 ? stab_threshold_ : stab_pre_max_;
+      if (spread > threshold) {
+        stab_candidate_ = -1;  // violating: any inside streak is void
+      } else if (stab_candidate_ < 0) {
+        stab_candidate_ = t;  // a new inside streak begins here
+      }
+    }
+  }
 
   double local = spread;
   if (sparse) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -38,6 +39,25 @@ class SkewTracker {
   /// convergence phase).
   void set_steady_start(RealTime t) { steady_start_ = t; }
 
+  /// Arms the stabilization watch: samples at t >= `after` (the last
+  /// corruption event) are judged against `threshold`, and the tracker
+  /// records the first time from which the spread enters — and then STAYS —
+  /// inside it. threshold <= 0 selects the pre-corruption reference: the
+  /// max spread observed in [steady_start, after), i.e. "as tight as it was
+  /// before the fault" (for baselines with no derived precision bound).
+  void set_stabilization(RealTime after, double threshold);
+
+  /// True iff post-corruption samples exist and the spread re-entered the
+  /// threshold and never left again.
+  [[nodiscard]] bool stabilized() const {
+    return stab_armed_ && stab_post_seen_ && stab_candidate_ >= 0;
+  }
+  /// Recovery latency: first time (minus `after`) from which the spread
+  /// stayed inside the threshold; 0 if it never left, -1 if not stabilized.
+  [[nodiscard]] double stabilization_time() const {
+    return stabilized() ? std::max(0.0, stab_candidate_ - stab_after_) : -1.0;
+  }
+
   [[nodiscard]] double max_skew() const { return max_skew_; }
   [[nodiscard]] double steady_max_skew() const { return steady_max_skew_; }
   [[nodiscard]] RealTime max_skew_time() const { return max_skew_time_; }
@@ -54,6 +74,13 @@ class SkewTracker {
   Duration series_interval_;
   std::function<bool(NodeId)> include_;
   RealTime steady_start_ = 0;
+
+  bool stab_armed_ = false;
+  RealTime stab_after_ = 0;
+  double stab_threshold_ = 0;   ///< <= 0: use stab_pre_max_
+  double stab_pre_max_ = 0;     ///< max spread in [steady_start_, stab_after_)
+  bool stab_post_seen_ = false;
+  RealTime stab_candidate_ = -1;  ///< start of the current inside streak (-1: violating)
 
   double max_skew_ = 0;
   double steady_max_skew_ = 0;

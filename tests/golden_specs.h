@@ -134,6 +134,22 @@ inline std::vector<ScenarioSpec> specs() {
     out.push_back(spec);
   }
 
+  // Fault injection (PR-7): one full-fraction corruption event on the
+  // static ring, plain auth vs the self-stabilizing variant on the SAME
+  // spec. The pair pins the whole corruption engine — victim selection,
+  // per-victim scramble draws, buffer purge — plus the stabilization
+  // metric for both outcomes: auth never recovers (its timers died with
+  // its memory), auth_stab's watchdog restabilizes well before the
+  // horizon.
+  for (const char* protocol : {"auth", "auth_stab"}) {
+    ScenarioSpec spec = base(protocol, 0, 11);
+    spec.cfg.n = 8;
+    spec.topology = TopologyKind::kRing;
+    spec.horizon = 20.0;
+    spec.corrupt_at = {4.25};
+    out.push_back(spec);
+  }
+
   // The gradient baseline on the static ring (PR-5): the first protocol
   // whose figure of merit IS the local skew — neighbors average each other's
   // readings, so the metric the topology layer introduced finally has a

@@ -44,6 +44,11 @@ struct Expected {
   double steady_local_skew = -1;
   // PR-5 dynamic-topology metric; static rows keep the single epoch.
   std::uint64_t topology_epochs = 1;
+  // PR-7 fault-injection metrics; corruption-free rows keep the defaults.
+  std::uint64_t corruption_events = 0;
+  std::uint64_t nodes_corrupted = 0;
+  bool stabilized = false;
+  double stabilization_time = -1;
 };
 
 // Captured at commit "PR 1" (pre-refactor), in golden_specs() order:
@@ -101,6 +106,20 @@ constexpr Expected kExpected[] = {
     {0.023622065043235274, 0.022902430782282046, 0.0029153297649813226, 0.97793130859712618,
      0.98009293359398963, 8, 8, true, 1.0198514995633599, 1.0202744594152133, 348, 3132,
      471, 8, 0, -1, false, 0.023622065043235274, 0.022255969480081461, 3},
+    // PR-7 fault-injection rows: auth vs auth_stab on the ring, one
+    // full-fraction corruption event at t=4.25. Plain auth never recovers —
+    // its process timers died with its memory and its round counter keeps
+    // the scrambled value (hence the absurd rounds_completed) — while
+    // auth_stab's hardware-anchored watchdog repairs clock, counters, and
+    // primitive floor and re-enters the precision envelope.
+    {5.7439196861006403, 5.7439196861006403, 0.0026354978737882506, 0.98800910986171786,
+     0.99008508421617525, 4, 4, false, 0.90203631998148259, 1.097602536331145, 177, 7965,
+     253, 137912, 0, -1, false, 5.7439196861006403, 5.7439196861006403, 1,
+     1, 8, false, -1},
+    {6.4810395603914719, 6.4810395603914719, 1.445091952233355, -0.4550723494657456,
+     2.4351702083415514, 20, 22, true, 1.0731434327004907, 1.1001062165798301, 972, 43740,
+     2539, 22, 0, -1, false, 5.3759078925225765, 5.3759078925225765, 1,
+     1, 8, true, 0.90115068363147977},
     {0.004388306538742115, 0.0036859473499006867, 0, 0,
      0, 0, 0, false, 0.99961388847323385, 1.0008601072591083, 192, 3264,
      250, 0, 0, -1, false, 0.0039895831942931004, 0.0035611683515077708, 1},
@@ -134,6 +153,10 @@ TEST(GoldenTrace, MetricsAreBitIdenticalAcrossHotPathRefactor) {
     EXPECT_EQ(r.rejoin_latency, e.rejoin_latency);
     EXPECT_EQ(r.churned_rejoined, e.churned_rejoined);
     EXPECT_EQ(r.topology_epochs, e.topology_epochs);
+    EXPECT_EQ(r.corruption_events, e.corruption_events);
+    EXPECT_EQ(r.nodes_corrupted, e.nodes_corrupted);
+    EXPECT_EQ(r.stabilized, e.stabilized);
+    EXPECT_EQ(r.stabilization_time, e.stabilization_time);
     if (e.local_skew < 0) {
       // Complete topology: the local-skew metric must degenerate to the
       // global spread exactly (every pair is adjacent).

@@ -93,6 +93,10 @@ ScenarioResult dense_result() {
   r.messages_dropped = 17;
   r.events_dispatched = 99999;
   r.rounds_completed = 6;
+  r.corruption_events = 2;
+  r.nodes_corrupted = 13;
+  r.stabilized = true;
+  r.stabilization_time = 3.75;
   return r;
 }
 
@@ -133,6 +137,10 @@ void expect_equal(const ScenarioResult& a, const ScenarioResult& b) {
   EXPECT_EQ(a.messages_dropped, b.messages_dropped);
   EXPECT_EQ(a.events_dispatched, b.events_dispatched);
   EXPECT_EQ(a.rounds_completed, b.rounds_completed);
+  EXPECT_EQ(a.corruption_events, b.corruption_events);
+  EXPECT_EQ(a.nodes_corrupted, b.nodes_corrupted);
+  EXPECT_EQ(a.stabilized, b.stabilized);
+  EXPECT_EQ(a.stabilization_time, b.stabilization_time);
 }
 
 // --- Cell fingerprint --------------------------------------------------------
@@ -369,6 +377,63 @@ TEST(ResultStore, GcDropsOldEntriesKeepsFreshOnes) {
   EXPECT_EQ(store.gc(std::chrono::seconds(0)), 1u);
   EXPECT_EQ(store.stats().entries, 0u);
   EXPECT_TRUE(store.keys().empty());
+}
+
+TEST(ResultStore, VerifySweepsTheWholeStoreAndNamesTheDamage) {
+  const StoreDir dir;
+  const ResultStore store(dir.path());
+  std::vector<std::string> keys;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ScenarioSpec spec;
+    spec.seed = seed;
+    keys.push_back(cell_key(spec));
+    store.save(keys.back(), dense_result());
+  }
+
+  // Healthy store: everything checked, nothing reported.
+  const ResultStore::VerifyReport clean = store.verify();
+  EXPECT_EQ(clean.checked, 4u);
+  EXPECT_TRUE(clean.corrupt.empty());
+  EXPECT_EQ(clean.orphan_tmp, 0u);
+
+  // Flip one byte mid-payload in one published object: verify must name
+  // exactly that key (load() already treats it as a miss; verify makes the
+  // damage visible instead of silently re-running).
+  const fs::path victim = store.object_path(keys[2]);
+  std::fstream f(victim, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(10);
+  char b = 0;
+  f.seekg(10);
+  f.get(b);
+  f.seekp(10);
+  f.put(static_cast<char>(b ^ 0x5A));
+  f.close();
+
+  // And plant an orphaned staging file — the residue of a writer that died
+  // between stage and rename.
+  { std::ofstream orphan(dir.path() / "tmp" / "dead-writer.tmp"); }
+
+  const ResultStore::VerifyReport damaged = store.verify();
+  EXPECT_EQ(damaged.checked, 4u);
+  ASSERT_EQ(damaged.corrupt.size(), 1u);
+  EXPECT_EQ(damaged.corrupt[0], keys[2]);
+  EXPECT_EQ(damaged.orphan_tmp, 1u);
+}
+
+TEST(ResultStore, UnusableStoreDirectoryFailsLoudlyAtConstruction) {
+  // A store rooted UNDER a regular file can never be created.
+  const StoreDir dir;
+  fs::create_directories(dir.path());
+  { std::ofstream plain(dir.path() / "plain"); }
+  EXPECT_THROW(ResultStore(dir.path() / "plain" / "store"), std::runtime_error);
+
+  // A store whose staging area is a regular file exists but cannot stage
+  // writes; the constructor's probe must refuse it up front rather than let
+  // every later save fail quietly.
+  const StoreDir dir2;
+  fs::create_directories(dir2.path() / "objects");
+  { std::ofstream plain(dir2.path() / "tmp"); }
+  EXPECT_THROW(ResultStore(dir2.path()), std::runtime_error);
 }
 
 TEST(ResultStore, StatsAndKeysEnumerateTheObjects) {

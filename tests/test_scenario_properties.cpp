@@ -105,6 +105,10 @@ void assert_bit_identical(const ScenarioResult& a, const ScenarioResult& b) {
   EXPECT_EQ(a.joiners_integrated, b.joiners_integrated);
   EXPECT_EQ(a.rejoin_latency, b.rejoin_latency);
   EXPECT_EQ(a.churned_rejoined, b.churned_rejoined);
+  EXPECT_EQ(a.corruption_events, b.corruption_events);
+  EXPECT_EQ(a.nodes_corrupted, b.nodes_corrupted);
+  EXPECT_EQ(a.stabilized, b.stabilized);
+  EXPECT_EQ(a.stabilization_time, b.stabilization_time);
   EXPECT_EQ(a.messages_sent, b.messages_sent);
   EXPECT_EQ(a.bytes_sent, b.bytes_sent);
   EXPECT_EQ(a.messages_dropped, b.messages_dropped);

@@ -119,6 +119,26 @@ const BadCase kCorpus[] = {
      R"({"base": {"n": 5, "topology": "star",
                   "topology_events": [{"at": 2.0, "remove": [0, 1]}]}})",
      "disconnects the topology"},
+    // --- corruption knobs (PR-7 fault injection) ---
+    {"corrupt_at_wrong_type", R"({"base": {"corrupt_at": "late"}})",
+     "base.corrupt_at: expected number or array, got string"},
+    {"corrupt_at_negative", R"({"base": {"corrupt_at": -2.0}})",
+     "base.corrupt_at: must be positive, got -2.0"},
+    {"corrupt_at_decreasing", R"({"base": {"corrupt_at": [5.0, 3.0]}})",
+     "base.corrupt_at[1]: corrupt_at times must be non-decreasing"},
+    {"corrupt_at_past_horizon", R"({"base": {"horizon": 10.0, "corrupt_at": [12.0]}})",
+     "corrupt_at must fall before the horizon"},
+    {"corrupt_fraction_zero", R"({"base": {"corrupt_at": 2.0, "corrupt_fraction": 0}})",
+     "corrupt_fraction must lie in (0, 1], got 0"},
+    {"corrupt_fraction_above_one",
+     R"({"base": {"corrupt_at": 2.0, "corrupt_fraction": 1.5}})",
+     "corrupt_fraction must lie in (0, 1], got 1.5"},
+    {"corrupt_kinds_unknown_name",
+     R"({"base": {"corrupt_at": 2.0, "corrupt_kinds": "clocks,ram"}})",
+     "unknown corruption kind \"ram\""},
+    {"corrupt_kinds_duplicate_name",
+     R"({"base": {"corrupt_at": 2.0, "corrupt_kinds": "timers,timers"}})",
+     "duplicate corruption kind \"timers\""},
 };
 
 TEST(ScenfileErrors, EveryMalformedFileFailsWithADistinctFieldNamingError) {

@@ -175,7 +175,8 @@ int main(int argc, char** argv) {
                   << " live=" << (results[i].live ? 1 : 0)
                   << " epochs=" << results[i].topology_epochs
                   << " messages=" << results[i].messages_sent
-                  << " dropped=" << results[i].messages_dropped << "\n";
+                  << " dropped=" << results[i].messages_dropped
+                  << " stab=" << results[i].stabilization_time << "\n";
       }
     }
     return 0;

@@ -12,6 +12,9 @@
 ///   scenstore DIR ls                     one cell key per line, sorted
 ///   scenstore DIR gc --keep-days N       drop records older than N days
 ///                                        (N may be fractional; 0 = drop all)
+///   scenstore DIR verify                 checksum-sweep every record and
+///                                        audit tmp/ for orphaned staging
+///                                        files; exit 1 if anything is corrupt
 ///
 /// The store is written by `scenrun --store DIR`; keys are cell fingerprints
 /// (resolved spec + seed + engine fingerprint), so entries from superseded
@@ -24,6 +27,7 @@ int usage(std::ostream& os, int code) {
   os << "usage: scenstore DIR stats\n"
         "       scenstore DIR ls\n"
         "       scenstore DIR gc --keep-days N\n"
+        "       scenstore DIR verify\n"
         "       scenstore --version\n";
   return code;
 }
@@ -81,6 +85,18 @@ int main(int argc, char** argv) {
       std::cout << "removed=" << removed << " entries=" << s.entries << " bytes=" << s.bytes
                 << "\n";
       return 0;
+    }
+
+    if (command == "verify") {
+      const resultstore::ResultStore::VerifyReport report = store.verify();
+      std::cout << "checked=" << report.checked << " corrupt=" << report.corrupt.size()
+                << " orphan_tmp=" << report.orphan_tmp << "\n";
+      for (const std::string& key : report.corrupt) {
+        std::cout << "corrupt " << key << "\n";
+      }
+      // Orphans are a normal crash residue (gc ages them out); corruption is
+      // an integrity failure and should trip scripts.
+      return report.corrupt.empty() ? 0 : 1;
     }
 
     std::cerr << "scenstore: unknown command: " << command << "\n";
