@@ -139,6 +139,17 @@ BENCHMARK(BM_Broadcast_N64);
 void BM_Broadcast_N256(benchmark::State& state) { run_broadcast_bench(state, 256); }
 BENCHMARK(BM_Broadcast_N256);
 
+// The scale points the sparse-first refactor is judged by: same workload at
+// fleet sizes where the old n x n adjacency bitset alone would have cost
+// 2 GiB (65536^2 bits) and every queue op sifted through a million-entry
+// heap. Tracked in BENCH_core.json next to the small-N points so a perf
+// regression at scale cannot hide behind a flat N64 line.
+void BM_Broadcast_N4096(benchmark::State& state) { run_broadcast_bench(state, 4096); }
+BENCHMARK(BM_Broadcast_N4096)->Unit(benchmark::kMillisecond);
+
+void BM_Broadcast_N65536(benchmark::State& state) { run_broadcast_bench(state, 65536); }
+BENCHMARK(BM_Broadcast_N65536)->Unit(benchmark::kMillisecond);
+
 void BM_TopoSwitch_Epochs(benchmark::State& state) {
   // The dynamic-topology path end-to-end: one iteration runs a 16-node ring
   // for 32 simulated seconds during which the {0, 8} chord flaps every half

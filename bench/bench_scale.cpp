@@ -1,0 +1,138 @@
+// Scale sweep driver: wall-clock and memory for sparse-topology scenarios
+// at fleet sizes up to n = 10^6 — the regime the sparse-first topology
+// representation and the ladder event queue exist for. Unlike bench_micro
+// (google-benchmark hot paths) this is a plain binary: one row per cell,
+// timed end-to-end through the real run_scenario path, metrics included.
+//
+//   bench_scale                        # default sweep: ring 10^4..10^6
+//   bench_scale --topology torus --n 1000000
+//   bench_scale --topology gnp --n 100000 --gnp-p 2e-4
+//   bench_scale --protocol unsynchronized ...   # metric-overhead floor
+//
+// Exits non-zero if any cell exceeds --budget wall seconds (default: off),
+// so CI can enforce "a million-node ring sweep finishes in minutes".
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "experiment/registry.h"
+#include "experiment/scenario.h"
+#include "sim/topology.h"
+
+namespace stclock {
+namespace {
+
+long peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss / 1024;  // Linux reports KB
+}
+
+struct Options {
+  std::vector<std::uint32_t> sizes;
+  std::string topology = "ring";
+  std::string protocol = "gradient";
+  double gnp_p = 2e-4;
+  double horizon = 5.0;
+  double budget = 0;  // wall-seconds per cell; 0 = unenforced
+  std::uint64_t seed = 1;
+};
+
+Options parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--n" && has_value) {
+      opts.sizes.push_back(static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10)));
+    } else if (arg == "--topology" && has_value) {
+      opts.topology = argv[++i];
+    } else if (arg == "--protocol" && has_value) {
+      opts.protocol = argv[++i];
+    } else if (arg == "--gnp-p" && has_value) {
+      opts.gnp_p = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--horizon" && has_value) {
+      opts.horizon = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--budget" && has_value) {
+      opts.budget = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--seed" && has_value) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bench_scale [--n N]... [--topology ring|torus|gnp] "
+          "[--protocol NAME] [--gnp-p P] [--horizon H] [--budget SECONDS] [--seed S]\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "bench_scale: unknown option %s (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (opts.sizes.empty()) opts.sizes = {10000, 100000, 1000000};
+  return opts;
+}
+
+}  // namespace
+}  // namespace stclock
+
+int main(int argc, char** argv) {
+  using namespace stclock;
+  const Options opts = parse(argc, argv);
+
+  std::printf("# protocol=%s topology=%s horizon=%.2f seed=%llu\n", opts.protocol.c_str(),
+              opts.topology.c_str(), opts.horizon,
+              static_cast<unsigned long long>(opts.seed));
+  std::printf("%10s %12s %12s %10s %10s %12s %12s\n", "n", "events", "messages",
+              "wall_s", "rss_mb", "max_skew", "local_skew");
+
+  bool over_budget = false;
+  for (const std::uint32_t n : opts.sizes) {
+    experiment::ScenarioSpec spec;
+    spec.protocol = opts.protocol;
+    spec.cfg.n = n;
+    spec.cfg.f = 0;
+    spec.cfg.rho = 1e-4;
+    spec.cfg.tdel = 0.01;
+    spec.cfg.period = 1.0;
+    spec.cfg.initial_sync = 0.005;
+    spec.seed = opts.seed;
+    spec.horizon = opts.horizon;
+    spec.attack = AttackKind::kNone;
+    spec.gnp_p = opts.gnp_p;
+    spec.topology_seed = opts.seed;
+    if (opts.topology == "ring") {
+      spec.topology = TopologyKind::kRing;
+    } else if (opts.topology == "torus") {
+      spec.topology = TopologyKind::kTorus;
+    } else if (opts.topology == "gnp") {
+      spec.topology = TopologyKind::kGnp;
+    } else if (opts.topology == "complete") {
+      spec.topology = TopologyKind::kComplete;
+    } else {
+      std::fprintf(stderr, "bench_scale: unknown topology %s\n", opts.topology.c_str());
+      return 2;
+    }
+
+    const auto begin = std::chrono::steady_clock::now();
+    const experiment::ScenarioResult r = experiment::run_scenario(spec);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+
+    std::printf("%10u %12llu %12llu %10.2f %10ld %12.3e %12.3e\n", n,
+                static_cast<unsigned long long>(r.events_dispatched),
+                static_cast<unsigned long long>(r.messages_sent), wall, peak_rss_mb(),
+                r.max_skew, r.local_skew);
+    std::fflush(stdout);
+    if (opts.budget > 0 && wall > opts.budget) {
+      std::fprintf(stderr, "bench_scale: n=%u took %.1fs (budget %.1fs)\n", n, wall,
+                   opts.budget);
+      over_budget = true;
+    }
+  }
+  return over_budget ? 1 : 0;
+}

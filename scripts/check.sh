@@ -3,8 +3,8 @@
 # tree (src/, tests/, bench/, examples/) builds under -Wall -Wextra -Werror,
 # so any new warning in the hot-path files fails the gate.
 #
-# Usage: scripts/check.sh [--bench] [--scen] [--store] [--faults] [--asan]
-#                         [build-dir] (default build-dir: build-check)
+# Usage: scripts/check.sh [--bench] [--scen] [--store] [--faults] [--scale]
+#                         [--asan] [build-dir] (default build-dir: build-check)
 #   --bench  additionally smoke-run the tracked perf benchmarks (1 iteration,
 #            via scripts/bench.sh --smoke) so the bench binaries cannot
 #            bit-rot; BENCH_core.json is not modified.
@@ -23,6 +23,11 @@
 #            boundaries), a scenstore verify pass over a freshly populated
 #            store, and scenrun --store pointed at an uncreatable directory
 #            asserted to fail loudly.
+#   --scale  additionally smoke-run the million-node machinery at CI-sized
+#            scale: the n=65536 ring grid (examples/scenarios/scale/) under a
+#            hard wall-clock budget, the same grid sharded across scenlaunch
+#            workers diffed byte-identical against the unsharded run, and a
+#            bench_scale ring cell with its per-cell budget enforced.
 #   --asan   additionally build the tree under ASan+UBSan (its own build
 #            directory, <build-dir>-asan) and run the tier-1 ctest suite in
 #            it; any sanitizer report fails the gate.
@@ -36,15 +41,17 @@ RUN_BENCH=0
 RUN_SCEN=0
 RUN_STORE=0
 RUN_FAULTS=0
+RUN_SCALE=0
 RUN_ASAN=0
 BUILD_DIR="build-check"
 for arg in "$@"; do
   case "$arg" in
-    -h|--help) sed -n 's/^# \{0,1\}//p' "$0" | sed -n '2,31p'; exit 0 ;;
+    -h|--help) sed -n 's/^# \{0,1\}//p' "$0" | sed -n '2,37p'; exit 0 ;;
     --bench) RUN_BENCH=1 ;;
     --scen) RUN_SCEN=1 ;;
     --store) RUN_STORE=1 ;;
     --faults) RUN_FAULTS=1 ;;
+    --scale) RUN_SCALE=1 ;;
     --asan) RUN_ASAN=1 ;;
     -*) echo "check.sh: unknown option: $arg (see --help)" >&2; exit 2 ;;
     *) BUILD_DIR="$arg" ;;
@@ -62,7 +69,8 @@ fi
 SCEN_TMP=""
 STORE_TMP=""
 FAULT_TMP=""
-trap 'rm -rf ${SCEN_TMP:+"$SCEN_TMP"} ${STORE_TMP:+"$STORE_TMP"} ${FAULT_TMP:+"$FAULT_TMP"}' EXIT
+SCALE_TMP=""
+trap 'rm -rf ${SCEN_TMP:+"$SCEN_TMP"} ${STORE_TMP:+"$STORE_TMP"} ${FAULT_TMP:+"$FAULT_TMP"} ${SCALE_TMP:+"$SCALE_TMP"}' EXIT
 
 if [[ "$RUN_SCEN" -eq 1 ]]; then
   SCEN_TMP="$(mktemp -d)"
@@ -179,6 +187,33 @@ if [[ "$RUN_FAULTS" -eq 1 ]]; then
     || { echo "check.sh: unusable store died without naming itself:" >&2; \
          cat "$FAULT_TMP/store.err" >&2; exit 1; }
   echo "check.sh: faults smoke OK: scenstore verify + loud store failure"
+fi
+
+if [[ "$RUN_SCALE" -eq 1 ]]; then
+  SCALE_TMP="$(mktemp -d)"
+  GRID="examples/scenarios/scale/ring_smoke_grid.json"
+
+  # The n=65536 smoke grid must finish inside a hard budget: with the
+  # sparse-first topology and the ladder queue the four cells take ~10 s;
+  # the old n x n bitset alone would have needed 512 MB per cell and the
+  # heap made every one of the ~5M queue ops pay a log-of-population sift.
+  timeout 300 "$BUILD_DIR/scenrun" "$GRID" --threads 4 \
+    --json "$SCALE_TMP/full.json" --csv "$SCALE_TMP/full.csv" \
+    || { echo "check.sh: scale grid failed or blew its 300 s budget" >&2; exit 1; }
+
+  # Sharding a scale grid across worker processes must not show in the
+  # bytes: each cell's topology, RNG, and metric policy derive from the spec
+  # alone, never from run layout.
+  scripts/scenlaunch.sh "$GRID" --workers 3 --build-dir "$BUILD_DIR" \
+    --json "$SCALE_TMP/launched.json" --csv "$SCALE_TMP/launched.csv"
+  diff "$SCALE_TMP/full.json" "$SCALE_TMP/launched.json"
+  diff "$SCALE_TMP/full.csv" "$SCALE_TMP/launched.csv"
+  echo "check.sh: scale smoke OK: n=65536 grid in budget, shards byte-identical"
+
+  # One bench_scale ring cell with the per-cell budget enforced end-to-end.
+  "$BUILD_DIR/bench_scale" --n 65536 --horizon 2 --budget 120 \
+    || { echo "check.sh: bench_scale n=65536 blew its 120 s budget" >&2; exit 1; }
+  echo "check.sh: scale smoke OK: bench_scale n=65536 in budget"
 fi
 
 if [[ "$RUN_ASAN" -eq 1 ]]; then

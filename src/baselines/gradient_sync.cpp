@@ -1,5 +1,7 @@
 #include "baselines/gradient_sync.h"
 
+#include <algorithm>
+
 #include "util/contracts.h"
 
 namespace stclock::baselines {
@@ -10,8 +12,6 @@ GradientProtocol::GradientProtocol(GradientParams params) : params_(params) {
   ST_REQUIRE(params_.nominal_delay >= 0, "GradientProtocol: negative nominal delay");
   ST_REQUIRE(params_.gain > 0 && params_.gain <= 1.0,
              "GradientProtocol: gain must lie in (0, 1]");
-  offsets_.assign(params_.n, 0.0);
-  heard_round_.assign(params_.n, 0);
 }
 
 void GradientProtocol::on_start(Context& ctx) {
@@ -23,9 +23,18 @@ void GradientProtocol::on_message(Context& ctx, NodeId from, const Message& m) {
   if (g == nullptr || from == ctx.self() || from >= params_.n) return;
   // Freshest estimate per neighbor wins. The offset is measured against our
   // clock at arrival; both clocks run within rho of real time, so it stays
-  // accurate for the one round it is allowed to live.
-  offsets_[from] = (g->value + params_.nominal_delay) - ctx.logical_now();
-  heard_round_[from] = g->round;
+  // accurate for the one round it is allowed to live. The table is kept
+  // sorted by peer id so the averaging pass below accumulates in ascending
+  // id order — the exact summation order of the legacy n-sized table.
+  const Duration offset = (g->value + params_.nominal_delay) - ctx.logical_now();
+  const auto it = std::lower_bound(peers_.begin(), peers_.end(), from,
+                                   [](const PeerEstimate& e, NodeId id) { return e.peer < id; });
+  if (it != peers_.end() && it->peer == from) {
+    it->heard_round = g->round;
+    it->offset = offset;
+  } else {
+    peers_.insert(it, PeerEstimate{from, g->round, offset});
+  }
 }
 
 void GradientProtocol::on_timer(Context& ctx, TimerId id) {
@@ -35,9 +44,9 @@ void GradientProtocol::on_timer(Context& ctx, TimerId id) {
   // adjustment just applied.
   Duration sum = 0;
   std::uint32_t count = 1;  // self
-  for (NodeId peer = 0; peer < params_.n; ++peer) {
-    if (heard_round_[peer] + 1 >= round_ && heard_round_[peer] > 0) {
-      sum += offsets_[peer];
+  for (const PeerEstimate& e : peers_) {
+    if (e.heard_round + 1 >= round_ && e.heard_round > 0) {
+      sum += e.offset;
       ++count;
     }
   }

@@ -49,14 +49,24 @@ class GradientProtocol final : public Process {
   [[nodiscard]] Round rounds_completed() const { return round_ - 1; }
 
  private:
+  /// Freshest offset estimate from one neighbor, tagged with the round it
+  /// was heard in; estimates older than one round are stale (the neighbor
+  /// fell silent or the link vanished mid-run) and are ignored.
+  struct PeerEstimate {
+    NodeId peer = 0;
+    Round heard_round = 0;
+    Duration offset = 0;
+  };
+
   GradientParams params_;
   Round round_ = 1;
   TimerId timer_ = 0;
-  /// Freshest offset estimate per neighbor, tagged with the round it was
-  /// heard in; estimates older than one round are stale (the neighbor fell
-  /// silent or the link vanished mid-run) and are ignored.
-  std::vector<Duration> offsets_;
-  std::vector<Round> heard_round_;
+  /// Estimates for the peers actually heard from, sorted by id. Only
+  /// neighbors can reach us (broadcast is graph-restricted), so this is
+  /// O(degree) per node — an n-sized table here made the fleet O(n^2) in
+  /// memory and made every round an O(n) scan per node, which is what
+  /// capped gradient sweeps around n = 10^4.
+  std::vector<PeerEstimate> peers_;
 };
 
 }  // namespace stclock::baselines

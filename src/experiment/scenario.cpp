@@ -343,9 +343,14 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
     sim.set_adversary(corrupt, make_attack(spec.attack, attack_params));
   }
 
+  // The per-node pulse log only feeds sync-mode metrics (precision between
+  // simultaneous rounds, liveness, joiner integration); baselines never
+  // pulse, so at scale the empty vectors would still cost O(n) maps.
   PulseLog pulses;
-  pulses.by_node.resize(cfg.n);
-  pulses.first_pulse.assign(cfg.n, -1.0);
+  if (sync_mode) {
+    pulses.by_node.resize(cfg.n);
+    pulses.first_pulse.assign(cfg.n, -1.0);
+  }
 
   // Non-null only in sync mode (and only for honest ids).
   std::vector<SyncProtocol*> protocols(cfg.n, nullptr);
@@ -392,12 +397,20 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
   // clock is arbitrary by definition). The tracker reads the simulator's
   // CURRENT graph at every sample, so local skew is always measured against
   // the adjacency live at measurement time.
+  // Metric-granularity floor for the explicit stepping loop below; hoisted
+  // here because the scale policy derives the skew sampling gap from it.
+  const Duration step = std::max(spec.skew_series_interval, 1e-3);
+  const bool scale_mode = cfg.n >= kScaleMetricThreshold;
+
   SkewTracker skew(spec.skew_series_interval,
                    sync_mode ? std::function<bool(NodeId)>([&protocols](NodeId id) {
                      return protocols[id] == nullptr || protocols[id]->integrated();
                    })
                              : nullptr);
   skew.set_steady_start(sync_mode ? 2 * result.bounds.max_period : 3 * cfg.period);
+  // At scale, per-event O(n) sweeps dominate the run; decimate to half the
+  // stepping granularity so every explicit step-loop sample still lands.
+  if (scale_mode) skew.set_min_sample_gap(step * 0.5);
   if (!spec.corrupt_at.empty()) {
     // Recovery is judged from the LAST corruption event: the paper's
     // stabilization time is "from the last transient fault". Sync protocols
@@ -406,7 +419,14 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
     skew.set_stabilization(spec.corrupt_at.back(),
                            sync_mode ? result.bounds.precision : 0.0);
   }
+  // The envelope parameters the eventual report() call will use are fully
+  // determined here (bounds are derived before the run), which is what lets
+  // streaming mode fix them up-front and keep only O(1) sums per node.
+  const double env_lo = sync_mode ? result.bounds.rate_lo : 1.0 / (1.0 + cfg.rho);
+  const double env_hi = sync_mode ? result.bounds.rate_hi : 1.0 + cfg.rho;
+  const RealTime env_steady = sync_mode ? 2 * result.bounds.max_period : 3 * cfg.period;
   EnvelopeTracker envelope(spec.envelope_interval);
+  if (scale_mode) envelope.enable_streaming(env_lo, env_hi, env_steady);
   sim.set_post_event_hook([&skew, &envelope](const Simulator& s) {
     skew.sample(s);
     envelope.sample(s);
@@ -415,7 +435,6 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
   // Step the simulation so metrics get sampled at a bounded real-time
   // granularity even through event-quiet stretches (e.g. the unsynchronized
   // control generates no events at all).
-  const Duration step = std::max(spec.skew_series_interval, 1e-3);
   for (RealTime t = step; t < spec.horizon + step; t += step) {
     sim.run_until(std::min(t, spec.horizon));
     skew.sample(sim);
@@ -433,16 +452,14 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
     collect_pulse_metrics(spec, pulses, protocols, honest_count, first_joiner, result);
 
     // The envelope fit needs a few samples past the convergence prefix.
-    if (spec.horizon > 2 * result.bounds.max_period + 3 * spec.envelope_interval) {
-      const RealTime fit_start = 2 * result.bounds.max_period;
-      result.envelope =
-          envelope.report(result.bounds.rate_lo, result.bounds.rate_hi, fit_start);
+    if (spec.horizon > env_steady + 3 * spec.envelope_interval) {
+      result.envelope = envelope.report(env_lo, env_hi, env_steady);
       result.rate_fit_tolerance =
-          2 * result.bounds.precision / (spec.horizon - fit_start);
+          2 * result.bounds.precision / (spec.horizon - env_steady);
     }
   } else if (spec.horizon > 3 * cfg.period + 1.0) {
     // Baselines are judged against the raw hardware envelope.
-    result.envelope = envelope.report(1.0 / (1.0 + cfg.rho), 1.0 + cfg.rho, 3 * cfg.period);
+    result.envelope = envelope.report(env_lo, env_hi, env_steady);
   }
 
   result.messages_sent = sim.counters().total_sent();

@@ -13,12 +13,24 @@
 /// increasing sequence number breaks ties), which makes every run fully
 /// deterministic for a given seed.
 ///
-/// Internally the heap stores only slim POD entries: timer payloads (two
-/// ids) are inlined, and delivery payloads live in a free-listed slab
-/// referenced by slot. Heap sifts therefore move 32-byte entries and never
-/// touch a shared_ptr refcount; steady-state operation performs no
-/// allocation once the slab and heap have grown to the standing population
-/// (or were pre-sized via reserve()).
+/// Internally this is a ladder queue (Tang et al.), not a binary heap: a
+/// small sorted "bottom" list serves pops in O(1), everything further out
+/// sits in unsorted time-bucketed rungs (plus an unsorted "top" catch-all)
+/// and is only sorted — one bucket at a time — when the simulation clock
+/// actually reaches it. A binary heap sifts a 32-byte entry through O(log n)
+/// levels on every op; at n = 10^6 the standing population is millions of
+/// deliveries and the sifts dominate the run (BM_EventQueue_Churn). The
+/// ladder does O(1) amortized work per event regardless of population, and
+/// pops the exact same (time, seq) order as the heap did — the golden suite
+/// and a property test against a reference heap pin this bit-for-bit.
+///
+/// The ladder exploits the discrete-event contract the heap never could:
+/// pushes are never earlier than the last pop (the simulator only schedules
+/// into the future). push_timer/push_delivery enforce this.
+///
+/// Entries stay slim PODs: timer payloads (two ids) are inlined, and
+/// delivery payloads live in a free-listed slab referenced by slot, so
+/// bucket moves never touch a shared_ptr refcount.
 namespace stclock {
 
 using TimerId = std::uint64_t;
@@ -47,17 +59,22 @@ struct Event {
 
 class EventQueue {
  public:
-  /// Pre-sizes the heap and the delivery slab for `events` resident events
-  /// (e.g. one full broadcast round, ~n^2), so the steady state never
-  /// reallocates.
+  /// Pre-sizes the delivery slab and the staging arrays for `events`
+  /// resident events, so the steady state never reallocates.
   void reserve(std::size_t events);
 
+  /// Both push fronts require time >= the last popped time: the simulator
+  /// only ever schedules into the (non-strict) future, and the ladder's
+  /// bucket spine depends on it.
   void push_timer(RealTime time, TimerEvent ev);
   void push_delivery(RealTime time, DeliveryEvent ev);
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
-  [[nodiscard]] RealTime next_time() const;
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Earliest pending time. Non-const: peeking may sort the next bucket
+  /// into the bottom list (observable state is untouched). Requires !empty().
+  [[nodiscard]] RealTime next_time();
 
   /// Removes and returns the earliest event. Requires !empty().
   [[nodiscard]] Event pop();
@@ -66,23 +83,69 @@ class EventQueue {
   struct Entry {
     RealTime time = 0;
     std::uint64_t seq = 0;
-    TimerId timer_id = 0;         ///< timer payload (is_timer only)
+    TimerId timer_id = 0;            ///< timer payload (is_timer only)
     std::uint32_t node_or_slot = 0;  ///< timer target node, or delivery slab slot
     bool is_timer = false;
   };
 
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  /// One ladder rung: `buckets.size()` unsorted buckets of `width` seconds
+  /// tiling [start, end). Buckets before `cur` have been drained (into the
+  /// bottom list or a deeper rung) and never refill — routing sends their
+  /// time range to the bottom list instead.
+  struct Rung {
+    double start = 0;
+    double width = 0;
+    RealTime end = 0;     ///< exclusive upper bound of times this rung accepts
+    std::size_t cur = 0;  ///< first bucket not yet drained
+    std::vector<std::vector<Entry>> buckets;
   };
 
-  /// Min-heap over Entry (std::push_heap/pop_heap with Later).
-  std::vector<Entry> heap_;
+  /// Buckets larger than this spawn a deeper rung instead of being sorted
+  /// wholesale; a direct sort stays O(k log k) for small k.
+  static constexpr std::size_t kSpawnThreshold = 64;
+  /// Spawn-depth backstop: past this, buckets sort directly no matter their
+  /// size (each level divides the time range by >= kMinBuckets, so real
+  /// workloads never get close).
+  static constexpr std::size_t kMaxRungs = 48;
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kMaxBuckets = 65536;
+  /// When the bottom list outgrows this with no rungs armed, its tail is
+  /// pushed back out to the top so pops stay O(1).
+  static constexpr std::size_t kBottomOverflow = 2048;
+  static constexpr std::size_t kBottomKeep = 64;
+
+  void push_entry(RealTime time, Entry e);
+  /// Establishes a non-empty bottom list (requires size_ > 0).
+  void ensure_bottom();
+  void refill_from_rung();
+  void transfer_top();
+  void maybe_rebalance_bottom();
+
+  [[nodiscard]] static std::size_t raw_index(const Rung& r, RealTime t);
+  /// Smallest representable time with raw_index >= k (k >= 1) — the exact
+  /// float boundary between buckets, so routing and draining can never
+  /// disagree about which side an entry falls on.
+  [[nodiscard]] static RealTime bucket_boundary(const Rung& r, std::size_t k);
+  [[nodiscard]] std::size_t bottom_active() const { return bottom_.size() - bot_head_; }
+
+  /// Sorted ascending by (time, seq); pops at bot_head_. Owns [last pop,
+  /// bot_end_).
+  std::vector<Entry> bottom_;
+  std::size_t bot_head_ = 0;
+  RealTime bot_end_ = 0;
+  /// rungs_[0] is shallowest (widest range); back() is deepest and owns the
+  /// interval right above the bottom list.
+  std::vector<Rung> rungs_;
+  /// Unsorted catch-all for times beyond every rung.
+  std::vector<Entry> top_;
+  RealTime top_min_ = 0;
+  RealTime top_max_ = 0;
+
   std::vector<DeliveryEvent> slab_;
   std::vector<std::uint32_t> free_slots_;
+  std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
+  RealTime last_pop_time_ = 0;
 };
 
 }  // namespace stclock

@@ -61,9 +61,24 @@ Simulator::Simulator(SimParams params, std::vector<HardwareClock> clocks,
     corrupt_rng_.emplace(params_.seed ^ 0x5e1f57ab1eULL);
   }
 
-  queue_.reserve(params_.queue_reserve != 0
-                     ? params_.queue_reserve
-                     : static_cast<std::size_t>(params_.n) * (params_.n + 2));
+  // Default queue reservation, sized by the graph actually installed: a
+  // broadcast round is ~n^2 resident deliveries on a complete graph but only
+  // ~2E on a sparse one — and the old unconditional n*(n+2) default asked
+  // for terabytes at n = 10^6. Reservation is a pure pre-size (the queue
+  // grows past it fine), so a cap cannot change behavior, only first-touch
+  // allocation timing.
+  std::size_t reserve = params_.queue_reserve;
+  if (reserve == 0) {
+    const auto n = static_cast<std::size_t>(params_.n);
+    if (params_.topology == nullptr || params_.topology->is_complete()) {
+      reserve = n * (n + 2);
+    } else {
+      reserve = 2 * params_.topology->edge_count() + 4 * n;
+    }
+    constexpr std::size_t kQueueReserveCap = std::size_t{1} << 22;  // ~128 MB of slab
+    reserve = std::min(reserve, kQueueReserveCap);
+  }
+  queue_.reserve(reserve);
   timer_states_.reserve(static_cast<std::size_t>(params_.n) * 4);
   timer_owners_.reserve(static_cast<std::size_t>(params_.n) * 4);
 
@@ -474,9 +489,12 @@ __attribute__((noinline)) void Simulator::sparse_fan_out(
     NodeId from, const Topology& topo, const std::shared_ptr<const Message>& msg) {
   // The broadcast reaches self plus neighbors, in the same ascending order
   // the complete loop would visit them, so same-time delivery ties keep
-  // breaking by the same insertion order.
+  // breaking by the same insertion order. Reads the CSR row as a raw span —
+  // no iterator machinery in the per-neighbor loop.
+  const auto [nbrs, degree] = topo.neighbor_span(from);
   bool self_sent = false;
-  for (const NodeId to : topo.neighbors(from)) {
+  for (std::size_t i = 0; i < degree; ++i) {
+    const NodeId to = nbrs[i];
     if (!self_sent && to > from) {
       honest_send(from, from, msg);
       self_sent = true;
@@ -543,8 +561,9 @@ void AdversaryContext::send_from_to_all(NodeId from, const Message& m, RealTime 
     return;
   }
   // The corrupted node's flood reaches only its honest neighbors.
-  for (const NodeId to : topo->neighbors(from)) {
-    if (!sim_->is_corrupt(to)) sim_->adversary_send(from, to, msg, deliver_at);
+  const auto [nbrs, degree] = topo->neighbor_span(from);
+  for (std::size_t i = 0; i < degree; ++i) {
+    if (!sim_->is_corrupt(nbrs[i])) sim_->adversary_send(from, nbrs[i], msg, deliver_at);
   }
 }
 

@@ -22,48 +22,100 @@ const char* topology_kind_name(TopologyKind kind) {
 
 Topology::Topology(TopologyKind kind, std::uint32_t n) : kind_(kind), n_(n) {
   ST_REQUIRE(n > 0, "Topology: need at least one node");
-  adj_.resize(n);
 }
 
 void Topology::add_edge(NodeId a, NodeId b) {
   ST_REQUIRE(a < n_ && b < n_, "Topology: edge endpoint out of range");
   ST_REQUIRE(a != b, "Topology: self-loops are not links");
-  adj_[a].push_back(b);
-  adj_[b].push_back(a);
+  staged_.push_back({a, b});
   ++edge_count_;
 }
 
 void Topology::finalize() {
+  ST_ASSERT(kind_ != TopologyKind::kComplete, "Topology: complete stores no adjacency");
+  // Counting sort the staged edge list into CSR rows: one pass to count
+  // degrees, one to scatter both directions, then a per-row sort. O(n + E)
+  // plus the sort, and the only transient allocation is the staged list.
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& [a, b] : staged_) {
+    ++offsets_[static_cast<std::size_t>(a) + 1];
+    ++offsets_[static_cast<std::size_t>(b) + 1];
+  }
+  for (std::size_t id = 0; id < n_; ++id) offsets_[id + 1] += offsets_[id];
+  nbrs_.resize(offsets_[n_]);
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [a, b] : staged_) {
+    nbrs_[cursor[a]++] = b;
+    nbrs_[cursor[b]++] = a;
+  }
+  staged_.clear();
+  staged_.shrink_to_fit();
   for (NodeId id = 0; id < n_; ++id) {
-    std::vector<NodeId>& nbrs = adj_[id];
-    std::sort(nbrs.begin(), nbrs.end());
-    ST_REQUIRE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end(),
+    const auto row_begin = nbrs_.begin() + static_cast<std::ptrdiff_t>(offsets_[id]);
+    const auto row_end = nbrs_.begin() + static_cast<std::ptrdiff_t>(offsets_[id + 1]);
+    std::sort(row_begin, row_end);
+    ST_REQUIRE(std::adjacent_find(row_begin, row_end) == row_end,
                "Topology: duplicate edge");
   }
-  if (kind_ == TopologyKind::kComplete) return;  // adjacent() answers a != b
+  if (n_ > kBitsetMaxN) return;  // adjacent() binary-searches the CSR row
   const std::size_t cells = static_cast<std::size_t>(n_) * n_;
   bits_.assign((cells + 63) / 64, 0);
   for (NodeId a = 0; a < n_; ++a) {
-    for (const NodeId b : adj_[a]) {
-      const std::size_t bit = static_cast<std::size_t>(a) * n_ + b;
+    for (std::uint64_t i = offsets_[a]; i < offsets_[a + 1]; ++i) {
+      const std::size_t bit = static_cast<std::size_t>(a) * n_ + nbrs_[i];
       bits_[bit / 64] |= std::uint64_t{1} << (bit % 64);
     }
   }
 }
 
+bool Topology::csr_adjacent(NodeId a, NodeId b) const {
+  const NodeId* begin = nbrs_.data() + offsets_[a];
+  const NodeId* end = nbrs_.data() + offsets_[static_cast<std::size_t>(a) + 1];
+  return std::binary_search(begin, end, b);
+}
+
 bool Topology::adjacent(NodeId a, NodeId b) const {
   ST_REQUIRE(a < n_ && b < n_, "Topology::adjacent: node id out of range");
   if (kind_ == TopologyKind::kComplete) return a != b;
-  const std::size_t bit = static_cast<std::size_t>(a) * n_ + b;
-  return (bits_[bit / 64] >> (bit % 64)) & 1;
+  if (!bits_.empty()) {
+    const std::size_t bit = static_cast<std::size_t>(a) * n_ + b;
+    return (bits_[bit / 64] >> (bit % 64)) & 1;
+  }
+  return csr_adjacent(a, b);
 }
 
-const std::vector<NodeId>& Topology::neighbors(NodeId id) const {
+NeighborRange Topology::neighbors(NodeId id) const {
   ST_REQUIRE(id < n_, "Topology::neighbors: node id out of range");
-  return adj_[id];
+  if (kind_ == TopologyKind::kComplete) return NeighborRange(n_, id);
+  const NodeId* base = nbrs_.data();
+  return NeighborRange(base + offsets_[id], base + offsets_[static_cast<std::size_t>(id) + 1]);
+}
+
+std::pair<const NodeId*, std::size_t> Topology::neighbor_span(NodeId id) const {
+  ST_REQUIRE(id < n_, "Topology::neighbor_span: node id out of range");
+  ST_REQUIRE(kind_ != TopologyKind::kComplete,
+             "Topology::neighbor_span: complete neighbors are implicit (branch on "
+             "is_complete first)");
+  const std::uint64_t begin = offsets_[id];
+  return {nbrs_.data() + begin, offsets_[static_cast<std::size_t>(id) + 1] - begin};
+}
+
+std::vector<NodeId> Topology::neighbor_list(NodeId id) const {
+  const NeighborRange range = neighbors(id);
+  std::vector<NodeId> out;
+  out.reserve(range.size());
+  for (const NodeId b : range) out.push_back(b);
+  return out;
+}
+
+std::size_t Topology::degree(NodeId id) const {
+  ST_REQUIRE(id < n_, "Topology::degree: node id out of range");
+  if (kind_ == TopologyKind::kComplete) return n_ - 1;
+  return offsets_[static_cast<std::size_t>(id) + 1] - offsets_[id];
 }
 
 bool Topology::is_connected() const {
+  if (kind_ == TopologyKind::kComplete) return true;
   std::vector<bool> seen(n_, false);
   std::vector<NodeId> stack{0};
   seen[0] = true;
@@ -71,7 +123,8 @@ bool Topology::is_connected() const {
   while (!stack.empty()) {
     const NodeId at = stack.back();
     stack.pop_back();
-    for (const NodeId next : adj_[at]) {
+    for (std::uint64_t i = offsets_[at]; i < offsets_[static_cast<std::size_t>(at) + 1]; ++i) {
+      const NodeId next = nbrs_[i];
       if (!seen[next]) {
         seen[next] = true;
         ++reached;
@@ -82,22 +135,22 @@ bool Topology::is_connected() const {
   return reached == n_;
 }
 
+std::size_t Topology::memory_bytes() const {
+  return offsets_.capacity() * sizeof(std::uint64_t) + nbrs_.capacity() * sizeof(NodeId) +
+         bits_.capacity() * sizeof(std::uint64_t) +
+         staged_.capacity() * sizeof(std::pair<NodeId, NodeId>);
+}
+
 Topology Topology::complete(std::uint32_t n) {
   Topology topo(TopologyKind::kComplete, n);
-  for (NodeId a = 0; a < n; ++a) {
-    topo.adj_[a].reserve(n - 1);
-    for (NodeId b = 0; b < n; ++b) {
-      if (b != a) topo.adj_[a].push_back(b);
-    }
-  }
   topo.edge_count_ = static_cast<std::size_t>(n) * (n - 1) / 2;
-  topo.finalize();
   return topo;
 }
 
 Topology Topology::ring(std::uint32_t n) {
   ST_REQUIRE(n >= 3, "Topology::ring: need n >= 3 (use complete for smaller fleets)");
   Topology topo(TopologyKind::kRing, n);
+  topo.staged_.reserve(n);
   for (NodeId a = 0; a < n; ++a) topo.add_edge(a, (a + 1) % n);
   topo.finalize();
   return topo;
@@ -108,6 +161,7 @@ Topology Topology::torus(std::uint32_t rows, std::uint32_t cols) {
   const std::uint32_t n = rows * cols;
   ST_REQUIRE(n >= 3, "Topology::torus: need at least 3 nodes");
   Topology topo(TopologyKind::kTorus, n);
+  topo.staged_.reserve(static_cast<std::size_t>(n) * 2);
   const auto at = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
   for (std::uint32_t r = 0; r < rows; ++r) {
     for (std::uint32_t c = 0; c < cols; ++c) {
@@ -126,12 +180,20 @@ Topology Topology::torus(std::uint32_t n) {
   for (std::uint32_t d = 1; static_cast<std::uint64_t>(d) * d <= n; ++d) {
     if (n % d == 0) rows = d;
   }
+  // A prime n has no divisor in (1, sqrt(n)], so the "near-square" grid
+  // would silently degenerate to a 1 x n ring — reject it instead of
+  // handing back a graph with the wrong diameter and degree. (n = 3 is the
+  // 3-ring under either reading and stays accepted.)
+  ST_REQUIRE(rows > 1 || n < 5,
+             "Topology::torus(n): prime n has no near-square grid (use torus(rows, "
+             "cols) or a composite n)");
   return torus(rows, n / rows);
 }
 
 Topology Topology::star(std::uint32_t n) {
   ST_REQUIRE(n >= 2, "Topology::star: need a hub and at least one spoke");
   Topology topo(TopologyKind::kStar, n);
+  topo.staged_.reserve(n - 1);
   for (NodeId spoke = 1; spoke < n; ++spoke) topo.add_edge(0, spoke);
   topo.finalize();
   return topo;
@@ -141,9 +203,50 @@ Topology Topology::gnp(std::uint32_t n, double p, std::uint64_t seed) {
   ST_REQUIRE(p > 0 && p <= 1, "Topology::gnp: need edge probability in (0, 1]");
   Topology topo(TopologyKind::kGnp, n);
   Rng rng(seed);
-  for (NodeId a = 0; a < n; ++a) {
-    for (NodeId b = a + 1; b < n; ++b) {
-      if (rng.bernoulli(p)) topo.add_edge(a, b);
+  if (n < kGnpFastMinN || p >= 1.0) {
+    // Legacy mapping: one bernoulli per pair in lexicographic order. Every
+    // golden spec sits in this regime, so their graphs stay bit-identical.
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = a + 1; b < n; ++b) {
+        if (rng.bernoulli(p)) topo.add_edge(a, b);
+      }
+    }
+  } else {
+    // Geometric skipping over the same lexicographic pair sequence: each
+    // draw jumps the gap to the next present edge (skip distribution
+    // Geometric(p)), so construction is O(n + E) instead of O(n^2) pair
+    // draws. Still a pure function of (n, p, seed) — but a DIFFERENT
+    // function than the per-pair walk, which is why the engine fingerprint
+    // was bumped alongside this path.
+    const double log1mp = std::log1p(-p);
+    NodeId a = 0, b = 1;
+    std::uint64_t left_in_row = n - 1;  // pairs remaining at or after (a, b)
+    while (a + 1 < n) {
+      const double u = rng.next_double();
+      // u extremely close to 1 can push the quotient past 2^64 — casting
+      // that double is UB. Total pairs never exceed n^2 < 2^63, so any skip
+      // clamped to 2^63 drains the remaining rows and ends the walk.
+      const double raw = std::floor(std::log1p(-u) / log1mp);
+      std::uint64_t skip = raw < 9.0e18 ? static_cast<std::uint64_t>(raw)
+                                        : std::uint64_t{1} << 63;
+      while (a + 1 < n && skip >= left_in_row) {
+        skip -= left_in_row;
+        ++a;
+        b = a + 1;
+        left_in_row = n - b;
+      }
+      if (a + 1 >= n) break;
+      b += static_cast<NodeId>(skip);
+      left_in_row -= skip;
+      topo.add_edge(a, b);
+      // Step past the edge just placed.
+      ++b;
+      --left_in_row;
+      if (left_in_row == 0) {
+        ++a;
+        b = a + 1;
+        left_in_row = a + 1 < n ? n - b : 0;
+      }
     }
   }
   topo.finalize();
@@ -153,6 +256,7 @@ Topology Topology::gnp(std::uint32_t n, double p, std::uint64_t seed) {
 Topology Topology::from_edges(std::uint32_t n,
                               const std::vector<std::pair<NodeId, NodeId>>& edges) {
   Topology topo(TopologyKind::kCustom, n);
+  topo.staged_.reserve(edges.size());
   for (const auto& [a, b] : edges) topo.add_edge(a, b);
   topo.finalize();  // rejects duplicates
   return topo;

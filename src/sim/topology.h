@@ -18,10 +18,17 @@
 /// links, and the trace layer measures skew over adjacent pairs.
 ///
 /// Graphs are undirected and simple (no self-loops, no parallel edges);
-/// neighbor lists are sorted ascending, so iteration order — and therefore
-/// the event-queue insertion order that breaks delivery ties — is
-/// deterministic. A complete topology is marked specially so the message
-/// hot path can keep the legacy all-pairs loop bit-for-bit.
+/// neighbor iteration is sorted ascending, so the event-queue insertion
+/// order that breaks delivery ties is deterministic.
+///
+/// Storage is sparse-first (CSR): one offsets array (n + 1 entries) plus one
+/// flat sorted-neighbor array (2E entries), ~8 bytes per node plus 4 bytes
+/// per directed edge. A ring at n = 10^6 costs ~16 MB where the old per-pair
+/// bitset alone needed ~125 GB. `adjacent()` answers from a row-major bitset
+/// only while n <= kBitsetMaxN (at most 512 KB); past that it binary-searches
+/// the CSR row. The complete family stores NO adjacency at all — neighbors
+/// are implicit (every id but self) and the message hot path keeps the
+/// legacy all-pairs fan-out loop.
 namespace stclock {
 
 class Rng;
@@ -38,10 +45,86 @@ enum class TopologyKind : std::uint8_t {
 
 [[nodiscard]] const char* topology_kind_name(TopologyKind kind);
 
+/// A lazily-iterated, sorted-ascending view of one node's neighbors. Backed
+/// either by a CSR row (pointer range) or, for the complete family, by the
+/// implicit sequence 0..n-1 minus self — so iterating a complete node's
+/// neighborhood allocates nothing and the graph itself stores nothing.
+class NeighborRange {
+ public:
+  class iterator {
+   public:
+    using value_type = NodeId;
+
+    [[nodiscard]] NodeId operator*() const { return ptr_ != nullptr ? *ptr_ : cur_; }
+    iterator& operator++() {
+      if (ptr_ != nullptr) {
+        ++ptr_;
+      } else {
+        ++cur_;
+        if (cur_ == skip_) ++cur_;
+      }
+      return *this;
+    }
+    [[nodiscard]] bool operator==(const iterator& o) const {
+      return ptr_ != nullptr ? ptr_ == o.ptr_ : cur_ == o.cur_;
+    }
+    [[nodiscard]] bool operator!=(const iterator& o) const { return !(*this == o); }
+
+   private:
+    friend class NeighborRange;
+    iterator(const NodeId* ptr, NodeId cur, NodeId skip)
+        : ptr_(ptr), cur_(cur), skip_(skip) {}
+
+    const NodeId* ptr_;  ///< CSR mode when non-null; implicit mode otherwise
+    NodeId cur_;
+    NodeId skip_;
+  };
+
+  [[nodiscard]] iterator begin() const {
+    if (csr_begin_ != nullptr) return iterator(csr_begin_, 0, 0);
+    const NodeId first = skip_ == 0 ? 1 : 0;
+    return iterator(nullptr, first, skip_);
+  }
+  [[nodiscard]] iterator end() const {
+    if (csr_begin_ != nullptr) return iterator(csr_end_, 0, 0);
+    // The implicit walk skips `skip_`, so it exits at n even when self is
+    // the last id.
+    return iterator(nullptr, n_, skip_);
+  }
+  [[nodiscard]] std::size_t size() const {
+    if (csr_begin_ != nullptr) return static_cast<std::size_t>(csr_end_ - csr_begin_);
+    return n_ > 0 ? n_ - 1 : 0;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  friend class Topology;
+  NeighborRange(const NodeId* begin, const NodeId* end)
+      : csr_begin_(begin), csr_end_(end) {}
+  NeighborRange(NodeId n, NodeId skip) : n_(n), skip_(skip) {}
+
+  const NodeId* csr_begin_ = nullptr;
+  const NodeId* csr_end_ = nullptr;
+  NodeId n_ = 0;
+  NodeId skip_ = 0;
+};
+
 class Topology {
  public:
-  /// Every pair of distinct nodes linked. Stores no adjacency — the message
-  /// path detects this kind and keeps the legacy all-pairs fan-out.
+  /// Largest n for which adjacent() keeps the O(1) row-major bitset
+  /// (n^2 / 8 bytes, so at most 512 KB). Above it, adjacency binary-searches
+  /// the sorted CSR row — O(log degree), and no quadratic storage anywhere.
+  static constexpr std::uint32_t kBitsetMaxN = 2048;
+
+  /// Smallest n at which gnp() switches from the legacy per-pair bernoulli
+  /// walk to geometric skipping. Below it (every golden spec lives there)
+  /// the seed -> graph mapping is bit-identical to the original generator;
+  /// at or above it the mapping is new, covered by the engine fingerprint
+  /// bump so cached sweep results stay honest.
+  static constexpr std::uint32_t kGnpFastMinN = 4096;
+
+  /// Every pair of distinct nodes linked. Stores no adjacency — neighbors
+  /// are implicit and the message path keeps the legacy all-pairs fan-out.
   [[nodiscard]] static Topology complete(std::uint32_t n);
 
   /// Cycle: node i linked to (i±1) mod n. Requires n >= 3 (a 2-ring would
@@ -53,8 +136,11 @@ class Topology {
   /// ladder without parallel edges. Requires rows * cols == n.
   [[nodiscard]] static Topology torus(std::uint32_t rows, std::uint32_t cols);
 
-  /// Near-square torus: rows = the largest divisor of n that is <= sqrt(n)
-  /// (prime n therefore degenerates to a 1 x n ring).
+  /// Near-square torus: rows = the largest divisor of n that is <= sqrt(n),
+  /// so rows <= cols always. Rejects prime n >= 5, which has no non-trivial
+  /// factorization and would silently degenerate to a 1 x n ring; pass an
+  /// explicit rows x cols or pick a composite n instead. (n = 3 stays legal
+  /// for backward compatibility: it is the 3-ring either way.)
   [[nodiscard]] static Topology torus(std::uint32_t n);
 
   /// Hub-and-spoke: node 0 linked to every other node.
@@ -63,6 +149,9 @@ class Topology {
   /// Erdos-Renyi G(n, p): each pair {i, j} linked independently with
   /// probability p, drawn from a generator seeded with `seed` (the draw
   /// order is fixed, so the graph is a pure function of (n, p, seed)).
+  /// For n < kGnpFastMinN every pair draws one bernoulli (the original
+  /// mapping); for larger n the generator geometrically skips over absent
+  /// edges, so construction is O(n + E) instead of O(n^2).
   /// May be disconnected — callers that need liveness should check
   /// is_connected() (the scenario validator does).
   [[nodiscard]] static Topology gnp(std::uint32_t n, double p, std::uint64_t seed);
@@ -80,32 +169,58 @@ class Topology {
   /// lookups entirely and keep the legacy broadcast loop.
   [[nodiscard]] bool is_complete() const { return kind_ == TopologyKind::kComplete; }
 
-  /// O(1). False for a == b (no self-loops).
+  /// O(1) while n <= kBitsetMaxN or complete, O(log degree) past that.
+  /// False for a == b (no self-loops).
   [[nodiscard]] bool adjacent(NodeId a, NodeId b) const;
 
-  /// Sorted ascending. Valid for every kind, including complete.
-  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId id) const;
+  /// Sorted ascending. Valid for every kind; for complete the range is
+  /// implicit (nothing is stored or allocated).
+  [[nodiscard]] NeighborRange neighbors(NodeId id) const;
 
-  [[nodiscard]] std::size_t degree(NodeId id) const { return neighbors(id).size(); }
+  /// The CSR row as a raw span — the zero-overhead form hot loops want.
+  /// Not valid for the complete family (which stores no rows); those call
+  /// sites branch on is_complete() first.
+  [[nodiscard]] std::pair<const NodeId*, std::size_t> neighbor_span(NodeId id) const;
+
+  /// Materialized copy, for tests and diagnostics that want vector
+  /// semantics (equality, indexing). O(degree) allocation — not a hot path.
+  [[nodiscard]] std::vector<NodeId> neighbor_list(NodeId id) const;
+
+  [[nodiscard]] std::size_t degree(NodeId id) const;
 
   /// Undirected edge count.
   [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
 
-  /// BFS from node 0; a single node counts as connected.
+  /// BFS from node 0; a single node counts as connected. O(1) for complete.
   [[nodiscard]] bool is_connected() const;
+
+  /// Bytes of adjacency storage actually held (CSR arrays + bitset). The
+  /// memory-ceiling tests assert on this instead of process RSS, which is
+  /// noisy under a test runner.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
  private:
   Topology(TopologyKind kind, std::uint32_t n);
 
+  /// Stages an undirected edge; storage is built by finalize().
   void add_edge(NodeId a, NodeId b);
-  /// Sorts neighbor lists and builds the adjacency bitset.
+  /// Counting-sorts the staged edges into CSR rows (each sorted ascending,
+  /// duplicates rejected) and builds the small-n adjacency bitset.
   void finalize();
+
+  [[nodiscard]] bool csr_adjacent(NodeId a, NodeId b) const;
 
   TopologyKind kind_ = TopologyKind::kComplete;
   std::uint32_t n_ = 0;
   std::size_t edge_count_ = 0;
-  std::vector<std::vector<NodeId>> adj_;
-  /// Row-major n x n bitset for O(1) adjacent(); empty for complete.
+  /// Staged edges between add_edge and finalize; cleared by finalize.
+  std::vector<std::pair<NodeId, NodeId>> staged_;
+  /// CSR: row id spans nbrs_[offsets_[id] .. offsets_[id + 1]). Empty for
+  /// complete (implicit neighbors).
+  std::vector<std::uint64_t> offsets_;
+  std::vector<NodeId> nbrs_;
+  /// Row-major n x n bitset for O(1) adjacent(); only while n <= kBitsetMaxN
+  /// and never for complete.
   std::vector<std::uint64_t> bits_;
 };
 

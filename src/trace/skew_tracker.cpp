@@ -16,6 +16,10 @@ void SkewTracker::set_stabilization(RealTime after, double threshold) {
 
 void SkewTracker::sample(const Simulator& sim) {
   const RealTime t = sim.now();
+  if (min_sample_gap_ > 0 && last_sample_time_ >= 0 &&
+      t - last_sample_time_ < min_sample_gap_) {
+    return;
+  }
   // The adjacency live RIGHT NOW: on a dynamic topology this moves with the
   // epoch schedule, so local skew is always measured against the links that
   // existed at sampling time. Adjacent-pair skew only needs the per-node
@@ -23,20 +27,31 @@ void SkewTracker::sample(const Simulator& sim) {
   // adjacent, so the local skew IS the spread and the O(E) pass is skipped.
   const Topology* topology = sim.current_topology();
   const bool sparse = topology != nullptr && !topology->is_complete();
+  const std::uint64_t prev_gen = cur_gen_;
   if (sparse) {
     values_.resize(sim.n());
-    sampled_.assign(sim.n(), 0);
+    gen_.resize(sim.n(), 0);
+    ++cur_gen_;
   }
 
   double lo = 0, hi = 0;
   bool first = true;
+  std::uint32_t sampled_count = 0;
+  bool set_grew = false;       // a node sampled now that was not last time
+  bool value_changed = false;  // a re-sampled node read a different value
   for (NodeId id : sim.honest_ids()) {
     if (!sim.is_started(id)) continue;
     if (include_ && !include_(id)) continue;
     const double c = sim.logical(id).read(t);
     if (sparse) {
+      if (gen_[id] != prev_gen) {
+        set_grew = true;
+      } else if (values_[id] != c) {
+        value_changed = true;
+      }
       values_[id] = c;
-      sampled_[id] = 1;
+      gen_[id] = cur_gen_;
+      ++sampled_count;
     }
     if (first) {
       lo = hi = c;
@@ -47,6 +62,7 @@ void SkewTracker::sample(const Simulator& sim) {
     }
   }
   if (first) return;  // nothing to measure yet
+  last_sample_time_ = t;
 
   const double spread = hi - lo;
   if (spread > max_skew_) {
@@ -73,15 +89,29 @@ void SkewTracker::sample(const Simulator& sim) {
 
   double local = spread;
   if (sparse) {
-    local = 0;
-    for (NodeId a : sim.honest_ids()) {
-      if (!sampled_[a]) continue;
-      for (const NodeId b : topology->neighbors(a)) {
-        if (b > a && sampled_[b]) {
-          local = std::max(local, std::abs(values_[a] - values_[b]));
+    // Counts equal with no additions means no drops either, so the sampled
+    // set is exactly last sample's; identical values over an identical
+    // graph make the rescan a pure recomputation — reuse its result.
+    const bool same_set = !set_grew && sampled_count == last_sampled_count_;
+    if (local_cache_valid_ && topology == last_topology_ && same_set && !value_changed) {
+      local = last_local_;
+    } else {
+      local = 0;
+      for (NodeId a : sim.honest_ids()) {
+        if (gen_[a] != cur_gen_) continue;
+        const auto [nbrs, degree] = topology->neighbor_span(a);
+        for (std::size_t i = 0; i < degree; ++i) {
+          const NodeId b = nbrs[i];
+          if (b > a && gen_[b] == cur_gen_) {
+            local = std::max(local, std::abs(values_[a] - values_[b]));
+          }
         }
       }
+      last_local_ = local;
+      local_cache_valid_ = true;
     }
+    last_topology_ = topology;
+    last_sampled_count_ = sampled_count;
   }
   local_skew_ = std::max(local_skew_, local);
   if (t >= steady_start_) steady_local_skew_ = std::max(steady_local_skew_, local);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -23,6 +24,12 @@
 /// on a dynamic topology the metric always reflects the links that were
 /// live at measurement time. On the complete topology (or with no topology)
 /// local skew equals the global spread, at no extra cost.
+///
+/// The sparse pass is built to survive n = 10^6: per-node scratch is marked
+/// with a generation counter (no O(n) re-zeroing per sample), and the O(E)
+/// adjacent-pair rescan is skipped entirely — reusing the previous result
+/// bit-for-bit — when the sampled set, every sampled value, and the live
+/// graph are all unchanged since the last sample.
 namespace stclock {
 
 class SkewTracker {
@@ -38,6 +45,14 @@ class SkewTracker {
   /// Ignore samples before `t` in steady_max_skew() (skip the initial
   /// convergence phase).
   void set_steady_start(RealTime t) { steady_start_ = t; }
+
+  /// Decimates sampling itself: samples closer than `gap` to the previous
+  /// one are dropped wholesale. At n >= the scale threshold the per-event
+  /// O(n) value sweep is what dominates a run, and event densities make
+  /// per-event sampling redundant; the runner engages this only for fleets
+  /// far above everything the golden suite pins. 0 (the default) keeps the
+  /// every-event behavior.
+  void set_min_sample_gap(Duration gap) { min_sample_gap_ = gap; }
 
   /// Arms the stabilization watch: samples at t >= `after` (the last
   /// corruption event) are judged against `threshold`, and the tracker
@@ -74,6 +89,8 @@ class SkewTracker {
   Duration series_interval_;
   std::function<bool(NodeId)> include_;
   RealTime steady_start_ = 0;
+  Duration min_sample_gap_ = 0;
+  RealTime last_sample_time_ = -1;
 
   bool stab_armed_ = false;
   RealTime stab_after_ = 0;
@@ -89,9 +106,20 @@ class SkewTracker {
   RealTime max_skew_time_ = 0;
   RealTime last_series_sample_ = -1;
   std::vector<std::pair<RealTime, double>> series_;
-  /// Per-node sample scratch for the sparse local-skew pass (reused).
+
+  /// Per-node sample scratch for the sparse local-skew pass. A slot holds a
+  /// current value iff gen_[id] == cur_gen_ — bumping cur_gen_ invalidates
+  /// the whole array in O(1), replacing the old per-sample O(n) assign.
   std::vector<double> values_;
-  std::vector<char> sampled_;
+  std::vector<std::uint64_t> gen_;
+  std::uint64_t cur_gen_ = 0;
+  /// Rescan-skip cache: the previous sample's per-sample local skew is
+  /// reused verbatim when the graph, the sampled set, and every sampled
+  /// value are unchanged (exact compares, so reuse is bit-identical).
+  bool local_cache_valid_ = false;
+  double last_local_ = 0;
+  const Topology* last_topology_ = nullptr;
+  std::uint32_t last_sampled_count_ = 0;
 };
 
 }  // namespace stclock

@@ -50,11 +50,36 @@ TEST(Topology, TorusIsFourRegularWhenBothDimensionsWrap) {
   EXPECT_EQ(topo.edge_count(), 24u);
   EXPECT_TRUE(topo.is_connected());
 
-  // Near-square auto-factorization: 12 -> 3 x 4; a prime collapses to 1 x n.
+  // Near-square auto-factorization: 12 -> 3 x 4.
   EXPECT_EQ(Topology::torus(12).edge_count(), 24u);
-  const Topology line = Topology::torus(7);
-  EXPECT_TRUE(line.is_connected());
-  for (NodeId id = 0; id < 7; ++id) EXPECT_EQ(line.degree(id), 2u);
+}
+
+TEST(Topology, TorusAutoFactorizationIsNearSquareAndRejectsPrimes) {
+  // torus(n) must pick rows <= cols with rows the LARGEST divisor <= sqrt(n)
+  // — the most-square grid, never a degenerate 1 x n ring in disguise.
+  for (const std::uint32_t n : {9u, 12u, 16u, 24u, 100u, 143u}) {
+    const Topology topo = Topology::torus(n);
+    EXPECT_EQ(topo.n(), n);
+    EXPECT_TRUE(topo.is_connected());
+    // Every node has degree 4 when both dimensions wrap with length >= 3;
+    // a 2 x k grid double-links the vertical wrap, giving degree 3.
+    for (NodeId id = 0; id < n; ++id) EXPECT_GE(topo.degree(id), 3u) << "n=" << n;
+  }
+  // 143 = 11 x 13: the near-square split of a semiprime, with rows <= cols
+  // (node 0's wrap neighbors pin the factorization: right wrap at cols - 1,
+  // down wrap at (rows - 1) * cols).
+  const Topology semi = Topology::torus(143);
+  EXPECT_EQ(semi.edge_count(), 2u * 143u);
+  EXPECT_EQ(semi.neighbor_list(0), (std::vector<NodeId>{1, 12, 13, 130}));
+
+  // Prime n has no grid at all — it used to silently degenerate to a 1 x n
+  // ring, reporting "torus" scaling numbers that were really ring numbers.
+  EXPECT_THROW((void)Topology::torus(7), std::logic_error);
+  EXPECT_THROW((void)Topology::torus(101), std::logic_error);
+  EXPECT_THROW((void)Topology::torus(99991), std::logic_error);
+  // Tiny n where no proper grid exists are still accepted as rings so the
+  // golden-scale specs (n <= 9) keep their historic shapes.
+  EXPECT_EQ(Topology::torus(4).n(), 4u);
 }
 
 TEST(Topology, StarRoutesEverythingThroughTheHub) {
@@ -73,12 +98,12 @@ TEST(Topology, GnpIsAPureFunctionOfItsSeed) {
   const Topology b = Topology::gnp(16, 0.4, 9);
   const Topology c = Topology::gnp(16, 0.4, 10);
   ASSERT_EQ(a.edge_count(), b.edge_count());
-  for (NodeId id = 0; id < 16; ++id) EXPECT_EQ(a.neighbors(id), b.neighbors(id));
+  for (NodeId id = 0; id < 16; ++id) EXPECT_EQ(a.neighbor_list(id), b.neighbor_list(id));
   // A different seed draws a different graph (16 choose 2 coin flips at
   // p = 0.4 colliding entirely would be astronomically unlikely).
   bool differs = c.edge_count() != a.edge_count();
   for (NodeId id = 0; !differs && id < 16; ++id) {
-    differs = a.neighbors(id) != c.neighbors(id);
+    differs = a.neighbor_list(id) != c.neighbor_list(id);
   }
   EXPECT_TRUE(differs);
   EXPECT_THROW((void)Topology::gnp(8, 0.0, 1), std::logic_error);
