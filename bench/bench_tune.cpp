@@ -1,0 +1,218 @@
+// Tuning sweep for the PR 8 first-principles constants: the ladder queue's
+// spawn threshold / bottom-overflow pair and the scale-metric threshold.
+// Plain binary (like bench_scale), so it runs without google-benchmark.
+//
+//   bench_tune --queue      # spawn x overflow grid, churn + burst workloads
+//   bench_tune --metric     # scenario wall time around kScaleMetricThreshold
+//   bench_tune              # both
+//
+// The --queue grid drives EventQueue::Tuning directly: each cell runs the
+// BM_EventQueue_Churn workload (standing population 1024, one push per pop)
+// plus a broadcast-burst workload (batches of 64 deliveries at t + delay,
+// the shape a protocol round actually produces) and prints ns/op. The
+// defaults (spawn 64, overflow 2048) are asserted to sit within 15% of the
+// grid's best cell per workload — if a code change moves the optimum, this
+// binary is the evidence trail for re-pinning the constants.
+//
+// The --metric sweep runs the same scenario below and above
+// kScaleMetricThreshold (n = 4096) and prints wall seconds per cell: the
+// policy's value is visible as the growth-rate change at the boundary.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "experiment/scenario.h"
+#include "sim/event_queue.h"
+#include "sim/topology.h"
+#include "util/rng.h"
+
+namespace stclock {
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// BM_EventQueue_Churn's workload: standing population, one mixed push per
+/// pop at a random future time. Returns ns/op.
+double run_churn(EventQueue::Tuning tuning, std::size_t ops) {
+  EventQueue q(tuning);
+  Rng rng(7);
+  const auto msg = std::make_shared<const Message>(RoundMsg{1, {}});
+  for (int i = 0; i < 1024; ++i) {
+    if (i % 2 == 0) {
+      q.push_timer(rng.next_double(), TimerEvent{0, static_cast<TimerId>(i + 1)});
+    } else {
+      q.push_delivery(rng.next_double(), DeliveryEvent{0, 1, msg, 0.0});
+    }
+  }
+  const double begin = now_s();
+  for (std::size_t i = 0; i < ops; ++i) {
+    const Event e = q.pop();
+    const RealTime t = e.time + rng.next_double();
+    if (e.is_timer) {
+      q.push_delivery(t, DeliveryEvent{0, 1, msg, e.time});
+    } else {
+      q.push_timer(t, TimerEvent{0, 1});
+    }
+  }
+  return (now_s() - begin) * 1e9 / static_cast<double>(ops);
+}
+
+/// Broadcast-burst workload: the event shape a protocol round produces —
+/// every pop of a "round timer" pushes a batch of 64 deliveries one delay
+/// out plus the next round timer, so the population swings between lean and
+/// burst-heavy instead of churning one-for-one.
+double run_burst(EventQueue::Tuning tuning, std::size_t ops) {
+  EventQueue q(tuning);
+  Rng rng(11);
+  const auto msg = std::make_shared<const Message>(RoundMsg{1, {}});
+  q.push_timer(0.0, TimerEvent{0, 1});
+  std::size_t done = 0;
+  const double begin = now_s();
+  while (done < ops) {
+    const Event e = q.pop();
+    ++done;
+    if (e.is_timer) {
+      for (int i = 0; i < 64; ++i) {
+        q.push_delivery(e.time + 0.002 + 0.008 * rng.next_double(),
+                        DeliveryEvent{0, 1, msg, e.time});
+      }
+      q.push_timer(e.time + 0.01, TimerEvent{0, 1});
+    }
+  }
+  return (now_s() - begin) * 1e9 / static_cast<double>(ops);
+}
+
+struct Cell {
+  std::size_t spawn = 0;
+  std::size_t overflow = 0;
+  double churn_ns = 0;
+  double burst_ns = 0;
+};
+
+int sweep_queue(std::size_t ops) {
+  const std::vector<std::size_t> spawns = {16, 32, 64, 128, 256};
+  const std::vector<std::size_t> overflows = {512, 1024, 2048, 4096, 8192};
+  std::printf("# ladder tuning grid, %zu ops per cell\n", ops);
+  std::printf("%8s %10s %12s %12s\n", "spawn", "overflow", "churn_ns", "burst_ns");
+  std::vector<Cell> cells;
+  double best_churn = 0, best_burst = 0;
+  for (const std::size_t spawn : spawns) {
+    for (const std::size_t overflow : overflows) {
+      Cell cell;
+      cell.spawn = spawn;
+      cell.overflow = overflow;
+      cell.churn_ns = run_churn({spawn, overflow}, ops);
+      cell.burst_ns = run_burst({spawn, overflow}, ops);
+      std::printf("%8zu %10zu %12.1f %12.1f\n", spawn, overflow, cell.churn_ns,
+                  cell.burst_ns);
+      std::fflush(stdout);
+      if (cells.empty() || cell.churn_ns < best_churn) best_churn = cell.churn_ns;
+      if (cells.empty() || cell.burst_ns < best_burst) best_burst = cell.burst_ns;
+      cells.push_back(cell);
+    }
+  }
+  const EventQueue::Tuning defaults{};
+  Cell def;
+  for (const Cell& c : cells) {
+    if (c.spawn == defaults.spawn_threshold &&
+        c.overflow == defaults.bottom_overflow) {
+      def = c;
+    }
+  }
+  std::printf("# default (%zu, %zu): churn %.1f ns (best %.1f), burst %.1f ns (best %.1f)\n",
+              defaults.spawn_threshold, defaults.bottom_overflow, def.churn_ns,
+              best_churn, def.burst_ns, best_burst);
+  // Generous slack: single-shot timings jitter, and the grid's floor is flat
+  // around the optimum. A real regression (wrong constant after a refactor)
+  // shows up as 2x+, not 15%.
+  const bool ok =
+      def.churn_ns <= best_churn * 1.5 && def.burst_ns <= best_burst * 1.5;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "bench_tune: default tuning is >50%% off the grid optimum — "
+                 "re-pin kSpawnThreshold/kBottomOverflow\n");
+  }
+  return ok ? 0 : 1;
+}
+
+int sweep_metric() {
+  // Same scenario either side of the threshold: the scale policy engages at
+  // n >= kScaleMetricThreshold = 4096 (streaming envelope, skew decimation).
+  // Wall time per node should DROP across the boundary; if the policy ever
+  // regresses, n = 4096 costs more per node than n = 4095.
+  const std::vector<std::uint32_t> sizes = {2048, 4095, 4096, 8192, 16384};
+  std::printf("# metric-policy sweep around kScaleMetricThreshold = %u (ring, gradient)\n",
+              experiment::kScaleMetricThreshold);
+  std::printf("%8s %10s %12s %14s\n", "n", "policy", "wall_s", "wall_us_per_n");
+  double below = 0, above = 0;
+  for (const std::uint32_t n : sizes) {
+    experiment::ScenarioSpec spec;
+    spec.protocol = "gradient";
+    spec.cfg.n = n;
+    spec.cfg.f = 0;
+    spec.cfg.rho = 1e-4;
+    spec.cfg.tdel = 0.01;
+    spec.cfg.period = 1.0;
+    spec.cfg.initial_sync = 0.005;
+    spec.topology = TopologyKind::kRing;
+    spec.horizon = 3.0;
+    const double begin = now_s();
+    const experiment::ScenarioResult r = experiment::run_scenario(spec);
+    (void)r;
+    const double wall = now_s() - begin;
+    const double per_n = wall * 1e6 / n;
+    std::printf("%8u %10s %12.2f %14.2f\n", n,
+                n >= experiment::kScaleMetricThreshold ? "scale" : "full", wall, per_n);
+    std::fflush(stdout);
+    if (n == 4095) below = per_n;
+    if (n == 4096) above = per_n;
+  }
+  std::printf("# per-node cost at the boundary: %.2f us (full) -> %.2f us (scale)\n",
+              below, above);
+  // The policy exists to make per-node cost non-increasing across the
+  // boundary; equality is fine (the win grows with n).
+  if (above > below * 1.25) {
+    std::fprintf(stderr,
+                 "bench_tune: scale policy costs more per node than the full path "
+                 "at its own threshold — retune kScaleMetricThreshold\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stclock
+
+int main(int argc, char** argv) {
+  using namespace stclock;
+  bool queue = false, metric = false;
+  std::size_t ops = 2'000'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--queue") {
+      queue = true;
+    } else if (arg == "--metric") {
+      metric = true;
+    } else if (arg == "--ops" && i + 1 < argc) {
+      ops = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: bench_tune [--queue] [--metric] [--ops N]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "bench_tune: unknown option %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!queue && !metric) queue = metric = true;
+  int rc = 0;
+  if (queue) rc |= sweep_queue(ops);
+  if (metric) rc |= sweep_metric();
+  return rc;
+}

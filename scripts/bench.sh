@@ -4,29 +4,77 @@
 # the BM_Sweep_Grid8 end-to-end sweep), appending the result as one labelled
 # point to BENCH_core.json.
 #
-# Usage: scripts/bench.sh [--smoke] [--label NAME] [build-dir]
+# Usage: scripts/bench.sh [--smoke] [--scale] [--label NAME] [build-dir]
 #   --smoke   1-iteration run to a temp file (CI bit-rot guard; does NOT
 #             touch BENCH_core.json)
+#   --scale   run the bench_scale sparse-fabric sweep (auth on expander k=16,
+#             full vs sampled fan-out) instead of bench_micro, and append its
+#             rows as a labelled point to BENCH_core.json
 #   --label   label recorded with the run (default: git describe)
 #   build-dir defaults to build-bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SMOKE=0
+SCALE=0
 LABEL=""
 BUILD_DIR="build-bench"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) SMOKE=1; shift ;;
+    --scale) SCALE=1; shift ;;
     --label)
       [[ $# -ge 2 ]] || { echo "bench.sh: --label needs a value (see --help)" >&2; exit 2; }
       LABEL="$2"; shift 2 ;;
     -h|--help)
-      echo "usage: scripts/bench.sh [--smoke] [--label NAME] [build-dir]"; exit 0 ;;
+      echo "usage: scripts/bench.sh [--smoke] [--scale] [--label NAME] [build-dir]"; exit 0 ;;
     *) BUILD_DIR="$1"; shift ;;
   esac
 done
 [[ -n "$LABEL" ]] || LABEL="$(git describe --always --dirty 2>/dev/null || echo unlabelled)"
+
+if [[ "$SCALE" -eq 1 ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j --target bench_scale
+
+  ROWS="$(mktemp)"
+  trap 'rm -f "$ROWS"' EXIT
+  # The message-complexity cliff: the same auth cells in full mode (Theta(n^2)
+  # per round — n = 1000 alone is ~5M messages and ~90 s, which is why the
+  # full leg stops there) vs sampled fan-out on an expander (O(m*n), so
+  # n = 10^5 is cheaper than full mode at n = 10^3). The acceptance cell is
+  # the n = 10^5 sampled row, budget-enforced.
+  # (n = 4096, not a round 4000: cells at or above kScaleMetricThreshold use
+  # the O(n) streaming metric policy; 4000 would pay full-fidelity metrics
+  # and dominate its own row.)
+  "$BUILD_DIR/bench_scale" --protocol auth --topology complete --mode full \
+    --n 1000 --horizon 5 --json "$ROWS"
+  "$BUILD_DIR/bench_scale" --protocol auth --topology expander --expander-k 16 \
+    --mode sampled --sample 8 --n 1000 --n 4096 --n 100000 --horizon 5 \
+    --budget 120 --json "$ROWS"
+
+  LABEL="$LABEL" ROWS="$ROWS" python3 - <<'EOF'
+import datetime, json, os
+
+rows = [json.loads(line) for line in open(os.environ["ROWS"]) if line.strip()]
+point = {
+    "label": os.environ["LABEL"] + "/scale",
+    "date": datetime.datetime.now().isoformat(),
+    "benchmarks": rows,
+}
+
+path = "BENCH_core.json"
+doc = {"tracks": "scripts/bench.sh hot-path trajectory", "history": []}
+if os.path.exists(path):
+    doc = json.load(open(path))
+doc["history"].append(point)
+json.dump(doc, open(path, "w"), indent=1)
+open(path, "a").write("\n")
+print(f"bench.sh: appended scale run '{point['label']}' to {path} "
+      f"({len(doc['history'])} point(s) in trajectory)")
+EOF
+  exit 0
+fi
 
 FILTER='BM_Broadcast_N64|BM_Broadcast_N256|BM_Broadcast_N4096|BM_Broadcast_N65536|BM_TopoSwitch_Epochs|BM_EventQueue_Churn|BM_Counters|BM_Sweep_Grid8|BM_CellFingerprint|BM_StoreLookup'
 

@@ -26,8 +26,11 @@
 #   --scale  additionally smoke-run the million-node machinery at CI-sized
 #            scale: the n=65536 ring grid (examples/scenarios/scale/) under a
 #            hard wall-clock budget, the same grid sharded across scenlaunch
-#            workers diffed byte-identical against the unsharded run, and a
-#            bench_scale ring cell with its per-cell budget enforced.
+#            workers diffed byte-identical against the unsharded run, a
+#            bench_scale ring cell with its per-cell budget enforced, the
+#            n=65536 expander auth grid (neighbors + sampled fan-out,
+#            sharded + byte-diffed), and the sparse-fabric acceptance cell
+#            (auth n=1e5, expander k=16, sampled m=8, 120 s budget).
 #   --asan   additionally build the tree under ASan+UBSan (its own build
 #            directory, <build-dir>-asan) and run the tier-1 ctest suite in
 #            it; any sanitizer report fails the gate.
@@ -46,7 +49,7 @@ RUN_ASAN=0
 BUILD_DIR="build-check"
 for arg in "$@"; do
   case "$arg" in
-    -h|--help) sed -n 's/^# \{0,1\}//p' "$0" | sed -n '2,37p'; exit 0 ;;
+    -h|--help) sed -n 's/^# \{0,1\}//p' "$0" | sed -n '2,40p'; exit 0 ;;
     --bench) RUN_BENCH=1 ;;
     --scen) RUN_SCEN=1 ;;
     --store) RUN_STORE=1 ;;
@@ -214,6 +217,27 @@ if [[ "$RUN_SCALE" -eq 1 ]]; then
   "$BUILD_DIR/bench_scale" --n 65536 --horizon 2 --budget 120 \
     || { echo "check.sh: bench_scale n=65536 blew its 120 s budget" >&2; exit 1; }
   echo "check.sh: scale smoke OK: bench_scale n=65536 in budget"
+
+  # The sparse broadcast fabric at scale: the n=65536 auth grid on an
+  # expander (neighbors + sampled fan-out) in budget, and sharded across
+  # scenlaunch workers byte-identical — the sampled-mode RNG stream derives
+  # from the cell spec alone, so shard layout cannot leak into the draws.
+  EGRID="examples/scenarios/scale/expander_auth_grid.json"
+  timeout 300 "$BUILD_DIR/scenrun" "$EGRID" --threads 4 \
+    --json "$SCALE_TMP/efull.json" --csv "$SCALE_TMP/efull.csv" \
+    || { echo "check.sh: expander grid failed or blew its 300 s budget" >&2; exit 1; }
+  scripts/scenlaunch.sh "$EGRID" --workers 3 --build-dir "$BUILD_DIR" \
+    --json "$SCALE_TMP/elaunched.json" --csv "$SCALE_TMP/elaunched.csv"
+  diff "$SCALE_TMP/efull.json" "$SCALE_TMP/elaunched.json"
+  diff "$SCALE_TMP/efull.csv" "$SCALE_TMP/elaunched.csv"
+  echo "check.sh: scale smoke OK: expander auth grid in budget, shards byte-identical"
+
+  # The sparse-fabric acceptance cell: auth at n=10^5 on expander(k=16) with
+  # sampled fan-out, per-cell wall budget enforced by bench_scale itself.
+  "$BUILD_DIR/bench_scale" --protocol auth --topology expander --expander-k 16 \
+    --mode sampled --sample 8 --n 100000 --horizon 5 --budget 120 \
+    || { echo "check.sh: sampled expander auth n=1e5 blew its 120 s budget" >&2; exit 1; }
+  echo "check.sh: scale smoke OK: auth n=1e5 sampled expander in budget"
 fi
 
 if [[ "$RUN_ASAN" -eq 1 ]]; then

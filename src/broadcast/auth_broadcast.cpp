@@ -4,7 +4,8 @@
 
 namespace stclock {
 
-AuthBroadcast::AuthBroadcast(std::uint32_t n, std::uint32_t f) : n_(n), f_(f) {
+AuthBroadcast::AuthBroadcast(std::uint32_t n, std::uint32_t f, std::uint32_t fanin)
+    : n_(n), f_(f), quorum_(scaled_threshold(f + 1, n, fanin)) {
   ST_REQUIRE(n >= 2 * f + 1, "AuthBroadcast requires n >= 2f+1");
 }
 

@@ -21,7 +21,10 @@ namespace stclock {
 
 class AuthBroadcast final : public BroadcastPrimitive {
  public:
-  AuthBroadcast(std::uint32_t n, std::uint32_t f);
+  /// `fanin` = peers each node hears on the broadcast fabric (0 = the full
+  /// fleet): the acceptance quorum is scaled_threshold(f + 1, n, fanin), so
+  /// the default keeps the paper's exact f + 1.
+  AuthBroadcast(std::uint32_t n, std::uint32_t f, std::uint32_t fanin = 0);
 
   void broadcast_ready(Context& ctx, Round k) override;
   bool handle_message(Context& ctx, NodeId from, const Message& m) override;
@@ -33,8 +36,9 @@ class AuthBroadcast final : public BroadcastPrimitive {
   /// Clamps a scrambled floor back down so live rounds flow again.
   void stabilize(Round expected_floor) override;
 
-  /// Quorum size (f + 1).
-  [[nodiscard]] std::uint32_t quorum() const { return f_ + 1; }
+  /// Quorum size: f + 1 on the full fleet, the fan-in-proportional share of
+  /// it on a sparse fabric (see scaled_threshold in primitive.h).
+  [[nodiscard]] std::uint32_t quorum() const { return quorum_; }
 
  private:
   struct RoundState {
@@ -55,6 +59,7 @@ class AuthBroadcast final : public BroadcastPrimitive {
 
   std::uint32_t n_;
   std::uint32_t f_;
+  std::uint32_t quorum_;
   Round floor_ = 0;
   std::map<Round, RoundState> rounds_;
 };

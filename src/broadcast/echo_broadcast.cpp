@@ -4,7 +4,11 @@
 
 namespace stclock {
 
-EchoBroadcast::EchoBroadcast(std::uint32_t n, std::uint32_t f) : n_(n), f_(f) {
+EchoBroadcast::EchoBroadcast(std::uint32_t n, std::uint32_t f, std::uint32_t fanin)
+    : n_(n),
+      f_(f),
+      echo_threshold_(scaled_threshold(f + 1, n, fanin)),
+      accept_threshold_(scaled_threshold(2 * f + 1, n, fanin)) {
   ST_REQUIRE(n >= 3 * f + 1, "EchoBroadcast requires n >= 3f+1");
 }
 

@@ -25,7 +25,10 @@ namespace stclock {
 
 class EchoBroadcast final : public BroadcastPrimitive {
  public:
-  EchoBroadcast(std::uint32_t n, std::uint32_t f);
+  /// `fanin` = peers each node hears on the broadcast fabric (0 = the full
+  /// fleet): both thresholds are scaled_threshold(...) of the paper's f + 1
+  /// and 2f + 1, so the default keeps them exactly.
+  EchoBroadcast(std::uint32_t n, std::uint32_t f, std::uint32_t fanin = 0);
 
   void broadcast_ready(Context& ctx, Round k) override;
   bool handle_message(Context& ctx, NodeId from, const Message& m) override;
@@ -35,8 +38,8 @@ class EchoBroadcast final : public BroadcastPrimitive {
   void corrupt_state(Rng& rng) override;
   void stabilize(Round expected_floor) override;
 
-  [[nodiscard]] std::uint32_t echo_threshold() const { return f_ + 1; }
-  [[nodiscard]] std::uint32_t accept_threshold() const { return 2 * f_ + 1; }
+  [[nodiscard]] std::uint32_t echo_threshold() const { return echo_threshold_; }
+  [[nodiscard]] std::uint32_t accept_threshold() const { return accept_threshold_; }
 
  private:
   struct RoundState {
@@ -51,6 +54,8 @@ class EchoBroadcast final : public BroadcastPrimitive {
 
   std::uint32_t n_;
   std::uint32_t f_;
+  std::uint32_t echo_threshold_;
+  std::uint32_t accept_threshold_;
   Round floor_ = 0;
   std::map<Round, RoundState> rounds_;
 };

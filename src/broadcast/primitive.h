@@ -24,6 +24,34 @@
 /// is agnostic to which implementation it runs over.
 namespace stclock {
 
+/// Quorum-aware threshold scaling for sparse broadcast fabrics.
+///
+/// On the complete graph a node hears all n - 1 peers, and the paper's
+/// absolute thresholds (f + 1 signatures, 2f + 1 echoes) are both reachable
+/// and unforgeable. On a fabric where each node hears only `fanin` peers
+/// (a k-regular expander row, or a sampled peer set), the absolute
+/// thresholds may exceed what a node can ever hear; the quorum-aware rule
+/// keeps the *proportion* instead:
+///
+///   threshold(fanin) = 1 + floor((full - 1) * fanin / (n - 1))
+///
+/// which equals `full` at fanin = n - 1 (so full-fan-in runs keep the
+/// paper's exact thresholds, bit for bit) and never drops below 1. A
+/// uniformly drawn peer set of size s contains, in expectation, its
+/// proportional share of the at-most-f faulty processes, so the scaled
+/// quorum preserves unforgeability *with overwhelming probability* rather
+/// than absolutely — the standard trade when porting full-broadcast
+/// protocols to sampled gossip fabrics (the paper's absolute guarantee
+/// needs the complete graph). fanin == 0 means "the full fleet" and always
+/// returns the paper's threshold.
+[[nodiscard]] inline std::uint32_t scaled_threshold(std::uint32_t full, std::uint32_t n,
+                                                    std::uint32_t fanin) {
+  if (fanin == 0 || n <= 1 || fanin >= n - 1) return full;
+  const auto share =
+      static_cast<std::uint64_t>(full - 1) * fanin / (n - 1);
+  return 1 + static_cast<std::uint32_t>(share);
+}
+
 class BroadcastPrimitive {
  public:
   virtual ~BroadcastPrimitive() = default;

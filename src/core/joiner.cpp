@@ -5,19 +5,23 @@
 
 namespace stclock {
 
-std::unique_ptr<BroadcastPrimitive> make_primitive(const SyncConfig& cfg) {
+std::unique_ptr<BroadcastPrimitive> make_primitive(const SyncConfig& cfg,
+                                                   std::uint32_t fanin) {
   if (cfg.variant == Variant::kAuthenticated) {
-    return std::make_unique<AuthBroadcast>(cfg.n, cfg.f);
+    return std::make_unique<AuthBroadcast>(cfg.n, cfg.f, fanin);
   }
-  return std::make_unique<EchoBroadcast>(cfg.n, cfg.f);
+  return std::make_unique<EchoBroadcast>(cfg.n, cfg.f, fanin);
 }
 
-std::unique_ptr<SyncProtocol> make_sync_process(const SyncConfig& cfg) {
-  return std::make_unique<SyncProtocol>(cfg, make_primitive(cfg), /*passive_join=*/false);
+std::unique_ptr<SyncProtocol> make_sync_process(const SyncConfig& cfg, std::uint32_t fanin) {
+  return std::make_unique<SyncProtocol>(cfg, make_primitive(cfg, fanin),
+                                        /*passive_join=*/false);
 }
 
-std::unique_ptr<SyncProtocol> make_joining_process(const SyncConfig& cfg) {
-  return std::make_unique<SyncProtocol>(cfg, make_primitive(cfg), /*passive_join=*/true);
+std::unique_ptr<SyncProtocol> make_joining_process(const SyncConfig& cfg,
+                                                   std::uint32_t fanin) {
+  return std::make_unique<SyncProtocol>(cfg, make_primitive(cfg, fanin),
+                                        /*passive_join=*/true);
 }
 
 }  // namespace stclock

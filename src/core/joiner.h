@@ -18,13 +18,20 @@
 /// boot (measured by experiment T4).
 namespace stclock {
 
-/// Builds the broadcast primitive selected by `cfg.variant`.
-[[nodiscard]] std::unique_ptr<BroadcastPrimitive> make_primitive(const SyncConfig& cfg);
+/// Builds the broadcast primitive selected by `cfg.variant`. `fanin` is the
+/// per-node peer count of the broadcast fabric the primitive will run over
+/// (0 = the full fleet): it scales the acceptance thresholds (see
+/// scaled_threshold in broadcast/primitive.h); the default keeps the paper's
+/// exact f + 1 / 2f + 1.
+[[nodiscard]] std::unique_ptr<BroadcastPrimitive> make_primitive(const SyncConfig& cfg,
+                                                                std::uint32_t fanin = 0);
 
 /// A full participant from time zero.
-[[nodiscard]] std::unique_ptr<SyncProtocol> make_sync_process(const SyncConfig& cfg);
+[[nodiscard]] std::unique_ptr<SyncProtocol> make_sync_process(const SyncConfig& cfg,
+                                                              std::uint32_t fanin = 0);
 
 /// A passively integrating participant (late joiner / repaired process).
-[[nodiscard]] std::unique_ptr<SyncProtocol> make_joining_process(const SyncConfig& cfg);
+[[nodiscard]] std::unique_ptr<SyncProtocol> make_joining_process(const SyncConfig& cfg,
+                                                                 std::uint32_t fanin = 0);
 
 }  // namespace stclock

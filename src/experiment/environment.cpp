@@ -85,7 +85,8 @@ std::unique_ptr<DelayPolicy> build_delay_policy(DelayKind kind, std::uint32_t n,
 }
 
 std::shared_ptr<const Topology> build_topology(TopologyKind kind, std::uint32_t n,
-                                               double gnp_p, std::uint64_t seed) {
+                                               double gnp_p, std::uint64_t seed,
+                                               std::uint32_t expander_k) {
   switch (kind) {
     case TopologyKind::kComplete: return std::make_shared<const Topology>(Topology::complete(n));
     case TopologyKind::kRing: return std::make_shared<const Topology>(Topology::ring(n));
@@ -93,6 +94,8 @@ std::shared_ptr<const Topology> build_topology(TopologyKind kind, std::uint32_t 
     case TopologyKind::kStar: return std::make_shared<const Topology>(Topology::star(n));
     case TopologyKind::kGnp:
       return std::make_shared<const Topology>(Topology::gnp(n, gnp_p, seed));
+    case TopologyKind::kExpander:
+      return std::make_shared<const Topology>(Topology::expander(n, expander_k, seed));
     case TopologyKind::kCustom: break;  // not a generator family
   }
   ST_ASSERT(false, "build_topology: unhandled topology kind");

@@ -55,11 +55,13 @@ namespace experiment {
                                                               Duration period,
                                                               std::uint64_t link_seed = 1);
 
-/// Builds the network graph for one scenario. `gnp_p` and `seed` only feed
-/// the G(n, p) kind. Shape errors (e.g. a 2-node ring) throw std::logic_error.
+/// Builds the network graph for one scenario. `gnp_p` feeds only the G(n, p)
+/// kind, `seed` the seeded kinds (gnp, expander), `expander_k` the expander
+/// degree. Shape errors (e.g. a 2-node ring) throw std::logic_error.
 [[nodiscard]] std::shared_ptr<const Topology> build_topology(TopologyKind kind,
                                                              std::uint32_t n, double gnp_p,
-                                                             std::uint64_t seed);
+                                                             std::uint64_t seed,
+                                                             std::uint32_t expander_k = 8);
 
 }  // namespace experiment
 }  // namespace stclock

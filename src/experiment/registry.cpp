@@ -23,7 +23,11 @@ ProtocolRegistry::Entry sync_entry(std::string name, Variant variant) {
   entry.mode = EngineMode::kSyncProtocol;
   entry.prepare = [variant](ScenarioSpec& spec) { spec.cfg.variant = variant; };
   entry.factory = [](const ScenarioSpec& spec, NodeId, bool joining) -> std::unique_ptr<Process> {
-    return joining ? make_joining_process(spec.cfg) : make_sync_process(spec.cfg);
+    // Fabric-aware thresholds: 0 (the paper's exact f+1 / 2f+1) except under
+    // the sparse broadcast modes, where the quorum scales to the fan-in.
+    const std::uint32_t fanin = broadcast_fanin(spec);
+    return joining ? make_joining_process(spec.cfg, fanin)
+                   : make_sync_process(spec.cfg, fanin);
   };
   return entry;
 }
@@ -65,7 +69,8 @@ ProtocolRegistry built_ins() {
     entry.prepare = [](ScenarioSpec& spec) { spec.cfg.variant = Variant::kAuthenticated; };
     entry.factory = [](const ScenarioSpec& spec, NodeId,
                        bool joining) -> std::unique_ptr<Process> {
-      return std::make_unique<StabSyncProtocol>(spec.cfg, make_primitive(spec.cfg), joining);
+      return std::make_unique<StabSyncProtocol>(
+          spec.cfg, make_primitive(spec.cfg, broadcast_fanin(spec)), joining);
     };
     registry.add(std::move(entry));
   }

@@ -156,7 +156,8 @@ CheckedTopology checked_topology(const ScenarioSpec& spec) {
     ST_REQUIRE(spec.gnp_p > 0 && spec.gnp_p <= 1, "run_scenario: gnp_p must lie in (0, 1]");
   }
   CheckedTopology out;
-  out.base = build_topology(spec.topology, spec.cfg.n, spec.gnp_p, spec.topology_seed);
+  out.base = build_topology(spec.topology, spec.cfg.n, spec.gnp_p, spec.topology_seed,
+                            spec.expander_k);
   if (!out.base->is_complete()) {
     ST_REQUIRE(out.base->is_connected(),
                "run_scenario: topology is disconnected (raise gnp_p or change topology_seed)");
@@ -179,8 +180,8 @@ CheckedTopology checked_topology(const ScenarioSpec& spec) {
         }
         break;
       case TopologyEventSpec::Kind::kSetGraph:
-        schedule.set_graph(
-            ev.at, build_topology(ev.set, spec.cfg.n, spec.gnp_p, spec.topology_seed));
+        schedule.set_graph(ev.at, build_topology(ev.set, spec.cfg.n, spec.gnp_p,
+                                                 spec.topology_seed, spec.expander_k));
         break;
     }
   }
@@ -221,6 +222,10 @@ void validate_spec_structure(const ScenarioSpec& spec, EngineMode mode) {
                "run_scenario: partition_group must leave both sides non-empty");
     ST_REQUIRE(spec.partition_start >= 0 && spec.partition_end > spec.partition_start,
                "run_scenario: need 0 <= partition_start < partition_end");
+  }
+  if (spec.broadcast_mode == BroadcastMode::kSampled) {
+    ST_REQUIRE(spec.sample_size >= 1,
+               "run_scenario: broadcast_mode=sampled needs sample_size >= 1");
   }
   const std::uint32_t corrupt_count = corrupt_count_for(spec);
   ST_REQUIRE(corrupt_count + spec.joiners < cfg.n,
@@ -269,6 +274,48 @@ void validate_spec(const ScenarioSpec& spec, EngineMode mode) {
   (void)checked_topology(spec);
 }
 
+std::uint32_t broadcast_fanin(const ScenarioSpec& spec) {
+  const std::uint32_t n = spec.cfg.n;
+  const std::uint32_t peers = n > 0 ? n - 1 : 0;
+  // Design minimum degree of the generator families whose degree is known
+  // without building the graph; 0 = the full fleet (complete) or a degree
+  // the engine cannot bound by design (gnp, custom).
+  std::uint32_t degree = 0;
+  switch (spec.topology) {
+    case TopologyKind::kRing: degree = 2; break;
+    case TopologyKind::kStar: degree = 1; break;
+    case TopologyKind::kTorus: {
+      // Same near-square factorization the generator uses; the grid's
+      // minimum degree counts each dimension's links with the <= 2 guards.
+      std::uint32_t rows = 1;
+      for (std::uint32_t d = 1; static_cast<std::uint64_t>(d) * d <= n; ++d) {
+        if (n % d == 0) rows = d;
+      }
+      const std::uint32_t cols = rows > 0 ? n / rows : 0;
+      const auto dim = [](std::uint32_t len) -> std::uint32_t {
+        return len > 2 ? 2 : (len == 2 ? 1 : 0);
+      };
+      degree = dim(rows) + dim(cols);
+      break;
+    }
+    case TopologyKind::kExpander: degree = std::min(spec.expander_k, peers); break;
+    case TopologyKind::kComplete:
+    case TopologyKind::kGnp:
+    case TopologyKind::kCustom: degree = 0; break;
+  }
+  switch (spec.broadcast_mode) {
+    case BroadcastMode::kFull: return 0;  // legacy thresholds, always
+    case BroadcastMode::kNeighbors: return degree;
+    case BroadcastMode::kSampled: {
+      std::uint32_t s = spec.sample_size;
+      if (degree > 0) s = std::min(s, degree);
+      // A sample covering every peer is just the full fan-out.
+      return s >= peers ? 0 : s;
+    }
+  }
+  return 0;
+}
+
 ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
                                  const ProcessFactory& factory) {
   const SyncConfig& cfg = spec.cfg;
@@ -299,6 +346,17 @@ ScenarioResult run_scenario_with(const ScenarioSpec& spec, EngineMode mode,
   params.seed = rng.next_u64();
   params.topology = topology.base;
   params.schedule = topology.schedule;
+  params.broadcast_mode = spec.broadcast_mode;
+  params.sample_size = spec.sample_size;
+  // The runaway-protocol valve, scaled to the run: a healthy protocol
+  // dispatches O(fan-out) events per node per round, so give each
+  // node-round 256 events before calling it runaway. The 50M floor keeps
+  // small scenarios on the default; the product term admits sparse-fabric
+  // runs at n = 10^6 (a few hundred million legitimate events) that the
+  // flat default rejected.
+  const auto rounds_budget = static_cast<std::uint64_t>(spec.horizon / cfg.period) + 2;
+  params.max_events =
+      std::max<std::uint64_t>(params.max_events, 256ULL * cfg.n * rounds_budget);
   for (const RealTime at : spec.corrupt_at) {
     CorruptionEvent ev;
     ev.at = at;

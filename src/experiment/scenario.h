@@ -10,6 +10,7 @@
 #include "core/config.h"
 #include "core/theory.h"
 #include "experiment/environment.h"
+#include "sim/broadcast_mode.h"
 #include "sim/corruption.h"
 #include "sim/process.h"
 #include "trace/envelope.h"
@@ -94,6 +95,21 @@ struct ScenarioSpec {
   TopologyKind topology = TopologyKind::kComplete;
   double gnp_p = 0.5;
   std::uint64_t topology_seed = 1;
+  /// Degree of the "expander" topology kind (even, 2 <= k < n); ignored by
+  /// every other kind. Sweepable as a scenfile axis.
+  std::uint32_t expander_k = 8;
+
+  /// Broadcast fabric (see sim/broadcast_mode.h). "full" — the default,
+  /// pinned bit-identical by the golden suite — floods the whole domain with
+  /// the paper's absolute thresholds. "neighbors" keeps the same fan-out but
+  /// scales the auth/echo acceptance thresholds to the topology's design
+  /// degree. "sampled" sends each broadcast to `sample_size` seeded-random
+  /// peers (O(n * m) messages per round) with thresholds scaled to the
+  /// sample size.
+  BroadcastMode broadcast_mode = BroadcastMode::kFull;
+  /// Peers per broadcast under sampled mode (>= 1 required then); ignored —
+  /// but allowed, so grids can sweep broadcast_mode — in the other modes.
+  std::uint32_t sample_size = 0;
 
   /// Dynamic topology: timed edge/graph events applied to the base
   /// `topology` as the run progresses (edges failing and healing, whole
@@ -216,6 +232,17 @@ using ProcessFactory =
 /// ProtocolRegistry. Throws std::out_of_range for unknown protocol names and
 /// std::logic_error for inconsistent specs.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// The effective per-node broadcast fan-in of the spec's fabric, for
+/// quorum-aware primitive thresholds (see scaled_threshold in
+/// broadcast/primitive.h). 0 means "the full fleet": full mode always,
+/// and any mode whose fan-out the engine cannot bound by design (complete /
+/// gnp / custom under neighbors mode). Sampled mode returns sample_size
+/// capped at the topology's design degree; neighbors mode returns the
+/// design degree of the regular families (ring 2, star 1, torus grid
+/// degree, expander k). Cheap — never builds the graph — so registry
+/// factories may call it per node.
+[[nodiscard]] std::uint32_t broadcast_fanin(const ScenarioSpec& spec);
 
 /// Everything run_scenario_with would reject, checked WITHOUT running the
 /// scenario: model requirements (SyncConfig::validate) plus the engine's

@@ -101,6 +101,9 @@ std::vector<Field> spec_fields(const ScenarioSpec& spec) {
       {"topology", topology_kind_name(spec.topology)},
       {"gnp_p", fmt(spec.gnp_p)},
       {"topology_seed", std::to_string(spec.topology_seed)},
+      {"expander_k", std::to_string(spec.expander_k)},
+      {"broadcast_mode", broadcast_mode_name(spec.broadcast_mode)},
+      {"sample_size", std::to_string(spec.sample_size)},
       {"topology_events", std::to_string(spec.topology_events.size())},
       {"joiners", std::to_string(spec.joiners)},
       {"corrupt_override", std::to_string(spec.corrupt_override)},

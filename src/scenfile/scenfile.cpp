@@ -133,7 +133,16 @@ const std::vector<std::pair<const char*, TopologyKind>>& topology_table() {
   static const std::vector<std::pair<const char*, TopologyKind>> table = {
       {"complete", TopologyKind::kComplete}, {"ring", TopologyKind::kRing},
       {"torus", TopologyKind::kTorus},       {"star", TopologyKind::kStar},
-      {"gnp", TopologyKind::kGnp},
+      {"gnp", TopologyKind::kGnp},           {"expander", TopologyKind::kExpander},
+  };
+  return table;
+}
+
+const std::vector<std::pair<const char*, BroadcastMode>>& broadcast_mode_table() {
+  static const std::vector<std::pair<const char*, BroadcastMode>> table = {
+      {"full", BroadcastMode::kFull},
+      {"neighbors", BroadcastMode::kNeighbors},
+      {"sampled", BroadcastMode::kSampled},
   };
   return table;
 }
@@ -324,6 +333,17 @@ bool apply_field(ScenarioSpec& spec, const std::string& field, const JsonValue& 
     }
   } else if (field == "topology_seed") {
     spec.topology_seed = as_u64(v, source, path);
+  } else if (field == "expander_k") {
+    spec.expander_k = as_u32(v, source, path);
+    if (spec.expander_k < 2 || spec.expander_k % 2 != 0) {
+      fail_at(source, v.line, path,
+              "expander degree must be even and >= 2, got " + v.raw);
+    }
+  } else if (field == "broadcast_mode") {
+    spec.broadcast_mode =
+        enum_from_name(v, broadcast_mode_table(), "broadcast mode", source, path);
+  } else if (field == "sample_size") {
+    spec.sample_size = as_u32(v, source, path);
   } else if (field == "topology_events") {
     spec.topology_events = events_from_json(v, source, path);
   } else if (field == "joiners") {
@@ -366,7 +386,8 @@ bool apply_field(ScenarioSpec& spec, const std::string& field, const JsonValue& 
 constexpr const char* kKnownFields =
     "protocol, n, f, rho, tdel, period, alpha, initial_sync, "
     "allow_unsynchronized_start, adjust, amortize_window, delta, seed, horizon, "
-    "drift, delay, attack, topology, gnp_p, topology_seed, topology_events, "
+    "drift, delay, attack, topology, gnp_p, topology_seed, expander_k, "
+    "broadcast_mode, sample_size, topology_events, "
     "joiners, join_time, "
     "corrupt_override, corrupt_at, corrupt_fraction, corrupt_kinds, "
     "churn_nodes, churn_leave, churn_rejoin, partition_group, "
@@ -508,6 +529,9 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   str("topology", topology_kind_name(spec.topology));
   num("gnp_p", fmt_double(spec.gnp_p));
   num("topology_seed", std::to_string(spec.topology_seed));
+  num("expander_k", std::to_string(spec.expander_k));
+  str("broadcast_mode", broadcast_mode_name(spec.broadcast_mode));
+  num("sample_size", std::to_string(spec.sample_size));
   os << "  \"topology_events\": [";
   for (std::size_t i = 0; i < spec.topology_events.size(); ++i) {
     const experiment::TopologyEventSpec& ev = spec.topology_events[i];

@@ -60,6 +60,15 @@ Simulator::Simulator(SimParams params, std::vector<HardwareClock> clocks,
     // corruption-disabled path must not create this stream at all.
     corrupt_rng_.emplace(params_.seed ^ 0x5e1f57ab1eULL);
   }
+  if (params_.broadcast_mode == BroadcastMode::kSampled) {
+    ST_REQUIRE(params_.sample_size >= 1,
+               "Simulator: sampled broadcast mode needs sample_size >= 1");
+    // Same derived-stream discipline as corruption: peer sampling draws from
+    // its own stream so full/neighbors runs never create it and stay
+    // bit-identical to the pre-fabric engine.
+    bcast_rng_.emplace(params_.seed ^ 0xfab10ca575a321ULL);
+    sample_scratch_.reserve(params_.sample_size);
+  }
 
   // Default queue reservation, sized by the graph actually installed: a
   // broadcast round is ~n^2 resident deliveries on a complete graph but only
@@ -473,6 +482,10 @@ void Context::broadcast(const Message& m) {
   // Intern the payload once for the whole fan-out: n refcount bumps instead
   // of n deep copies (a RoundMsg relay bundle carries Theta(n) signatures).
   const auto msg = intern_message(m);
+  if (sim_->params_.broadcast_mode == BroadcastMode::kSampled) {
+    sim_->sampled_fan_out(id_, msg);
+    return;
+  }
   const Topology* topo = sim_->topo_now_;
   if (topo == nullptr || topo->is_complete()) {
     for (NodeId to = 0; to < sim_->params_.n; ++to) sim_->honest_send(id_, to, msg);
@@ -495,6 +508,67 @@ __attribute__((noinline)) void Simulator::sparse_fan_out(
   bool self_sent = false;
   for (std::size_t i = 0; i < degree; ++i) {
     const NodeId to = nbrs[i];
+    if (!self_sent && to > from) {
+      honest_send(from, from, msg);
+      self_sent = true;
+    }
+    honest_send(from, to, msg);
+  }
+  if (!self_sent) honest_send(from, from, msg);
+}
+
+bool Simulator::sample_broadcast_targets(NodeId from) {
+  const Topology* topo = topo_now_;
+  const std::uint32_t m = params_.sample_size;
+  const NodeId* domain = nullptr;  // null = implicit all-but-self (complete)
+  std::uint32_t domain_size = 0;
+  if (topo == nullptr || topo->is_complete()) {
+    domain_size = params_.n - 1;
+  } else {
+    const auto [nbrs, degree] = topo->neighbor_span(from);
+    domain = nbrs;
+    domain_size = static_cast<std::uint32_t>(degree);
+  }
+  if (domain_size <= m) return false;  // degenerate: the full fan-out, no draws
+  // Floyd's algorithm: m distinct indices in [0, domain_size), exactly m
+  // draws from the dedicated stream regardless of domain size. The scratch
+  // stays tiny (m entries), so the membership probe is a linear scan.
+  sample_scratch_.clear();
+  for (std::uint32_t j = domain_size - m; j < domain_size; ++j) {
+    auto pick = static_cast<NodeId>(bcast_rng_->uniform_int(0, j));
+    if (std::find(sample_scratch_.begin(), sample_scratch_.end(), pick) !=
+        sample_scratch_.end()) {
+      pick = j;
+    }
+    sample_scratch_.push_back(pick);
+  }
+  // Map indices to node ids: the implicit complete domain is 0..n-1 minus
+  // self, a CSR row already holds ids (and never contains self).
+  for (NodeId& id : sample_scratch_) {
+    id = domain != nullptr ? domain[id] : (id < from ? id : id + 1);
+  }
+  // Ascending, so same-time delivery ties break in the same id order every
+  // other fan-out uses.
+  std::sort(sample_scratch_.begin(), sample_scratch_.end());
+  return true;
+}
+
+__attribute__((noinline)) void Simulator::sampled_fan_out(
+    NodeId from, const std::shared_ptr<const Message>& msg) {
+  if (!sample_broadcast_targets(from)) {
+    // Domain no larger than the sample: identical to the full fan-out.
+    const Topology* topo = topo_now_;
+    if (topo == nullptr || topo->is_complete()) {
+      for (NodeId to = 0; to < params_.n; ++to) honest_send(from, to, msg);
+    } else {
+      sparse_fan_out(from, *topo, msg);
+    }
+    return;
+  }
+  // Self plus the sampled peers, self interleaved at its ascending position
+  // exactly like sparse_fan_out.
+  bool self_sent = false;
+  for (const NodeId to : sample_scratch_) {
     if (!self_sent && to > from) {
       honest_send(from, from, msg);
       self_sent = true;
@@ -553,6 +627,16 @@ void AdversaryContext::send_from(NodeId from, NodeId to, const Message& m,
 
 void AdversaryContext::send_from_to_all(NodeId from, const Message& m, RealTime deliver_at) {
   const auto msg = intern_message(m);
+  if (sim_->params_.broadcast_mode == BroadcastMode::kSampled &&
+      sim_->sample_broadcast_targets(from)) {
+    // The adversary's flood samples from the same stream and domain as an
+    // honest broadcast would (traffic patterns stay comparable); picks that
+    // land on fellow corrupted nodes are simply not sent.
+    for (const NodeId to : sim_->sample_scratch_) {
+      if (!sim_->is_corrupt(to)) sim_->adversary_send(from, to, msg, deliver_at);
+    }
+    return;
+  }
   const Topology* topo = sim_->topo_now_;
   if (topo == nullptr || topo->is_complete()) {
     for (NodeId to = 0; to < sim_->params_.n; ++to) {

@@ -8,6 +8,7 @@
 #include "clocks/hardware_clock.h"
 #include "clocks/logical_clock.h"
 #include "crypto/signature.h"
+#include "sim/broadcast_mode.h"
 #include "sim/corruption.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
@@ -57,6 +58,13 @@ struct SimParams {
   /// machinery and leaves every RNG stream untouched, so the disabled path
   /// is bit-identical to a build without fault injection.
   std::vector<CorruptionEvent> corruptions;
+  /// Broadcast fan-out policy (see sim/broadcast_mode.h). kFull and
+  /// kNeighbors take exactly the legacy fan-out path; kSampled draws
+  /// sample_size peers per broadcast from a dedicated RNG stream.
+  BroadcastMode broadcast_mode = BroadcastMode::kFull;
+  /// Peers per broadcast under kSampled (>= 1 required then); ignored in the
+  /// other modes.
+  std::uint32_t sample_size = 0;
 };
 
 class Simulator {
@@ -208,6 +216,14 @@ class Simulator {
   /// Broadcast fan-out on a non-complete topology: self plus neighbors.
   void sparse_fan_out(NodeId from, const Topology& topo,
                       const std::shared_ptr<const Message>& msg);
+  /// kSampled: fills sample_scratch_ with this broadcast's recipients —
+  /// params.sample_size distinct draws from the sender's domain (neighbor
+  /// row, or everyone else on the complete graph), sorted ascending, self
+  /// excluded. Returns false WITHOUT consuming draws when the domain is no
+  /// larger than the sample; the caller falls back to the full fan-out.
+  bool sample_broadcast_targets(NodeId from);
+  /// Broadcast fan-out under kSampled: self plus the sampled peer set.
+  void sampled_fan_out(NodeId from, const std::shared_ptr<const Message>& msg);
   void adversary_send(NodeId from, NodeId to, std::shared_ptr<const Message> msg,
                       RealTime deliver_at);
   TimerId arm_timer(NodeId node, RealTime fire_at,
@@ -256,6 +272,12 @@ class Simulator {
   /// stream is even created. Engaged only when params.corruptions is
   /// non-empty.
   std::optional<Rng> corrupt_rng_;
+  /// Peer draws for kSampled broadcasts, likewise derived from the seed
+  /// outside the root fork sequence and created only in sampled mode — full
+  /// and neighbors runs stay bit-identical to the pre-fabric engine.
+  std::optional<Rng> bcast_rng_;
+  /// Recipient scratch for sampled fan-outs (capacity sample_size, reused).
+  std::vector<NodeId> sample_scratch_;
   std::uint64_t corruption_events_fired_ = 0;
   std::uint64_t nodes_corrupted_ = 0;
 

@@ -15,6 +15,7 @@ const char* topology_kind_name(TopologyKind kind) {
     case TopologyKind::kTorus: return "torus";
     case TopologyKind::kStar: return "star";
     case TopologyKind::kGnp: return "gnp";
+    case TopologyKind::kExpander: return "expander";
     case TopologyKind::kCustom: return "custom";
   }
   return "unknown";
@@ -250,6 +251,39 @@ Topology Topology::gnp(std::uint32_t n, double p, std::uint64_t seed) {
     }
   }
   topo.finalize();
+  return topo;
+}
+
+Topology Topology::expander(std::uint32_t n, std::uint32_t k, std::uint64_t seed) {
+  ST_REQUIRE(k >= 2 && k % 2 == 0,
+             "Topology::expander: degree k must be even and >= 2 (the generator "
+             "unions k/2 Hamiltonian cycles)");
+  ST_REQUIRE(k < n, "Topology::expander: need k < n (use complete for denser fleets)");
+  ST_REQUIRE(n >= 3, "Topology::expander: need n >= 3");
+  Topology topo(TopologyKind::kExpander, n);
+  Rng rng(seed);
+  std::vector<NodeId> perm(n);
+  topo.staged_.reserve(static_cast<std::size_t>(n) * (k / 2));
+  for (std::uint32_t cycle = 0; cycle < k / 2; ++cycle) {
+    for (NodeId id = 0; id < n; ++id) perm[id] = id;
+    rng.shuffle(perm);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      topo.add_edge(perm[i], perm[(i + 1) % n]);
+    }
+  }
+  // Distinct cycles can land on the same pair; finalize() rejects duplicate
+  // edges, so normalize and deduplicate the staged list first. Within one
+  // cycle all n edges are distinct (n >= 3), so only cross-cycle collisions
+  // are dropped — each node keeps at least its two cycle-0 links.
+  for (auto& [a, b] : topo.staged_) {
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(topo.staged_.begin(), topo.staged_.end());
+  topo.staged_.erase(std::unique(topo.staged_.begin(), topo.staged_.end()),
+                     topo.staged_.end());
+  topo.edge_count_ = topo.staged_.size();
+  topo.finalize();
+  ST_ASSERT(topo.is_connected(), "Topology::expander: Hamiltonian union must connect");
   return topo;
 }
 

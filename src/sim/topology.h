@@ -40,6 +40,7 @@ enum class TopologyKind : std::uint8_t {
   kTorus,     ///< near-square rows x cols grid with wraparound
   kStar,      ///< hub node 0 linked to every spoke
   kGnp,       ///< Erdos-Renyi G(n, p), seeded; may be disconnected
+  kExpander,  ///< seeded k-regular expander (union of k/2 random Hamiltonian cycles)
   kCustom,    ///< arbitrary edge list (from_edges); not a scenario-file kind
 };
 
@@ -155,6 +156,22 @@ class Topology {
   /// May be disconnected — callers that need liveness should check
   /// is_connected() (the scenario validator does).
   [[nodiscard]] static Topology gnp(std::uint32_t n, double p, std::uint64_t seed);
+
+  /// Seeded k-regular expander: the union of k/2 independent random
+  /// Hamiltonian cycles (each a seeded Fisher-Yates permutation closed into
+  /// a cycle). Connected by construction — cycle 0 alone visits every node —
+  /// with degree at most k (coinciding cross-cycle edges are deduplicated,
+  /// so a node's degree can dip below k; at k << n collisions are rare) and
+  /// at least 2. Random regular-ish graphs of this family are expanders with
+  /// overwhelming probability: diameter O(log n / log k), which the test
+  /// suite asserts as a BFS-diameter spectral-gap proxy. Pure function of
+  /// (n, k, seed). Requires even k with 2 <= k < n.
+  ///
+  /// This is the sparse broadcast fabric for the paper's complete-graph
+  /// protocols: a round of `auth` costs O(n*k) messages over it instead of
+  /// O(n^2) (see BroadcastMode in sim/broadcast_mode.h).
+  [[nodiscard]] static Topology expander(std::uint32_t n, std::uint32_t k,
+                                         std::uint64_t seed);
 
   /// Arbitrary undirected edge list (tests and custom scenarios). Rejects
   /// out-of-range endpoints, self-loops, and duplicate edges.

@@ -26,8 +26,10 @@ void EnvelopeTracker::sample(const Simulator& sim) {
   last_sample_ = t;
 
   if (streaming_) {
-    if (sums_.empty()) sums_.resize(sim.n());
+    const std::uint32_t pool_n = std::min(sim.n(), kStreamPoolMaxN);
+    if (sums_.empty()) sums_.resize(pool_n);
     for (NodeId id : sim.honest_ids()) {
+      if (id >= pool_n) break;  // honest_ids is ascending; pooled prefix only
       if (!sim.is_started(id)) continue;
       const double c = sim.logical(id).read(t);
       NodeSums& s = sums_[id];

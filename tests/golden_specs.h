@@ -162,6 +162,30 @@ inline std::vector<ScenarioSpec> specs() {
     out.push_back(spec);
   }
 
+  // Sparse broadcast fabric (PR-9): auth on a k=4 expander with neighbors
+  // fan-out, and auth on the complete graph with sampled fan-out (m=3 from
+  // the dedicated broadcast RNG stream). Pins the expander edge set, the
+  // quorum scaling, and the sampled draw sequence — appended after all
+  // earlier rows, which must stay untouched by the new stream's existence.
+  {
+    ScenarioSpec spec = base("auth", 0, 13);
+    spec.cfg.n = 8;
+    spec.topology = TopologyKind::kExpander;
+    spec.expander_k = 4;
+    spec.topology_seed = 7;
+    spec.broadcast_mode = BroadcastMode::kNeighbors;
+    spec.horizon = 8.0;
+    out.push_back(spec);
+  }
+  {
+    ScenarioSpec spec = base("auth", 0, 14);
+    spec.cfg.n = 8;
+    spec.broadcast_mode = BroadcastMode::kSampled;
+    spec.sample_size = 3;
+    spec.horizon = 8.0;
+    out.push_back(spec);
+  }
+
   return out;
 }
 

@@ -123,6 +123,16 @@ constexpr Expected kExpected[] = {
     {0.004388306538742115, 0.0036859473499006867, 0, 0,
      0, 0, 0, false, 0.99961388847323385, 1.0008601072591083, 192, 3264,
      250, 0, 0, -1, false, 0.0039895831942931004, 0.0035611683515077708, 1},
+    // PR-9 sparse-fabric rows: auth on the k=4 expander under neighbors
+    // fan-out, and auth on the complete graph under sampled fan-out (m=3).
+    // Captured when the broadcast-mode layer landed; they pin the expander
+    // edge set and the dedicated sampled-broadcast RNG stream.
+    {0.014938677203654716, 0.014141475885360855, 0.0041921857975512067, 0.9872555956556025,
+     0.99005230075167461, 8, 8, true, 1.010107586409746, 1.0105635958787018, 451, 20295,
+     558, 8, 0, -1, false, 0.014938677203654716, 0.013029364801028009, 1},
+    {0.013185200562091159, 0.011918016951859567, 0.0026307569216621474, 0.98800063206422628,
+     0.99008353213763733, 8, 8, true, 1.0100359247595274, 1.0103825610145274, 464, 20880,
+     581, 8, 0, -1, false, -1, -1, 1},
 };
 
 TEST(GoldenTrace, MetricsAreBitIdenticalAcrossHotPathRefactor) {

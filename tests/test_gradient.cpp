@@ -11,13 +11,17 @@
 namespace stclock::experiment {
 namespace {
 
-/// The gradient-on-ring golden spec (the last entry of golden::specs()).
+/// The gradient-on-ring golden spec, found by protocol name so later PRs
+/// can append golden rows without renumbering this test.
 ScenarioSpec ring_spec() {
-  const std::vector<ScenarioSpec> specs = golden::specs();
-  const ScenarioSpec spec = specs.back();
-  EXPECT_EQ(spec.protocol, "gradient");
-  EXPECT_EQ(spec.topology, TopologyKind::kRing);
-  return spec;
+  for (const ScenarioSpec& spec : golden::specs()) {
+    if (spec.protocol == "gradient") {
+      EXPECT_EQ(spec.topology, TopologyKind::kRing);
+      return spec;
+    }
+  }
+  ADD_FAILURE() << "no gradient spec in golden::specs()";
+  return {};
 }
 
 TEST(Gradient, BeatsLeaderSteadyLocalSkewOnTheRingGoldenScenario) {

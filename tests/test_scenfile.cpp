@@ -164,6 +164,9 @@ TEST(ScenfileSpec, JsonRoundTripPreservesEveryField) {
   spec.topology = TopologyKind::kGnp;
   spec.gnp_p = 0.8125;
   spec.topology_seed = 0xFEEDFACE12345678ULL;
+  spec.expander_k = 12;
+  spec.broadcast_mode = BroadcastMode::kSampled;
+  spec.sample_size = 5;
   spec.joiners = 2;
   spec.join_time = 7.25;
   spec.corrupt_override = 1;
@@ -197,6 +200,9 @@ TEST(ScenfileSpec, JsonRoundTripPreservesEveryField) {
   EXPECT_EQ(back.topology, spec.topology);
   EXPECT_EQ(back.gnp_p, spec.gnp_p);
   EXPECT_EQ(back.topology_seed, spec.topology_seed);
+  EXPECT_EQ(back.expander_k, spec.expander_k);
+  EXPECT_EQ(back.broadcast_mode, spec.broadcast_mode);
+  EXPECT_EQ(back.sample_size, spec.sample_size);
   EXPECT_EQ(back.joiners, spec.joiners);
   EXPECT_EQ(back.join_time, spec.join_time);
   EXPECT_EQ(back.corrupt_override, spec.corrupt_override);

@@ -74,6 +74,13 @@ const BadCase kCorpus[] = {
      R"({"base": {"n": 10, "f": 1, "topology": "gnp", "gnp_p": 0.02,
                   "topology_seed": 7}})",
      "topology is disconnected"},
+    // --- sparse broadcast fabric (PR-9) ---
+    {"unknown_broadcast_mode", R"({"base": {"broadcast_mode": "gossip"}})",
+     "unknown broadcast mode \"gossip\""},
+    {"odd_expander_k", R"({"base": {"topology": "expander", "expander_k": 5}})",
+     "expander degree must be even and >= 2, got 5"},
+    {"sampled_without_sample_size", R"({"base": {"broadcast_mode": "sampled"}})",
+     "broadcast_mode=sampled needs sample_size >= 1"},
     // --- topology_events (PR-5 dynamic topologies) ---
     {"topology_events_not_array", R"({"base": {"topology_events": 3}})",
      "base.topology_events: expected array, got number"},
