@@ -54,7 +54,10 @@ struct Options {
   std::uint32_t expander_k = 16;
   double gnp_p = 2e-4;
   double horizon = 5.0;
-  double budget = 0;  // wall-seconds per cell; 0 = unenforced
+  double budget = 0;      // wall-seconds per cell; 0 = unenforced
+  long rss_budget = 0;    // peak-RSS MB per cell; 0 = unenforced
+  std::uint32_t sim_threads = 1;
+  std::string delay = "uniform";
   std::uint64_t seed = 1;
   std::string json_path;  // append ndjson rows here when non-empty
 };
@@ -84,13 +87,20 @@ Options parse(int argc, char** argv) {
       opts.horizon = std::strtod(argv[++i], nullptr);
     } else if (arg == "--budget" && has_value) {
       opts.budget = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--rss-budget" && has_value) {
+      opts.rss_budget = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--sim-threads" && has_value) {
+      opts.sim_threads = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--delay" && has_value) {
+      opts.delay = argv[++i];
     } else if (arg == "--seed" && has_value) {
       opts.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bench_scale [--n N]... [--topology ring|torus|gnp|expander|complete] "
           "[--protocol NAME] [--mode full|neighbors|sampled] [--sample M] "
-          "[--expander-k K] [--gnp-p P] [--horizon H] [--budget SECONDS] [--seed S] "
+          "[--expander-k K] [--gnp-p P] [--horizon H] [--budget SECONDS] "
+          "[--rss-budget MB] [--sim-threads T] [--delay uniform|half|max] [--seed S] "
           "[--json FILE]\n");
       std::exit(0);
     } else {
@@ -109,11 +119,12 @@ int main(int argc, char** argv) {
   using namespace stclock;
   const Options opts = parse(argc, argv);
 
-  std::printf("# protocol=%s topology=%s mode=%s horizon=%.2f seed=%llu\n",
+  std::printf("# protocol=%s topology=%s mode=%s delay=%s threads=%u horizon=%.2f seed=%llu\n",
               opts.protocol.c_str(), opts.topology.c_str(), opts.mode.c_str(),
-              opts.horizon, static_cast<unsigned long long>(opts.seed));
-  std::printf("%10s %12s %12s %10s %10s %10s %12s %12s\n", "n", "events", "messages",
-              "msgs_rnd", "wall_s", "rss_mb", "max_skew", "local_skew");
+              opts.delay.c_str(), opts.sim_threads, opts.horizon,
+              static_cast<unsigned long long>(opts.seed));
+  std::printf("%10s %12s %12s %10s %10s %10s %12s %12s %8s\n", "n", "events", "messages",
+              "msgs_rnd", "wall_s", "rss_mb", "max_skew", "local_skew", "windows");
 
   std::FILE* json = nullptr;
   if (!opts.json_path.empty()) {
@@ -140,6 +151,18 @@ int main(int argc, char** argv) {
     spec.gnp_p = opts.gnp_p;
     spec.topology_seed = opts.seed;
     spec.expander_k = opts.expander_k;
+    spec.sim_threads = opts.sim_threads;
+    if (opts.delay == "uniform") {
+      spec.delay = DelayKind::kUniform;
+    } else if (opts.delay == "half") {
+      spec.delay = DelayKind::kHalf;
+    } else if (opts.delay == "max") {
+      spec.delay = DelayKind::kMax;
+    } else {
+      std::fprintf(stderr, "bench_scale: unknown delay %s (uniform|half|max)\n",
+                   opts.delay.c_str());
+      return 2;
+    }
     if (opts.topology == "ring") {
       spec.topology = TopologyKind::kRing;
     } else if (opts.topology == "torus") {
@@ -181,26 +204,34 @@ int main(int argc, char** argv) {
     const double msgs_per_round = static_cast<double>(r.messages_sent) / rounds;
     const long rss = peak_rss_mb();
 
-    std::printf("%10u %12llu %12llu %10.3e %10.2f %10ld %12.3e %12.3e\n", n,
+    std::printf("%10u %12llu %12llu %10.3e %10.2f %10ld %12.3e %12.3e %8llu\n", n,
                 static_cast<unsigned long long>(r.events_dispatched),
                 static_cast<unsigned long long>(r.messages_sent), msgs_per_round, wall,
-                rss, r.max_skew, r.local_skew);
+                rss, r.max_skew, r.local_skew,
+                static_cast<unsigned long long>(r.parallel_windows));
     std::fflush(stdout);
     if (json != nullptr) {
       std::fprintf(json,
-                   "{\"name\": \"bench_scale/%s/%s/%s/n=%u\", \"n\": %u, "
-                   "\"events\": %llu, \"messages\": %llu, \"msgs_per_round\": %.1f, "
-                   "\"wall_s\": %.3f, \"rss_mb\": %ld, \"max_skew\": %.6e, "
-                   "\"local_skew\": %.6e}\n",
-                   opts.protocol.c_str(), opts.topology.c_str(), opts.mode.c_str(), n, n,
+                   "{\"name\": \"bench_scale/%s/%s/%s/n=%u/t=%u\", \"n\": %u, "
+                   "\"sim_threads\": %u, \"events\": %llu, \"messages\": %llu, "
+                   "\"msgs_per_round\": %.1f, \"wall_s\": %.3f, \"rss_mb\": %ld, "
+                   "\"max_skew\": %.6e, \"local_skew\": %.6e, \"parallel_windows\": %llu}\n",
+                   opts.protocol.c_str(), opts.topology.c_str(), opts.mode.c_str(), n,
+                   opts.sim_threads, n, opts.sim_threads,
                    static_cast<unsigned long long>(r.events_dispatched),
                    static_cast<unsigned long long>(r.messages_sent), msgs_per_round, wall,
-                   rss, r.max_skew, r.local_skew);
+                   rss, r.max_skew, r.local_skew,
+                   static_cast<unsigned long long>(r.parallel_windows));
       std::fflush(json);
     }
     if (opts.budget > 0 && wall > opts.budget) {
       std::fprintf(stderr, "bench_scale: n=%u took %.1fs (budget %.1fs)\n", n, wall,
                    opts.budget);
+      over_budget = true;
+    }
+    if (opts.rss_budget > 0 && rss > opts.rss_budget) {
+      std::fprintf(stderr, "bench_scale: n=%u peaked at %ld MB RSS (budget %ld MB)\n", n,
+                   rss, opts.rss_budget);
       over_budget = true;
     }
   }

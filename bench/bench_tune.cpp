@@ -4,7 +4,8 @@
 //
 //   bench_tune --queue      # spawn x overflow grid, churn + burst workloads
 //   bench_tune --metric     # scenario wall time around kScaleMetricThreshold
-//   bench_tune              # both
+//   bench_tune --sample     # Floyd vs Fisher-Yates sampled-broadcast crossover
+//   bench_tune              # all three
 //
 // The --queue grid drives EventQueue::Tuning directly: each cell runs the
 // BM_EventQueue_Churn workload (standing population 1024, one push per pop)
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "experiment/scenario.h"
+#include "sim/broadcast_sample.h"
 #include "sim/event_queue.h"
 #include "sim/topology.h"
 #include "util/rng.h"
@@ -187,12 +189,71 @@ int sweep_metric() {
   return 0;
 }
 
+int sweep_sample() {
+  // The sampled-broadcast kernel choice (simulator.cpp sample_broadcast
+  // targets): Floyd's probe set is O(m^2) in comparisons, partial
+  // Fisher-Yates is O(m) flat but needs a mutable domain row. Evidence
+  // trail for broadcast_sample::kFisherYatesMinSample = 64 — Floyd must
+  // still win (or tie) below the constant and lose above it.
+  constexpr std::uint32_t kDomain = 4096;
+  constexpr std::size_t kReps = 20'000;
+  std::vector<NodeId> row(kDomain);
+  for (std::uint32_t i = 0; i < kDomain; ++i) row[i] = i;
+  std::vector<NodeId> out;
+  out.reserve(kDomain);
+
+  std::printf("# sampled-broadcast kernel crossover, domain %u, %zu draws per cell\n",
+              kDomain, kReps);
+  std::printf("%8s %12s %12s %8s\n", "m", "floyd_ns", "fy_ns", "winner");
+  double floyd_at_cut = 0, fy_at_cut = 0, floyd_past = 0, fy_past = 0;
+  for (const std::uint32_t m : {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    Rng floyd_rng(3);
+    double begin = now_s();
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      out.clear();
+      broadcast_sample::floyd_indices(floyd_rng, kDomain, m, out);
+    }
+    const double floyd_ns = (now_s() - begin) * 1e9 / static_cast<double>(kReps);
+
+    Rng fy_rng(3);
+    begin = now_s();
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      out.clear();
+      broadcast_sample::fisher_yates(fy_rng, row.data(), kDomain, m, out);
+    }
+    const double fy_ns = (now_s() - begin) * 1e9 / static_cast<double>(kReps);
+
+    std::printf("%8u %12.1f %12.1f %8s\n", m, floyd_ns, fy_ns,
+                floyd_ns <= fy_ns ? "floyd" : "fy");
+    std::fflush(stdout);
+    if (m == broadcast_sample::kFisherYatesMinSample) {
+      floyd_at_cut = floyd_ns;
+      fy_at_cut = fy_ns;
+    }
+    if (m == 512) {
+      floyd_past = floyd_ns;
+      fy_past = fy_ns;
+    }
+  }
+  // The constant is well-placed if FY is at worst modestly slower right at
+  // the cut (both kernels are sub-microsecond there; generous 2x slack for
+  // timer jitter) and clearly ahead deep in its regime.
+  const bool ok = fy_at_cut <= floyd_at_cut * 2.0 && fy_past < floyd_past;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "bench_tune: Floyd/Fisher-Yates crossover moved away from "
+                 "kFisherYatesMinSample = %u — re-pin it\n",
+                 broadcast_sample::kFisherYatesMinSample);
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace stclock
 
 int main(int argc, char** argv) {
   using namespace stclock;
-  bool queue = false, metric = false;
+  bool queue = false, metric = false, sample = false;
   std::size_t ops = 2'000'000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -200,19 +261,22 @@ int main(int argc, char** argv) {
       queue = true;
     } else if (arg == "--metric") {
       metric = true;
+    } else if (arg == "--sample") {
+      sample = true;
     } else if (arg == "--ops" && i + 1 < argc) {
       ops = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: bench_tune [--queue] [--metric] [--ops N]\n");
+      std::printf("usage: bench_tune [--queue] [--metric] [--sample] [--ops N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "bench_tune: unknown option %s (try --help)\n", arg.c_str());
       return 2;
     }
   }
-  if (!queue && !metric) queue = metric = true;
+  if (!queue && !metric && !sample) queue = metric = sample = true;
   int rc = 0;
   if (queue) rc |= sweep_queue(ops);
   if (metric) rc |= sweep_metric();
+  if (sample) rc |= sweep_sample();
   return rc;
 }

@@ -4,7 +4,8 @@
 # so any new warning in the hot-path files fails the gate.
 #
 # Usage: scripts/check.sh [--bench] [--scen] [--store] [--faults] [--scale]
-#                         [--asan] [build-dir] (default build-dir: build-check)
+#                         [--asan] [--tsan] [build-dir]
+#                         (default build-dir: build-check)
 #   --bench  additionally smoke-run the tracked perf benchmarks (1 iteration,
 #            via scripts/bench.sh --smoke) so the bench binaries cannot
 #            bit-rot; BENCH_core.json is not modified.
@@ -34,6 +35,10 @@
 #   --asan   additionally build the tree under ASan+UBSan (its own build
 #            directory, <build-dir>-asan) and run the tier-1 ctest suite in
 #            it; any sanitizer report fails the gate.
+#   --tsan   additionally build under ThreadSanitizer (<build-dir>-tsan) and
+#            run the suites that exercise the parallel engine's worker pool
+#            (parallel_sim, simulator, event_queue, counters); any data-race
+#            report fails the gate.
 #
 # Uses a separate build directory so the strict flags never pollute an
 # incremental developer build.
@@ -46,16 +51,18 @@ RUN_STORE=0
 RUN_FAULTS=0
 RUN_SCALE=0
 RUN_ASAN=0
+RUN_TSAN=0
 BUILD_DIR="build-check"
 for arg in "$@"; do
   case "$arg" in
-    -h|--help) sed -n 's/^# \{0,1\}//p' "$0" | sed -n '2,40p'; exit 0 ;;
+    -h|--help) sed -n 's/^# \{0,1\}//p' "$0" | sed -n '2,46p'; exit 0 ;;
     --bench) RUN_BENCH=1 ;;
     --scen) RUN_SCEN=1 ;;
     --store) RUN_STORE=1 ;;
     --faults) RUN_FAULTS=1 ;;
     --scale) RUN_SCALE=1 ;;
     --asan) RUN_ASAN=1 ;;
+    --tsan) RUN_TSAN=1 ;;
     -*) echo "check.sh: unknown option: $arg (see --help)" >&2; exit 2 ;;
     *) BUILD_DIR="$arg" ;;
   esac
@@ -238,6 +245,17 @@ if [[ "$RUN_SCALE" -eq 1 ]]; then
     --mode sampled --sample 8 --n 100000 --horizon 5 --budget 120 \
     || { echo "check.sh: sampled expander auth n=1e5 blew its 120 s budget" >&2; exit 1; }
   echo "check.sh: scale smoke OK: auth n=1e5 sampled expander in budget"
+
+  # The parallel engine at scale: the same acceptance cell at sim_threads=8
+  # with delay=half (the positive-min_delay policy that gives the engine its
+  # window). bench_scale prints the committed-window count; the test suite
+  # already pins bit-identity, so this cell guards "the parallel path still
+  # RUNS at n=1e5 under a budget" end to end.
+  "$BUILD_DIR/bench_scale" --protocol auth --topology expander --expander-k 16 \
+    --mode sampled --sample 8 --n 100000 --horizon 5 --delay half \
+    --sim-threads 8 --budget 240 \
+    || { echo "check.sh: parallel (sim_threads=8) n=1e5 cell failed its budget" >&2; exit 1; }
+  echo "check.sh: scale smoke OK: sim_threads=8 n=1e5 sampled expander in budget"
 fi
 
 if [[ "$RUN_ASAN" -eq 1 ]]; then
@@ -251,5 +269,21 @@ if [[ "$RUN_ASAN" -eq 1 ]]; then
   cmake --build "$BUILD_DIR-asan" -j
   ctest --test-dir "$BUILD_DIR-asan" --output-on-failure -j "$(nproc)"
   echo "check.sh: asan suite OK"
+fi
+
+if [[ "$RUN_TSAN" -eq 1 ]]; then
+  # TSan watches the worker pool's actual interleavings, so run only the
+  # suites that spin it up (plus the queue/counter structures it shares);
+  # the full tree under TSan would multiply CI time for no extra coverage.
+  TSAN_FLAGS="-fsanitize=thread -g -O1 -fno-omit-frame-pointer"
+  cmake -B "$BUILD_DIR-tsan" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build "$BUILD_DIR-tsan" -j \
+    --target test_parallel_sim test_simulator test_event_queue test_counters
+  ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure \
+    -R '^(test_parallel_sim|test_simulator|test_event_queue|test_counters)$'
+  echo "check.sh: tsan suite OK"
 fi
 echo "check.sh: all green"

@@ -157,6 +157,15 @@ struct ScenarioSpec {
   /// Metric sampling granularity.
   Duration skew_series_interval = 0.05;
   Duration envelope_interval = 0.1;
+
+  /// Worker threads for the simulator core (1..64). 1 — the default — keeps
+  /// the sequential engine; >= 2 turns on the lookahead-windowed parallel
+  /// engine, which is bit-identical in every metric and so deliberately NOT
+  /// part of the result cell key (a cached sequential result satisfies a
+  /// parallel request and vice versa). Requires a delay policy with positive
+  /// min_delay (delay=half/max); otherwise the run falls back to sequential
+  /// with a stderr notice.
+  std::uint32_t sim_threads = 1;
 };
 
 /// Superset of the legacy RunResult / BaselineResult. Fields that only make
@@ -221,6 +230,12 @@ struct ScenarioResult {
   std::uint64_t messages_dropped = 0;  ///< sends lost to a partition window
   std::uint64_t events_dispatched = 0;  ///< simulator events (timers + deliveries)
   std::uint64_t rounds_completed = 0;  ///< min over honest nodes of last round
+
+  /// Lookahead windows the parallel engine committed; 0 on the sequential
+  /// engine (or after a loud fallback). Execution diagnostic only: NOT part
+  /// of the resultstore codec, so a run's encoded bytes stay identical
+  /// whichever engine produced them.
+  std::uint64_t parallel_windows = 0;
 };
 
 /// Builds one honest protocol instance. `joining` is true for late joiners

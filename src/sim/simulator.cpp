@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/broadcast_sample.h"
 #include "util/arena.h"
 #include "util/contracts.h"
 
@@ -17,7 +18,26 @@ std::shared_ptr<const Message> intern_message(const Message& m) {
   return std::allocate_shared<const Message>(util::ArenaAllocator<Message>{}, m);
 }
 
+/// Worker-thread marker for the parallel engine: while a worker executes a
+/// window, `now()` on that thread reports the executing event's time, so
+/// protocol handlers observe exactly the "now" they would sequentially.
+thread_local const Simulator* t_worker_sim = nullptr;
+thread_local RealTime t_worker_now = 0;
+
 }  // namespace
+
+RealTime Simulator::now() const { return t_worker_sim == this ? t_worker_now : now_; }
+
+bool Simulator::in_worker() const { return t_worker_sim == this; }
+
+void Simulator::tls_enter_worker() const {
+  t_worker_sim = this;
+  t_worker_now = 0;
+}
+
+void Simulator::tls_set_worker_now(RealTime t) const { t_worker_now = t; }
+
+void Simulator::tls_leave_worker() const { t_worker_sim = nullptr; }
 
 Simulator::Simulator(SimParams params, std::vector<HardwareClock> clocks,
                      std::unique_ptr<DelayPolicy> delays, const crypto::KeyRegistry* registry)
@@ -110,7 +130,8 @@ Simulator::Simulator(SimParams params, std::vector<HardwareClock> clocks,
   }
 }
 
-Simulator::~Simulator() = default;
+// ~Simulator lives in simulator_parallel.cpp, where ParEngine is complete
+// (the destructor joins the worker pool).
 
 void Simulator::set_process(NodeId id, std::unique_ptr<Process> process) {
   ST_REQUIRE(id < params_.n, "set_process: node id out of range");
@@ -187,6 +208,10 @@ void Simulator::set_post_event_hook(std::function<void(const Simulator&)> hook) 
   post_event_hook_ = std::move(hook);
 }
 
+void Simulator::set_include_probe(std::function<bool(NodeId)> probe) {
+  include_probe_ = std::move(probe);
+}
+
 void Simulator::run_until(RealTime horizon) {
   if (!started_) {
     started_ = true;
@@ -223,6 +248,13 @@ void Simulator::run_until(RealTime horizon) {
                       TimerState::kArmedCorrupt);
     }
     if (adversary_ != nullptr) adversary_->on_start(*adv_ctx_);
+  }
+
+  if (!par_checked_) maybe_enable_parallel();
+  if (par_ != nullptr) {
+    run_parallel(horizon);
+    now_ = std::max(now_, horizon);
+    return;
   }
 
   while (!queue_.empty() && queue_.next_time() <= horizon) {
@@ -272,6 +304,11 @@ void Simulator::dispatch(const Event& ev) {
                timer_states_[t - 1] == TimerState::kArmedTick) &&
               timer_owners_[t - 1] == restart->node) {
             timer_states_[t - 1] = TimerState::kCancelled;
+          }
+        }
+        for (TimerState& st : node.par_timers) {
+          if (st == TimerState::kArmedProcess || st == TimerState::kArmedTick) {
+            st = TimerState::kCancelled;
           }
         }
         node.ticker_interval = 0;
@@ -338,6 +375,10 @@ void Simulator::dispatch(const Event& ev) {
 }
 
 void Simulator::honest_send(NodeId from, NodeId to, const Message& m) {
+  if (in_worker()) {
+    par_unicast(from, to, m);
+    return;
+  }
   // This overload is the unicast entry point (Context::send), so the link
   // check lives here: a send off the graph physically cannot be carried and
   // is lost like partitioned traffic. Broadcast traffic never needs the
@@ -389,6 +430,7 @@ void Simulator::adversary_send(NodeId from, NodeId to, std::shared_ptr<const Mes
 }
 
 TimerId Simulator::arm_timer(NodeId node, RealTime fire_at, TimerState kind) {
+  if (in_worker()) return par_arm_timer(node, fire_at, kind);
   const TimerId id = next_timer_id_++;
   timer_states_.push_back(kind);
   timer_owners_.push_back(node);
@@ -410,6 +452,13 @@ void Simulator::cancel_timer(TimerId id) {
 }
 
 Simulator::TimerState& Simulator::timer_state(TimerId id) {
+  if (id & kParTimerBit) {
+    const NodeId node = par_timer_node(id);
+    const std::size_t k = par_timer_index(id);
+    ST_REQUIRE(node < params_.n && k < nodes_[node].par_timers.size(),
+               "Simulator: unknown timer id");
+    return nodes_[node].par_timers[k];
+  }
   ST_REQUIRE(id >= 1 && id < next_timer_id_, "Simulator: unknown timer id");
   return timer_states_[static_cast<std::size_t>(id - 1)];
 }
@@ -421,7 +470,7 @@ void Simulator::start_ticker(NodeId id, Duration hw_interval) {
   ST_REQUIRE(!node.corrupt, "start_ticker: node is corrupted");
   ST_REQUIRE(node.ticker_interval == 0, "start_ticker: ticker already running");
   node.ticker_interval = hw_interval;
-  (void)arm_timer(id, node.hw->when_reads(node.hw->read(now_) + hw_interval),
+  (void)arm_timer(id, node.hw->when_reads(node.hw->read(now()) + hw_interval),
                   TimerState::kArmedTick);
 }
 
@@ -462,6 +511,9 @@ void Simulator::apply_corruption(std::size_t idx) {
           timer_states_[t - 1] = TimerState::kCancelled;
         }
       }
+      for (TimerState& st : node.par_timers) {
+        if (st == TimerState::kArmedProcess) st = TimerState::kCancelled;
+      }
     }
     if (ev.kinds & kCorruptBuffers) node.purge_before = now_;
     if (ev.kinds & kCorruptState) node.process->corrupt_state(*corrupt_rng_);
@@ -472,13 +524,20 @@ void Simulator::apply_corruption(std::size_t idx) {
 
 std::uint32_t Context::n() const { return sim_->params_.n; }
 
-LocalTime Context::hardware_now() const { return sim_->nodes_[id_].hw->read(sim_->now_); }
+LocalTime Context::hardware_now() const { return sim_->nodes_[id_].hw->read(sim_->now()); }
 
-LocalTime Context::logical_now() const { return sim_->nodes_[id_].logical->read(sim_->now_); }
+LocalTime Context::logical_now() const { return sim_->nodes_[id_].logical->read(sim_->now()); }
 
 LogicalClock& Context::logical() { return *sim_->nodes_[id_].logical; }
 
 void Context::broadcast(const Message& m) {
+  if (sim_->in_worker()) {
+    // Parallel window execution: the fan-out is buffered and replayed at
+    // commit, where delay draws (and sampled-mode peer draws) happen in the
+    // sequential engine's canonical order.
+    sim_->par_broadcast(id_, m);
+    return;
+  }
   // Intern the payload once for the whole fan-out: n refcount bumps instead
   // of n deep copies (a RoundMsg relay bundle carries Theta(n) signatures).
   const auto msg = intern_message(m);
@@ -530,22 +589,40 @@ bool Simulator::sample_broadcast_targets(NodeId from) {
     domain_size = static_cast<std::uint32_t>(degree);
   }
   if (domain_size <= m) return false;  // degenerate: the full fan-out, no draws
-  // Floyd's algorithm: m distinct indices in [0, domain_size), exactly m
-  // draws from the dedicated stream regardless of domain size. The scratch
-  // stays tiny (m entries), so the membership probe is a linear scan.
   sample_scratch_.clear();
-  for (std::uint32_t j = domain_size - m; j < domain_size; ++j) {
-    auto pick = static_cast<NodeId>(bcast_rng_->uniform_int(0, j));
-    if (std::find(sample_scratch_.begin(), sample_scratch_.end(), pick) !=
-        sample_scratch_.end()) {
-      pick = j;
+  if (domain != nullptr && m >= broadcast_sample::kFisherYatesMinSample) {
+    // Large sample over a CSR row: partial Fisher–Yates over the simulator's
+    // private mutable copy of the topology's rows — O(m) flat, no membership
+    // probe. Rows stay permuted between draws (same id set, deterministic
+    // draw sequence), so no undo pass is needed.
+    if (fy_src_ != topo) {
+      fy_src_ = topo;
+      const std::uint32_t n = topo->n();
+      fy_offsets_.assign(n + 1, 0);
+      std::size_t total = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        fy_offsets_[v] = total;
+        total += topo->neighbor_span(v).second;
+      }
+      fy_offsets_[n] = total;
+      fy_rows_.resize(total);
+      for (NodeId v = 0; v < n; ++v) {
+        const auto [nbrs, deg] = topo->neighbor_span(v);
+        std::copy(nbrs, nbrs + deg, fy_rows_.begin() + static_cast<std::ptrdiff_t>(fy_offsets_[v]));
+      }
     }
-    sample_scratch_.push_back(pick);
-  }
-  // Map indices to node ids: the implicit complete domain is 0..n-1 minus
-  // self, a CSR row already holds ids (and never contains self).
-  for (NodeId& id : sample_scratch_) {
-    id = domain != nullptr ? domain[id] : (id < from ? id : id + 1);
+    broadcast_sample::fisher_yates(*bcast_rng_, fy_rows_.data() + fy_offsets_[from],
+                                   domain_size, m, sample_scratch_);
+  } else {
+    // Floyd's algorithm: m distinct indices in [0, domain_size), exactly m
+    // draws from the dedicated stream regardless of domain size. The scratch
+    // stays tiny (m entries), so the membership probe is a linear scan.
+    broadcast_sample::floyd_indices(*bcast_rng_, domain_size, m, sample_scratch_);
+    // Map indices to node ids: the implicit complete domain is 0..n-1 minus
+    // self, a CSR row already holds ids (and never contains self).
+    for (NodeId& id : sample_scratch_) {
+      id = domain != nullptr ? domain[id] : (id < from ? id : id + 1);
+    }
   }
   // Ascending, so same-time delivery ties break in the same id order every
   // other fan-out uses.
@@ -581,14 +658,14 @@ __attribute__((noinline)) void Simulator::sampled_fan_out(
 void Context::send(NodeId to, const Message& m) { sim_->honest_send(id_, to, m); }
 
 TimerId Context::set_timer_at_logical(LocalTime target) {
-  const RealTime fire_at = sim_->nodes_[id_].logical->when_reads(sim_->now_, target);
+  const RealTime fire_at = sim_->nodes_[id_].logical->when_reads(sim_->now(), target);
   return sim_->arm_timer(id_, fire_at);
 }
 
 TimerId Context::set_timer_at_hardware(LocalTime target) {
   const HardwareClock& hw = *sim_->nodes_[id_].hw;
-  const RealTime fire_at =
-      target <= hw.read(sim_->now_) ? sim_->now_ : hw.when_reads(target);
+  const RealTime now = sim_->now();
+  const RealTime fire_at = target <= hw.read(now) ? now : hw.when_reads(target);
   return sim_->arm_timer(id_, fire_at);
 }
 

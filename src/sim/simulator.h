@@ -65,6 +65,18 @@ struct SimParams {
   /// Peers per broadcast under kSampled (>= 1 required then); ignored in the
   /// other modes.
   std::uint32_t sample_size = 0;
+  /// Worker threads for the lookahead-windowed parallel engine. 1 — the
+  /// default — is the sequential engine, bit-for-bit. Values > 1 execute
+  /// each window [t, t + lookahead) of events on a worker pool, where the
+  /// lookahead is the delay policy's min_delay(): events closer together
+  /// than the minimum message delay cannot causally interact across nodes,
+  /// and a deterministic commit phase replays buffered side effects in the
+  /// exact sequential (time, seq) order, so every metric is bit-identical
+  /// to sim_threads = 1. Runs that cannot parallelize (zero lookahead, or a
+  /// Byzantine adversary, whose deliveries to corrupted nodes are immediate
+  /// and so cross nodes within any window) fall back to the sequential
+  /// engine with a loud stderr note — never silently, never a deadlock.
+  std::uint32_t sim_threads = 1;
 };
 
 class Simulator {
@@ -107,7 +119,11 @@ class Simulator {
   void run_until(RealTime horizon);
 
   // --- Introspection (used by metrics, adversaries, and tests) ---
-  [[nodiscard]] RealTime now() const { return now_; }
+  /// Current simulation time. Inside a parallel worker this is the executing
+  /// event's time for the calling thread (each node's handlers observe the
+  /// same "now" they would sequentially); everywhere else it is the global
+  /// clock, which the commit replay advances event by event.
+  [[nodiscard]] RealTime now() const;
   [[nodiscard]] const SimParams& params() const { return params_; }
   [[nodiscard]] std::uint32_t n() const { return params_.n; }
   [[nodiscard]] bool is_corrupt(NodeId id) const;
@@ -115,6 +131,36 @@ class Simulator {
   [[nodiscard]] const std::vector<NodeId>& honest_ids() const { return honest_ids_; }
   /// True once node `id` has been started (relevant for late joiners).
   [[nodiscard]] bool is_started(NodeId id) const;
+
+  // --- Tracker-facing observation API ---
+  // The trace layer (skew tracker, envelope) reads fleet state from the
+  // post-event hook. Sequentially these are plain live reads. During a
+  // parallel commit replay the workers have already executed the whole
+  // window, so a live read could see a node's *future*; these accessors
+  // instead return the value the node had at the replay point (the recorded
+  // pre-state of its first uncommitted change), keeping every hook
+  // observation bit-identical to the sequential schedule.
+  [[nodiscard]] bool observe_started(NodeId id) const {
+    return par_ == nullptr ? nodes_[id].started : observe_started_slow(id);
+  }
+  [[nodiscard]] LocalTime observe_logical(NodeId id, RealTime t) const {
+    return par_ == nullptr ? nodes_[id].logical->read(t) : observe_logical_slow(id, t);
+  }
+  /// The include predicate (set_include_probe) evaluated at the observation
+  /// point; true when no probe is installed.
+  [[nodiscard]] bool observe_include(NodeId id) const {
+    if (par_ != nullptr) return observe_include_slow(id);
+    return include_probe_ == nullptr || include_probe_(id);
+  }
+  /// Installs the predicate behind observe_include (the scenario engine uses
+  /// it for "protocol instance is integrated"). Must be node-local: in a
+  /// parallel run it is evaluated from the worker that owns the node.
+  void set_include_probe(std::function<bool(NodeId)> probe);
+
+  /// Lookahead windows executed on the worker pool so far. Stays 0 for
+  /// sequential runs and for sim_threads > 1 runs that fell back; tests use
+  /// it to assert the parallel engine actually engaged.
+  [[nodiscard]] std::uint64_t parallel_windows() const { return parallel_windows_; }
 
   /// The base (epoch-0) network graph, or null for the implicit complete
   /// graph.
@@ -161,23 +207,6 @@ class Simulator {
   friend class Context;
   friend class AdversaryContext;
 
-  struct Node {
-    std::optional<HardwareClock> hw;
-    std::optional<LogicalClock> logical;
-    std::unique_ptr<Process> process;
-    std::optional<Context> ctx;
-    std::optional<Rng> rng;
-    bool corrupt = false;
-    RealTime start_time = 0;
-    bool started = false;
-    /// Corrupted receive buffer: deliveries sent strictly before this real
-    /// time are dropped on arrival (-1 = never; the corruption-free path
-    /// costs one always-false compare).
-    RealTime purge_before = -1;
-    /// Hardware ticker interval (0 = no ticker; see Context::start_ticker).
-    Duration ticker_interval = 0;
-  };
-
   /// Lifecycle of one timer id in the flat state table. Armed states encode
   /// the dispatch target; a fired or cancel-consumed timer is retired to
   /// kFired, so the table holds exactly one byte per timer ever armed and no
@@ -193,6 +222,45 @@ class Simulator {
     kCancelled,
     kFired,
   };
+
+  struct Node {
+    std::optional<HardwareClock> hw;
+    std::optional<LogicalClock> logical;
+    std::unique_ptr<Process> process;
+    std::optional<Context> ctx;
+    std::optional<Rng> rng;
+    bool corrupt = false;
+    RealTime start_time = 0;
+    bool started = false;
+    /// Corrupted receive buffer: deliveries sent strictly before this real
+    /// time are dropped on arrival (-1 = never; the corruption-free path
+    /// costs one always-false compare).
+    RealTime purge_before = -1;
+    /// Hardware ticker interval (0 = no ticker; see Context::start_ticker).
+    Duration ticker_interval = 0;
+    /// States of this node's parallel-allocated timers (see kParTimerBit):
+    /// workers cannot consume the global sequential id counter, so timers
+    /// armed inside a window get (node, index-in-this-table) ids instead.
+    /// Timer id VALUES therefore differ between the engines — they are
+    /// opaque handles and never surface in any metric. Always empty in
+    /// sequential runs.
+    std::vector<TimerState> par_timers;
+  };
+
+  /// Parallel timer ids: top bit set, owner node in bits [32, 63), index
+  /// into the node's par_timers table below. Sequential ids never collide
+  /// (they stay far below 2^63).
+  static constexpr TimerId kParTimerBit = TimerId{1} << 63;
+  [[nodiscard]] static TimerId par_timer_id(NodeId node, std::size_t index) {
+    return kParTimerBit | (static_cast<TimerId>(node) << 32) |
+           static_cast<TimerId>(index);
+  }
+  [[nodiscard]] static NodeId par_timer_node(TimerId id) {
+    return static_cast<NodeId>((id >> 32) & 0x7fffffffu);
+  }
+  [[nodiscard]] static std::size_t par_timer_index(TimerId id) {
+    return static_cast<std::size_t>(id & 0xffffffffu);
+  }
 
   /// One scheduled churn restart (schedule_restart).
   struct Restart {
@@ -234,6 +302,29 @@ class Simulator {
   /// Fires corruption event `idx`: picks the victim subset with the
   /// dedicated corruption stream and scrambles each victim's memory.
   void apply_corruption(std::size_t idx);
+
+  // --- Parallel engine (simulator_parallel.cpp) ---
+  /// True on a worker thread currently executing this simulator's window.
+  [[nodiscard]] bool in_worker() const;
+  /// Decides once, at the first run_until, whether sim_threads > 1 can be
+  /// honored (positive lookahead, no adversary); falls back loudly if not.
+  void maybe_enable_parallel();
+  /// The parallel main loop: drains lookahead windows until the horizon.
+  void run_parallel(RealTime horizon);
+  // Worker-phase counterparts of the sequential side-effect entry points:
+  // they buffer ops into the owning worker instead of touching shared state.
+  void par_unicast(NodeId from, NodeId to, const Message& m);
+  void par_broadcast(NodeId from, const Message& m);
+  TimerId par_arm_timer(NodeId node, RealTime fire_at, TimerState kind);
+  // Slow paths of the observation API (parallel runs only).
+  [[nodiscard]] bool observe_started_slow(NodeId id) const;
+  [[nodiscard]] LocalTime observe_logical_slow(NodeId id, RealTime t) const;
+  [[nodiscard]] bool observe_include_slow(NodeId id) const;
+  // Thread-local worker marking (now() routes through it); const because
+  // only thread-local state moves.
+  void tls_enter_worker() const;
+  void tls_set_worker_now(RealTime t) const;
+  void tls_leave_worker() const;
 
   SimParams params_;
   /// Graph live right now (params_.topology until the first epoch switch);
@@ -278,11 +369,34 @@ class Simulator {
   std::optional<Rng> bcast_rng_;
   /// Recipient scratch for sampled fan-outs (capacity sample_size, reused).
   std::vector<NodeId> sample_scratch_;
+  /// Mutable CSR copy backing the partial Fisher–Yates sampled draws (only
+  /// built once a sampled run actually draws with sample_size >=
+  /// kFisherYatesMinSample on a sparse graph; see broadcast_sample.h). Rows
+  /// are left permuted between draws — same id set, order evolving — which
+  /// keeps every draw O(m) while the seed -> sample-sequence mapping stays a
+  /// pure function of (seed, topology, draw order).
+  std::vector<std::uint64_t> fy_offsets_;
+  std::vector<NodeId> fy_rows_;
+  const Topology* fy_src_ = nullptr;
   std::uint64_t corruption_events_fired_ = 0;
   std::uint64_t nodes_corrupted_ = 0;
 
   MessageCounters counters_;
   std::function<void(const Simulator&)> post_event_hook_;
+  std::function<bool(NodeId)> include_probe_;
+
+  /// Worker pool, per-window buffers, and commit-replay state. Created only
+  /// when the parallel engine actually engages, so par_ == nullptr doubles
+  /// as the sequential fast-path test in the observation API.
+  struct ParEngine;
+  /// Out-of-line deleter so every TU can destroy a Simulator (and its
+  /// members, on constructor-exception paths) without ParEngine's definition.
+  struct ParEngineDeleter {
+    void operator()(ParEngine* e) const;
+  };
+  std::unique_ptr<ParEngine, ParEngineDeleter> par_;
+  bool par_checked_ = false;
+  std::uint64_t parallel_windows_ = 0;
 };
 
 }  // namespace stclock

@@ -136,6 +136,75 @@ bool Topology::is_connected() const {
   return reached == n_;
 }
 
+double Topology::normalized_lambda2(std::uint32_t iters, std::uint64_t seed) const {
+  ST_REQUIRE(kind_ != TopologyKind::kComplete,
+             "Topology::normalized_lambda2: the complete family stores no CSR "
+             "rows (its normalized spectrum is -1/(n-1) repeated anyway)");
+  ST_REQUIRE(n_ >= 2, "Topology::normalized_lambda2: need at least two nodes");
+  ST_REQUIRE(iters >= 1, "Topology::normalized_lambda2: need at least one iteration");
+
+  // inv_root[i] = 1/sqrt(deg_i); v1 (the eigenvalue-1 eigenvector of the
+  // normalized adjacency) is sqrt(deg) normalized. Zero-degree nodes sit
+  // outside the walk entirely — both vectors hold 0 there.
+  std::vector<double> inv_root(n_, 0.0), v1(n_, 0.0);
+  double v1_norm2 = 0;
+  for (NodeId i = 0; i < n_; ++i) {
+    const auto d = static_cast<double>(degree(i));
+    if (d > 0) {
+      inv_root[i] = 1.0 / std::sqrt(d);
+      v1[i] = std::sqrt(d);
+      v1_norm2 += d;
+    }
+  }
+  ST_REQUIRE(v1_norm2 > 0, "Topology::normalized_lambda2: graph has no edges");
+  const double v1_inv_norm = 1.0 / std::sqrt(v1_norm2);
+  for (NodeId i = 0; i < n_; ++i) v1[i] *= v1_inv_norm;
+
+  const auto deflate = [&](std::vector<double>& x) {
+    double dot = 0;
+    for (NodeId i = 0; i < n_; ++i) dot += v1[i] * x[i];
+    for (NodeId i = 0; i < n_; ++i) x[i] -= dot * v1[i];
+  };
+  const auto normalize = [&](std::vector<double>& x) -> double {
+    double norm2 = 0;
+    for (NodeId i = 0; i < n_; ++i) norm2 += x[i] * x[i];
+    const double norm = std::sqrt(norm2);
+    if (norm > 0) {
+      const double inv = 1.0 / norm;
+      for (NodeId i = 0; i < n_; ++i) x[i] *= inv;
+    }
+    return norm;
+  };
+
+  Rng rng(seed);
+  std::vector<double> x(n_), y(n_), w(n_);
+  for (NodeId i = 0; i < n_; ++i) x[i] = rng.uniform(-1.0, 1.0);
+  deflate(x);
+  if (normalize(x) == 0) return 0;  // start vector was (numerically) all v1
+
+  // Power iteration on the deflated operator: after enough rounds ||Mx||
+  // converges to the largest REMAINING eigenvalue magnitude — which is
+  // |lambda_2| whether the extreme eigenvalue is positive or negative
+  // (bipartite-leaning graphs put it near -1).
+  double lambda = 0;
+  for (std::uint32_t it = 0; it < iters; ++it) {
+    for (NodeId i = 0; i < n_; ++i) w[i] = x[i] * inv_root[i];
+    for (NodeId i = 0; i < n_; ++i) {
+      double acc = 0;
+      for (std::uint64_t e = offsets_[i]; e < offsets_[static_cast<std::size_t>(i) + 1];
+           ++e) {
+        acc += w[nbrs_[e]];
+      }
+      y[i] = acc * inv_root[i];
+    }
+    deflate(y);  // re-deflate every round so rounding error cannot regrow v1
+    lambda = normalize(y);
+    if (lambda == 0) return 0;  // x was (numerically) in v1's span: gap is total
+    x.swap(y);
+  }
+  return lambda;
+}
+
 std::size_t Topology::memory_bytes() const {
   return offsets_.capacity() * sizeof(std::uint64_t) + nbrs_.capacity() * sizeof(NodeId) +
          bits_.capacity() * sizeof(std::uint64_t) +

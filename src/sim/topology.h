@@ -211,6 +211,18 @@ class Topology {
   /// BFS from node 0; a single node counts as connected. O(1) for complete.
   [[nodiscard]] bool is_connected() const;
 
+  /// |lambda_2| of the normalized adjacency D^{-1/2} A D^{-1/2}, estimated by
+  /// `iters` rounds of power iteration with the principal eigenvector
+  /// (proportional to sqrt(degree), eigenvalue exactly 1) deflated out each
+  /// step. This is the expander mixing quantity itself — small |lambda_2|
+  /// IS a spectral gap — where the BFS diameter the tests previously
+  /// asserted on is only a coarse proxy (a graph can have logarithmic
+  /// diameter and still mix slowly). Deterministic: the start vector comes
+  /// from a generator seeded with `seed`. O(iters * (n + E)); zero-degree
+  /// nodes contribute nothing. Not valid for the complete family (whose
+  /// normalized spectrum is known: -1/(n-1) repeated).
+  [[nodiscard]] double normalized_lambda2(std::uint32_t iters, std::uint64_t seed) const;
+
   /// Bytes of adjacency storage actually held (CSR arrays + bitset). The
   /// memory-ceiling tests assert on this instead of process RSS, which is
   /// noisy under a test runner.

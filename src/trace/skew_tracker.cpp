@@ -41,9 +41,12 @@ void SkewTracker::sample(const Simulator& sim) {
   bool set_grew = false;       // a node sampled now that was not last time
   bool value_changed = false;  // a re-sampled node read a different value
   for (NodeId id : sim.honest_ids()) {
-    if (!sim.is_started(id)) continue;
-    if (include_ && !include_(id)) continue;
-    const double c = sim.logical(id).read(t);
+    // observe_* rather than is_started/logical: mid-window under the parallel
+    // engine these report the committed pre-state, keeping hook-driven samples
+    // bit-identical to the sequential engine.
+    if (!sim.observe_started(id)) continue;
+    if (include_ ? !include_(id) : !sim.observe_include(id)) continue;
+    const double c = sim.observe_logical(id, t);
     if (sparse && id < pool_n_) {
       if (gen_[id] != prev_gen) {
         set_grew = true;
